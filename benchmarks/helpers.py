@@ -1,0 +1,171 @@
+"""Shared harness code for the per-figure/table benchmarks.
+
+Every bench in this directory regenerates one table or figure of the
+paper's evaluation (see DESIGN.md's experiment index): it runs the
+workload(s) through PathFinder on the simulated machine, prints the same
+rows/series the paper reports, and asserts the paper's *shape* (who wins,
+rough factors, crossovers) - absolute numbers are simulator-scaled.
+
+Benches use ``benchmark.pedantic(..., rounds=1)`` so pytest-benchmark
+records wall-clock per experiment without re-running multi-second
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import AppSpec, PathFinder, ProfileResult, ProfileSpec
+from repro.pmu.views import CHAPMUView, CorePMUView, IMCView, M2PCIeView
+from repro.sim import Machine, MachineConfig, spr_config
+from repro.workloads import Workload, build_app
+
+#: Default op count per application: long enough for warm caches and
+#: stable phases, short enough that a full figure regenerates in minutes.
+DEFAULT_OPS = 8000
+EPOCH = 25_000.0
+
+#: The six applications most of the section 3 characterisation figures use.
+CHARACTERIZATION_APPS = (
+    "519.lbm_r", "503.bwaves_r", "505.mcf_r", "554.roms_r",
+    "541.leela_r", "507.cactuBSSN_r",
+)
+
+
+@dataclass
+class Run:
+    """One profiled execution plus its aggregate counter delta."""
+
+    name: str
+    node: str
+    machine: Machine
+    profiler: PathFinder
+    result: ProfileResult
+    totals: Dict[Tuple[str, str], float]
+
+    def core(self, core_id: int = 0) -> CorePMUView:
+        return CorePMUView(self.totals, core_id)
+
+    def cha(self) -> CHAPMUView:
+        return CHAPMUView(self.totals, 0)
+
+    def imc(self) -> IMCView:
+        return IMCView(self.totals, 0)
+
+    def m2pcie(self) -> M2PCIeView:
+        return M2PCIeView(self.totals, self.machine.cxl_node.node_id)
+
+    @property
+    def cycles(self) -> float:
+        return self.result.total_cycles
+
+
+def profile_apps(
+    workloads: Sequence[Workload],
+    node: str = "cxl",
+    config: Optional[MachineConfig] = None,
+    epoch: float = EPOCH,
+    interleave: Optional[float] = None,
+    name: str = "",
+) -> Run:
+    """Profile one or more workloads pinned to consecutive cores."""
+    machine = Machine(config or spr_config(num_cores=max(2, len(workloads))))
+    node_id = (
+        machine.cxl_node.node_id if node == "cxl" else machine.local_node.node_id
+    )
+    apps = []
+    for core, workload in enumerate(workloads):
+        if interleave is None:
+            apps.append(AppSpec(workload=workload, core=core, membind=node_id))
+        else:
+            apps.append(
+                AppSpec(
+                    workload=workload,
+                    core=core,
+                    interleave=(
+                        machine.local_node.node_id,
+                        machine.cxl_node.node_id,
+                        interleave,
+                    ),
+                )
+            )
+    profiler = PathFinder(machine, ProfileSpec(apps=apps, epoch_cycles=epoch))
+    result = profiler.run()
+    totals = {}
+    for epoch_result in result.epochs:
+        for key, value in epoch_result.snapshot.delta.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return Run(
+        name=name or "+".join(w.name for w in workloads),
+        node=node,
+        machine=machine,
+        profiler=profiler,
+        result=result,
+        totals=totals,
+    )
+
+
+def run_app(name: str, node: str, ops: int = DEFAULT_OPS, seed: int = 1,
+            config: Optional[MachineConfig] = None) -> Run:
+    return profile_apps(
+        [build_app(name, num_ops=ops, seed=seed)], node=node, config=config,
+        name=f"{name}@{node}",
+    )
+
+
+def local_vs_cxl(
+    app_names: Iterable[str], ops: int = DEFAULT_OPS,
+    config: Optional[MachineConfig] = None,
+) -> Dict[str, Dict[str, Run]]:
+    """Run each app on local DDR and on CXL - the section 3 comparison."""
+    out: Dict[str, Dict[str, Run]] = {}
+    for name in app_names:
+        out[name] = {
+            node: run_app(name, node, ops=ops, config=config)
+            for node in ("local", "cxl")
+        }
+    return out
+
+
+def ratio(cxl_value: float, local_value: float) -> float:
+    """CXL/local ratio; 0 when the local side is silent."""
+    if local_value <= 0:
+        return 0.0
+    return cxl_value / local_value
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-2:
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Record one timed execution with pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,148 @@
+"""Figure 3: CHA PMU counters, local vs CXL memory (section 3.3).
+
+Paper headlines on SPR:
+  (a) LLC stalls up ~2.1x, DRd response ~1.8x higher;
+  (b) LLC hits down (DRd -46.5%, RFO -41.3%, HWPF -62.2%), misses up ~4-5x;
+  (c) in the local case >99% of misses served by local DIMM; under CXL the
+      misses go to the CXL DIMM (and snoops serve a share);
+  (d/e) hit occupancy down, miss occupancy up;
+  (f) socket-level hits down across all four paths.
+"""
+
+import pytest
+
+from .helpers import (
+    CHARACTERIZATION_APPS,
+    geomean,
+    local_vs_cxl,
+    once,
+    print_table,
+    ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return local_vs_cxl(CHARACTERIZATION_APPS, ops=8000)
+
+
+def test_fig3a_llc_stall_and_response(runs, benchmark):
+    once(benchmark, lambda: None)
+    rows, stall_ratios = [], []
+    for app, pair in runs.items():
+        local, cxl = pair["local"].core(), pair["cxl"].core()
+        r = ratio(cxl.l3_stall_cycles, local.l3_stall_cycles)
+        rows.append([app, local.l3_stall_cycles, cxl.l3_stall_cycles, r])
+        if r > 0:
+            stall_ratios.append(r)
+    print_table("Fig 3-a core LLC stall cycles",
+                ["app", "local", "cxl", "cxl/local"], rows)
+    assert geomean(stall_ratios) > 1.3   # paper: ~2.1x
+
+
+def test_fig3b_llc_hit_miss_breakdown(runs, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    hit_changes, miss_ratios = [], []
+    for app, pair in runs.items():
+        local, cxl = pair["local"].cha(), pair["cxl"].cha()
+        row = [app]
+        for family in ("DRd", "RFO", "HWPF"):
+            lh, ch = local.llc_hits(family), cxl.llc_hits(family)
+            lm, cm = local.llc_misses(family), cxl.llc_misses(family)
+            row += [lh, ch, lm, cm]
+            if lh > 0:
+                hit_changes.append((ch - lh) / lh)
+            if lm > 0:
+                miss_ratios.append(cm / lm)
+        rows.append(row)
+    print_table(
+        "Fig 3-b LLC hit/miss per path",
+        ["app", "DRd h-loc", "h-cxl", "m-loc", "m-cxl",
+         "RFO h-loc", "h-cxl", "m-loc", "m-cxl",
+         "HWPF h-loc", "h-cxl", "m-loc", "m-cxl"],
+        rows,
+    )
+    # Misses should not collapse under CXL (paper: they rise 4-5x).
+    assert geomean(miss_ratios) > 0.7
+
+
+def test_fig3c_miss_serve_locations(runs, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for app, pair in runs.items():
+        for node in ("local", "cxl"):
+            cha = pair[node].cha()
+            targets = cha.miss_targets("DRd")
+            rows.append([app, node, targets["miss_local_ddr"],
+                         targets["miss_remote_ddr"], targets["miss_cxl"]])
+    print_table(
+        "Fig 3-c where LLC DRd misses are served",
+        ["app", "node", "local DDR", "remote DDR", "CXL"],
+        rows,
+    )
+    for app, pair in runs.items():
+        local_targets = pair["local"].cha().miss_targets("DRd")
+        cxl_targets = pair["cxl"].cha().miss_targets("DRd")
+        # Local case: everything from the local DIMM (paper: >99%).
+        total_local = sum(local_targets.values())
+        if total_local > 0:
+            assert local_targets["miss_local_ddr"] / total_local > 0.99
+        # CXL case: CXL DIMM dominates.
+        total_cxl = sum(cxl_targets.values())
+        if total_cxl > 0:
+            assert cxl_targets["miss_cxl"] / total_cxl > 0.9
+
+
+def test_fig3de_occupancy(runs, benchmark):
+    once(benchmark, lambda: None)
+    rows, miss_occ_ratios = [], []
+    for app, pair in runs.items():
+        local, cxl = pair["local"].cha(), pair["cxl"].cha()
+        for family in ("DRd", "RFO", "HWPF"):
+            lo = local.tor_occupancy(family, "miss")
+            co = cxl.tor_occupancy(family, "miss")
+            rows.append([app, family, lo, co, ratio(co, lo)])
+            if lo > 0:
+                miss_occ_ratios.append(co / lo)
+    print_table(
+        "Fig 3-d/e TOR miss occupancy (cycle-integrated)",
+        ["app", "path", "local", "cxl", "cxl/local"],
+        rows,
+    )
+    # Paper: miss occupancy up 1.1-4.8x under CXL.
+    assert geomean(miss_occ_ratios) > 1.5
+
+
+def test_fig3f_socket_level_operation_breakdown(runs, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    hit_changes = []
+    for app, pair in runs.items():
+        local, cxl = pair["local"].cha(), pair["cxl"].cha()
+        row = [app]
+        for family in ("DRd", "RFO", "HWPF", "DWr"):
+            lh = local.tor_inserts(family, "hit" if family != "DWr" else "total")
+            ch = cxl.tor_inserts(family, "hit" if family != "DWr" else "total")
+            row += [lh, ch]
+            if lh > 0 and family != "DWr":
+                hit_changes.append((ch - lh) / lh)
+        rows.append(row)
+    print_table(
+        "Fig 3-f socket TOR hits per path",
+        ["app", "DRd loc", "cxl", "RFO loc", "cxl", "HWPF loc", "cxl",
+         "DWr loc", "cxl"],
+        rows,
+    )
+    # Paper: hits reduced 44-55% on average under CXL.
+    assert sum(hit_changes) / max(1, len(hit_changes)) < 0.1
+
+
+def test_fig3_coherence_state_machine_visible(runs, benchmark):
+    once(benchmark, lambda: None)
+    any_transitions = False
+    for app, pair in runs.items():
+        transitions = pair["cxl"].cha().state_transitions()
+        if transitions:
+            any_transitions = True
+    assert any_transitions, "CHA state-machine counters never fired"

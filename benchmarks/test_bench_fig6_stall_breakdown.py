@@ -1,0 +1,106 @@
+"""Figure 6 / Case 2 (section 5.3): PFEstimator stall-cycle breakdown.
+
+The paper breaks CXL-induced stall cycles of six applications (fft,
+raytrace, barnes, freqmine, BFS, FREQ) over SB, L1D, LFB, L2, LLC, CHA,
+FlexBus+MC and CXL DIMM per path.  Headline shapes:
+
+* the uncore (FlexBus+MC + CXL DIMM) carries the bulk of DRd stalls
+  (fft: 42.7% + 40.3%);
+* CXL-induced stalls diminish from the uncore toward the core (fft DRd:
+  -74.5% from FlexBus+MC to L1D) because locality absorbs them;
+* effective prefetchers (freqmine) show HWPF stall at FlexBus+MC with
+  near-zero residual DRd stall at L1D/L2; struggling ones (BFS) leak
+  DRd stall into the core.
+"""
+
+import pytest
+
+from repro.core import STALL_COMPONENTS
+
+from .helpers import once, print_table, run_app
+
+APPS = ("fft", "raytrace", "barnes", "freqmine", "bfs", "505.mcf_r")
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    out = {}
+    for app in APPS:
+        run = run_app(app, "cxl", ops=8000)
+        agg = {c: 0.0 for c in STALL_COMPONENTS}
+        for e in run.result.epochs:
+            for c, v in e.stalls.aggregate("DRd").items():
+                agg[c] += v
+        hwpf = {c: 0.0 for c in STALL_COMPONENTS}
+        for e in run.result.epochs:
+            for c, v in e.stalls.aggregate("HWPF").items():
+                hwpf[c] += v
+        out[app] = {"run": run, "DRd": agg, "HWPF": hwpf}
+    return out
+
+
+def _shares(agg):
+    total = sum(agg.values())
+    if total <= 0:
+        return {c: 0.0 for c in agg}
+    return {c: v / total for c, v in agg.items()}
+
+
+def test_fig6_breakdown_table(breakdowns, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for app, data in breakdowns.items():
+        shares = _shares(data["DRd"])
+        rows.append([app] + [100 * shares[c] for c in STALL_COMPONENTS])
+    print_table(
+        "Fig 6 DRd CXL-induced stall shares (%)",
+        ["app"] + list(STALL_COMPONENTS),
+        rows,
+    )
+    for app, data in breakdowns.items():
+        total = sum(data["DRd"].values())
+        assert total > 0, f"{app}: no CXL-induced DRd stalls attributed"
+
+
+def test_fig6_uncore_dominates(breakdowns, benchmark):
+    """FlexBus+MC + CXL DIMM (+CHA) carry most of the attributed stall."""
+    once(benchmark, lambda: None)
+    dominant = 0
+    for app, data in breakdowns.items():
+        shares = _shares(data["DRd"])
+        uncore = shares["FlexBus+MC"] + shares["CXL_DIMM"] + shares["CHA"]
+        if uncore > 0.5:
+            dominant += 1
+    assert dominant >= len(APPS) // 2
+
+
+def test_fig6_stalls_diminish_toward_core(breakdowns, benchmark):
+    """fft-style apps: core-side (L1D) attribution well below uncore."""
+    once(benchmark, lambda: None)
+    for app, data in breakdowns.items():
+        agg = data["DRd"]
+        uncore = agg["FlexBus+MC"] + agg["CXL_DIMM"]
+        if uncore <= 0:
+            continue
+        assert agg["L1D"] <= uncore, app
+
+
+def test_fig6_hwpf_stalls_present_for_streaming(breakdowns, benchmark):
+    """Prefetch-heavy apps accumulate HWPF-path stall at FlexBus+MC."""
+    once(benchmark, lambda: None)
+    streaming = [a for a in ("fft", "bfs") if a in breakdowns]
+    assert any(
+        breakdowns[a]["HWPF"]["FlexBus+MC"] + breakdowns[a]["HWPF"]["CXL_DIMM"] > 0
+        for a in streaming
+    )
+
+
+def test_fig6_dwr_stall_only_at_sb(breakdowns, benchmark):
+    """The DWr path books in-core stall exclusively at the SB."""
+    once(benchmark, lambda: None)
+    for app, data in breakdowns.items():
+        run = data["run"]
+        for e in run.result.epochs:
+            dwr = e.stalls.aggregate("DWr")
+            for component in ("L1D", "LFB", "L2", "LLC"):
+                assert dwr[component] == 0.0

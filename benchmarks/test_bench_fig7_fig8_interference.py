@@ -1,0 +1,124 @@
+"""Figures 7-8 / Case 3 (section 5.4): local vs CXL mFlow interference.
+
+Setup: one core carries a local mFlow and a CXL mFlow; the CXL traffic
+load sweeps 20% -> 100%.  Paper headlines:
+
+* Fig 7: CXL-induced stall within the core grows with CXL load - 1.7x
+  (SB), 2.2x (L1D), 2.2x (LFB), 2.4x (L2), 2.4x (core LLC) from 20% to
+  100% - while FlexBus and CHA queueing stay roughly stable (a single
+  core cannot congest the uncore);
+* Fig 8: PFAnalyzer's estimated queue lengths rise at LFB and L2
+  (especially the DRd path), while FlexBus+MC stays flat;
+* the core bottleneck shifts from DRd-on-L1D toward DRd-on-L2.
+"""
+
+import pytest
+
+from repro.core import AppSpec, PathFinder, ProfileSpec, STALL_COMPONENTS
+from repro.sim import Machine, spr_config
+from repro.workloads import InterleavedFlows, SequentialStream
+
+from .helpers import once, print_table
+
+LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_mixed(cxl_load: float):
+    machine = Machine(spr_config(num_cores=2))
+    local = SequentialStream(
+        name="localflow", num_ops=5000, working_set_bytes=1 << 21,
+        read_ratio=0.8, gap=3.0, accesses_per_line=2, seed=3,
+    )
+    cxl_ops = max(1, int(5000 * cxl_load))
+    cxl = SequentialStream(
+        name="cxlflow", num_ops=cxl_ops, working_set_bytes=1 << 21,
+        read_ratio=0.8, gap=3.0, accesses_per_line=2, seed=17,
+    )
+    mixed = InterleavedFlows(local, cxl, secondary_fraction=cxl_load / 2.0)
+    mixed.primary.install(machine, machine.local_node.node_id)
+    mixed.secondary.install(machine, machine.cxl_node.node_id)
+    profiler = PathFinder(
+        machine,
+        ProfileSpec(
+            apps=[AppSpec(workload=mixed, core=0,
+                          membind=machine.local_node.node_id)],
+            epoch_cycles=25_000.0,
+        ),
+    )
+    # The mixed workload pre-installed its two regions; membind above only
+    # places the (empty) wrapper region.
+    result = profiler.run()
+    stalls = {c: 0.0 for c in STALL_COMPONENTS}
+    queues = {"L1D": 0.0, "LFB": 0.0, "L2": 0.0, "FlexBus+MC": 0.0}
+    for e in result.epochs:
+        for c, v in e.stalls.aggregate("DRd").items():
+            stalls[c] += v
+        for component in queues:
+            queues[component] += e.queues.queue(component, "DRd")
+    epochs = max(1, len(result.epochs))
+    queues = {c: v / epochs for c, v in queues.items()}
+    return {"stalls": stalls, "queues": queues, "cycles": result.total_cycles}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {load: run_mixed(load) for load in LOADS}
+
+
+def test_fig7_core_stalls_grow_with_cxl_load(sweep, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for load in LOADS:
+        stalls = sweep[load]["stalls"]
+        rows.append([f"{int(load*100)}%", stalls["L1D"] + stalls["LFB"],
+                     stalls["L2"], stalls["LLC"], stalls["FlexBus+MC"],
+                     stalls["CXL_DIMM"]])
+    print_table(
+        "Fig 7 CXL-induced DRd stall vs CXL load",
+        ["load", "L1D+LFB", "L2", "LLC", "FlexBus+MC", "CXL_DIMM"],
+        rows,
+    )
+    lo, hi = sweep[LOADS[0]]["stalls"], sweep[LOADS[-1]]["stalls"]
+    total_lo = sum(lo.values())
+    total_hi = sum(hi.values())
+    # Paper: in-core CXL-induced stall up 1.7-2.4x from 20% to 100% load.
+    assert total_hi > 1.5 * max(total_lo, 1.0)
+
+
+def test_fig7_monotone_trend(sweep, benchmark):
+    once(benchmark, lambda: None)
+    totals = [sum(sweep[load]["stalls"].values()) for load in LOADS]
+    # Allow local non-monotonicity but require a rising overall trend.
+    assert totals[-1] > totals[0]
+    assert totals[-1] >= max(totals) * 0.6
+
+
+def test_fig8_queue_lengths(sweep, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for load in LOADS:
+        queues = sweep[load]["queues"]
+        rows.append([f"{int(load*100)}%", queues["L1D"], queues["LFB"],
+                     queues["L2"], queues["FlexBus+MC"]])
+    print_table(
+        "Fig 8 estimated queue length vs CXL load (DRd)",
+        ["load", "L1D", "LFB", "L2", "FlexBus+MC"],
+        rows,
+    )
+    lo, hi = sweep[LOADS[0]]["queues"], sweep[LOADS[-1]]["queues"]
+    # LFB queueing rises with CXL load (slow fills hold entries longer).
+    assert hi["LFB"] > lo["LFB"]
+
+
+def test_fig8_flexbus_stays_uncongested(sweep, benchmark):
+    """One core cannot saturate the FlexBus: its queue stays small."""
+    once(benchmark, lambda: None)
+    for load in LOADS:
+        flexbus = sweep[load]["queues"]["FlexBus+MC"]
+        lfb = sweep[load]["queues"]["LFB"]
+        assert flexbus < max(lfb, 1.0) * 10
+    # And it grows far less than proportionally to load.
+    lo = sweep[LOADS[0]]["queues"]["FlexBus+MC"]
+    hi = sweep[LOADS[-1]]["queues"]["FlexBus+MC"]
+    if lo > 0:
+        assert hi / lo < 25.0

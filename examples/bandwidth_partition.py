@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Case-5 style scenario: attribute CXL bandwidth among tenants.
+
+Four memory-bandwidth tenants of different intensity saturate one CXL
+DIMM.  Following section 5.6, we (1) let PFAnalyzer confirm FlexBus+MC is
+the culprit, then (2) use PFBuilder's per-mFlow CXL request frequencies
+to estimate each tenant's bandwidth share at runtime - validated against
+the tenants' own reported throughput with Pearson correlation (the paper
+measures r = 0.998).
+
+Run:  python examples/bandwidth_partition.py
+"""
+
+from repro.core import AppSpec, PathFinder, ProfileSpec
+from repro.sim import Machine, spr_config
+from repro.tsdb import pearsonr
+from repro.workloads import MBW
+
+
+def main() -> None:
+    machine = Machine(spr_config(num_cores=4))
+    tenants = []
+    apps = []
+    for i, (gap, accesses_per_line) in enumerate(
+        ((6.0, 8), (4.0, 4), (2.0, 2), (0.5, 1))
+    ):
+        tenant = MBW(
+            name=f"tenant{i}", num_ops=8000, working_set_bytes=1 << 22,
+            rate_gap=gap, accesses_per_line=accesses_per_line, seed=60 + i,
+        )
+        tenants.append(tenant)
+        apps.append(
+            AppSpec(workload=tenant, core=i, membind=machine.cxl_node.node_id)
+        )
+    profiler = PathFinder(
+        machine, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=80)
+    )
+    result = profiler.run()
+
+    # 1. Where is the bottleneck?
+    culprits = [
+        e.queues.culprit() for e in result.epochs if e.queues.culprit()
+    ]
+    flexbus_share = sum(
+        1 for c in culprits if c.component == "FlexBus+MC"
+    ) / max(1, len(culprits))
+    print(f"snapshots flagging FlexBus+MC as culprit: {flexbus_share*100:.0f}%")
+
+    # 2. Per-tenant CXL request frequency (PFBuilder) vs reported bandwidth.
+    freqs, bandwidths = [], []
+    flows = {f.core_id: f for f in result.flows}
+    print(f"\n{'tenant':<9} {'CXL req/kcyc':>13} {'reported B/cyc':>15}")
+    for i, tenant in enumerate(tenants):
+        requests = 0.0
+        for e in result.epochs:
+            for (scope, event), value in e.snapshot.delta.items():
+                if scope == f"core{i}" and event.endswith(".cxl_dram"):
+                    requests += value
+        lifetime = (flows[i].ended_at or result.total_cycles)
+        frequency = requests / lifetime
+        bytes_per_op = 64.0 / tenant.accesses_per_line
+        bandwidth = tenant.num_ops * bytes_per_op / lifetime
+        freqs.append(frequency)
+        bandwidths.append(bandwidth)
+        print(f"tenant{i:<3} {frequency*1000:>13.2f} {bandwidth:>15.2f}")
+
+    r = pearsonr(freqs, bandwidths)
+    print(f"\nPearson(request frequency, reported bandwidth) = {r:.3f}")
+    print("-> under FlexBus saturation, the PMU-visible request frequency")
+    print("   is a faithful runtime estimator of each tenant's bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

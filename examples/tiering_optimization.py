@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Case-7 style scenario: use PathFinder to drive memory tiering.
+
+A GUPS-like workload with a hot set sits half on local DDR, half on the
+CXL node.  We compare four placements, reproducing section 5.8's
+progression:
+
+* static      - no migration;
+* TPP         - hot-page promotion / cold-page demotion;
+* TPP+Colloid - Colloid's latency-ratio control modulates TPP's budget;
+* TPP+dynamic - the paper's PathFinder-assisted variant: PFBuilder's CHA
+                miss ratios pick the dominant request type, whose per-tier
+                latency replaces Colloid's fixed DRd signal.
+
+Run:  python examples/tiering_optimization.py
+"""
+
+from repro.sim import Machine, spr_config
+from repro.tiering import TPP, Colloid, ColloidConfig, DynamicColloid, TPPConfig
+from repro.workloads import HotColdAccess
+
+
+def run(variant: str) -> dict:
+    machine = Machine(spr_config(num_cores=2))
+    workload = HotColdAccess(
+        name="gups", num_ops=16000, working_set_bytes=3 << 20,
+        hot_fraction=1.0 / 3.0, hot_probability=0.9, read_ratio=0.5,
+        gap=3.0, seed=11,
+    )
+    workload.install_interleaved(
+        machine, machine.local_node.node_id, machine.cxl_node.node_id, 0.5
+    )
+    tpp_config = TPPConfig(
+        epoch_cycles=10_000.0, promote_per_epoch=16, hot_threshold=1.5
+    )
+    tpp = TPP(machine, tpp_config, enabled=variant != "static")
+    controller = None
+    if variant == "tpp+colloid":
+        controller = Colloid(machine, tpp, ColloidConfig(epoch_cycles=10_000.0))
+    elif variant == "tpp+dynamic":
+        controller = DynamicColloid(
+            machine, tpp, ColloidConfig(epoch_cycles=10_000.0)
+        )
+    machine.pin(0, iter(workload))
+    machine.run(max_events=80_000_000)
+    assert machine.all_idle
+    return {
+        "cycles": machine.now,
+        "throughput": workload.num_ops / machine.now * 1000,
+        "promotions": tpp.stats.promotions,
+        "demotions": tpp.stats.demotions,
+        "controller": controller,
+    }
+
+
+def main() -> None:
+    print(f"{'variant':<14} {'cycles':>10} {'ops/kcyc':>9} "
+          f"{'promoted':>9} {'demoted':>8}")
+    results = {}
+    for variant in ("static", "tpp", "tpp+colloid", "tpp+dynamic"):
+        data = run(variant)
+        results[variant] = data
+        print(f"{variant:<14} {data['cycles']:>10.0f} "
+              f"{data['throughput']:>9.1f} {data['promotions']:>9d} "
+              f"{data['demotions']:>8d}")
+    speedup = results["static"]["cycles"] / results["tpp+dynamic"]["cycles"]
+    print(f"\nstatic -> tpp+dynamic speedup: {speedup:.2f}x")
+    dynamic = results["tpp+dynamic"]["controller"]
+    if dynamic is not None and dynamic.chosen_family:
+        from collections import Counter
+        picks = Counter(dynamic.chosen_family)
+        print(f"dominant request types chosen per phase: {dict(picks)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Export every benchmark table as CSV.
+
+Runs the benchmark suite (or parses an existing ``-s`` capture) and turns
+each ``=== title ===`` table into ``results/<slug>.csv`` for plotting.
+
+Usage:
+    python scripts/export_figures.py                 # run benches, export
+    python scripts/export_figures.py bench_out.txt   # parse a capture
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks() -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+         "-q", "-s"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.stdout
+
+
+def parse_tables(text: str) -> List[Tuple[str, List[List[str]]]]:
+    tables: List[Tuple[str, List[List[str]]]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = re.match(r"^=== (.+) ===$", lines[i])
+        if not match:
+            i += 1
+            continue
+        title = match.group(1)
+        i += 1
+        rows: List[List[str]] = []
+        while i < len(lines):
+            line = lines[i].rstrip()
+            if not line or line.startswith(("===", ".", "-", "=")):
+                break
+            # Columns are two-plus-space separated.
+            rows.append(re.split(r"\s{2,}", line.strip()))
+            i += 1
+        if len(rows) >= 2:
+            tables.append((title, rows))
+    return tables
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:80]
+
+
+def export(tables: List[Tuple[str, List[List[str]]]], out_dir: Path) -> int:
+    out_dir.mkdir(exist_ok=True)
+    written = 0
+    for title, rows in tables:
+        path = out_dir / f"{slugify(title)}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([f"# {title}"])
+            for row in rows:
+                writer.writerow(row)
+        written += 1
+        print(f"wrote {path}")
+    return written
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        text = Path(sys.argv[1]).read_text()
+    else:
+        text = run_benchmarks()
+    tables = parse_tables(text)
+    if not tables:
+        print("no tables found", file=sys.stderr)
+        return 1
+    written = export(tables, ROOT / "results")
+    print(f"{written} tables exported")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

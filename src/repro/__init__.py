@@ -1,0 +1,21 @@
+"""PathFinder reproduction: a CXL.mem profiler over a simulated server.
+
+Reproduces "Understanding and Profiling CXL.mem Using PathFinder"
+(SIGCOMM 2025).  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, pmu, sim, tiering, tsdb, workloads  # noqa: F401
+
+__all__ = [
+    "baselines",
+    "core",
+    "pmu",
+    "sim",
+    "tiering",
+    "tsdb",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the PathFinder CLI."""
+
+import sys
+
+from .core.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

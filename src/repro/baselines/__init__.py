@@ -1,0 +1,24 @@
+"""Baseline profilers the paper positions PathFinder against (section 2.3).
+
+* :mod:`repro.baselines.tma` - the Top-Down Analysis method used by Intel
+  VTune / AMD uProf: finds "memory bound" but cannot attribute it to CXL;
+* :mod:`repro.baselines.naive` - proportional stall splitting by miss
+  target counts, the approach section 5.3 calls inaccurate.
+
+Both consume the same PMU snapshots as PathFinder, so the ablation
+benches can compare all three against a differential-simulation ground
+truth.
+"""
+
+from .naive import COMPONENTS as NAIVE_COMPONENTS
+from .naive import NaiveBreakdown, naive_attribution, naive_total_cxl_stall
+from .tma import TMAReport, topdown
+
+__all__ = [
+    "NAIVE_COMPONENTS",
+    "NaiveBreakdown",
+    "TMAReport",
+    "naive_attribution",
+    "naive_total_cxl_stall",
+    "topdown",
+]

@@ -1,0 +1,68 @@
+"""Naive proportional stall attribution - the strawman of section 5.3.
+
+"In a mixed memory traffic scenario, PMU stall cycle counters capture the
+combined impact of both local and CXL memory paths.  Separating stalls
+based solely on the proportion of request miss targets is inaccurate."
+
+This module implements exactly that inaccurate splitter: take each stall
+counter and multiply by the *count* share of CXL-served responses, with
+no latency weighting, no level-increment differencing and no bottom-up
+back-propagation.  The ablation bench compares it against PFEstimator
+under a differential-simulation ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..pmu.views import CorePMUView
+
+COMPONENTS = ("SB", "L1D", "LFB", "L2", "LLC")
+
+
+@dataclass(frozen=True)
+class NaiveBreakdown:
+    core_id: int
+    cxl_count_share: float
+    per_component: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_component.values())
+
+
+def naive_attribution(
+    delta: Mapping[Tuple[str, str], float], core_id: int
+) -> NaiveBreakdown:
+    """Split every stall counter by the CXL share of offcore responses."""
+    view = CorePMUView(delta, core_id)
+    cxl = 0.0
+    total = 0.0
+    for family in ("DRd", "RFO"):
+        cxl += view.ocr(family, "cxl_dram")
+        total += view.ocr(family, "any_response")
+    share = cxl / total if total > 0 else 0.0
+    per_component = {
+        "SB": (view.sb_stall_rd_wr + view.sb_stall_wr_only) * share,
+        "L1D": view.l1_stall_cycles * share,
+        "LFB": view.lfb_full_stall * share,
+        "L2": view.l2_stall_cycles * share,
+        "LLC": view.l3_stall_cycles * share,
+    }
+    return NaiveBreakdown(
+        core_id=core_id, cxl_count_share=share, per_component=per_component
+    )
+
+
+def naive_total_cxl_stall(
+    delta: Mapping[Tuple[str, str], float], core_id: int
+) -> float:
+    """The naive estimate of total CXL-induced stall on one core.
+
+    Note the double counting: the nested stalls_l1d/l2/l3 counters overlap,
+    so summing their scaled values overstates - one of the two failure
+    modes (the other is ignoring the latency asymmetry between a CXL and a
+    DDR response of equal count).
+    """
+    return naive_attribution(delta, core_id).total

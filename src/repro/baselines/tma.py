@@ -1,0 +1,107 @@
+"""Top-Down Analysis (TMA) baseline.
+
+Intel VTune / AMD uProf diagnose pipeline bottlenecks with Yasin's
+Top-Down method (ISPASS'14): divide pipeline slots hierarchically into
+retiring / bad-speculation / frontend-bound / backend-bound, then drill
+backend-bound into core-bound vs memory-bound and memory-bound into
+L1/L2/L3/DRAM-bound.  Section 2.3 names this the state of the art for
+on-chip profiling - and its limitation: it stops at "DRAM bound" and
+*cannot associate core-level inefficiency with off-chip CXL access*.
+
+This module implements the memory-side slice of TMA over the same PMU
+counters PathFinder uses, both as a comparison baseline for the ablation
+benches and as a sanity check (TMA's memory-bound share should explode
+when an app moves to CXL, without saying why).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..pmu.views import CorePMUView
+
+
+@dataclass(frozen=True)
+class TMAReport:
+    """Level-1/2 top-down buckets for one core over one epoch (fractions
+    of total cycles; the memory hierarchy split follows TMA level 3)."""
+
+    core_id: int
+    cycles: float
+    retiring: float
+    memory_bound: float
+    store_bound: float
+    l1_bound: float
+    l2_bound: float
+    l3_bound: float
+    dram_bound: float
+
+    @property
+    def backend_bound(self) -> float:
+        return self.memory_bound + self.store_bound
+
+    def dominant(self) -> str:
+        buckets = {
+            "retiring": self.retiring,
+            "store_bound": self.store_bound,
+            "l1_bound": self.l1_bound,
+            "l2_bound": self.l2_bound,
+            "l3_bound": self.l3_bound,
+            "dram_bound": self.dram_bound,
+        }
+        return max(buckets, key=buckets.get)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "retiring": self.retiring,
+            "memory_bound": self.memory_bound,
+            "store_bound": self.store_bound,
+            "l1_bound": self.l1_bound,
+            "l2_bound": self.l2_bound,
+            "l3_bound": self.l3_bound,
+            "dram_bound": self.dram_bound,
+        }
+
+
+def topdown(delta: Mapping[Tuple[str, str], float], core_id: int,
+            cycles: float) -> TMAReport:
+    """Compute the TMA memory slice from one epoch's counter delta.
+
+    Uses the canonical counter expressions: ``lX_bound`` is the stall
+    increment between outstanding-miss levels (stalls_l1d - stalls_l2 is
+    time stalled on data that L2 ultimately supplied, and so on), and
+    ``dram_bound`` is the L3-miss residue - which on a CXL-backed app is
+    really CXL time, but TMA has no counter to tell the difference.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    view = CorePMUView(delta, core_id)
+    stall_l1 = view.l1_stall_cycles
+    stall_l2 = view.l2_stall_cycles
+    stall_l3 = view.l3_stall_cycles
+    store = view.sb_stall_rd_wr + view.sb_stall_wr_only
+    l1_bound = max(0.0, stall_l1 - stall_l2)
+    l2_bound = max(0.0, stall_l2 - stall_l3)
+    l3_share = 0.0
+    dram_bound = stall_l3
+    # TMA splits L3-bound from DRAM-bound with the L3 hit/miss ratio.
+    hits = view.ocr("DRd", "l3_hit") + view.ocr("DRd", "snc_cache")
+    total = view.ocr("DRd", "any_response")
+    if total > 0:
+        l3_share = hits / total
+    l3_bound = stall_l3 * l3_share
+    dram_bound = stall_l3 * (1.0 - l3_share)
+    memory_bound = l1_bound + l2_bound + l3_bound + dram_bound
+    busy = max(0.0, cycles - memory_bound - store)
+    return TMAReport(
+        core_id=core_id,
+        cycles=cycles,
+        retiring=busy / cycles,
+        memory_bound=memory_bound / cycles,
+        store_bound=store / cycles,
+        l1_bound=l1_bound / cycles,
+        l2_bound=l2_bound / cycles,
+        l3_bound=l3_bound / cycles,
+        dram_bound=dram_bound / cycles,
+    )

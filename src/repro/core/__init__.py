@@ -1,0 +1,63 @@
+"""PathFinder: the paper's primary contribution.
+
+Snapshot-based, path-driven profiling of CXL.mem built from four
+techniques (section 4): PFBuilder constructs the per-snapshot path map,
+PFEstimator back-propagates CXL-induced stall cycles from the DIMM to the
+core, PFAnalyzer estimates per-component queue lengths via Little's law
+and flags the culprit path, and PFMaterializer synthesises behaviour
+across snapshots through a time-series database.
+"""
+
+from .analyzer import ANALYZER_COMPONENTS, AnalyzerReport, PFAnalyzer, QueueEstimate
+from .builder import CORE_COMPONENTS, FAMILIES, PFBuilder, PathMap, UNCORE_COMPONENTS
+from .estimator import COMPONENTS as STALL_COMPONENTS
+from .diff import MetricDelta, SessionDiff, compare_sessions, render_diff
+from .estimator import PFEstimator, StallBreakdown
+from .materializer import LocalityReport, PFMaterializer
+from .mflow import MFlow, MFlowRegistry
+from .persistence import LoadedSession, load_session, save_session
+from .profiler import EpochResult, PathFinder, ProfileResult, profile
+from .report import render_epoch, render_path_map, render_queues, render_session, render_stall_breakdown
+from .snapshot import Snapshot, SnapshotTaker
+from .spec import AppSpec, ProfileSpec, ProfilingMode, ReportSpec
+
+__all__ = [
+    "ANALYZER_COMPONENTS",
+    "AnalyzerReport",
+    "AppSpec",
+    "CORE_COMPONENTS",
+    "EpochResult",
+    "FAMILIES",
+    "LoadedSession",
+    "LocalityReport",
+    "MFlow",
+    "MetricDelta",
+    "MFlowRegistry",
+    "PFAnalyzer",
+    "PFBuilder",
+    "PFEstimator",
+    "PFMaterializer",
+    "PathFinder",
+    "PathMap",
+    "ProfileResult",
+    "ProfileSpec",
+    "ProfilingMode",
+    "QueueEstimate",
+    "ReportSpec",
+    "STALL_COMPONENTS",
+    "SessionDiff",
+    "Snapshot",
+    "SnapshotTaker",
+    "StallBreakdown",
+    "compare_sessions",
+    "load_session",
+    "render_diff",
+    "save_session",
+    "UNCORE_COMPONENTS",
+    "profile",
+    "render_epoch",
+    "render_path_map",
+    "render_queues",
+    "render_session",
+    "render_stall_breakdown",
+]

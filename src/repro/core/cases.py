@@ -1,0 +1,210 @@
+"""Compact, scripted versions of the paper's seven case studies.
+
+Each function runs a down-sized version of one section 5 case on the
+simulated machine and prints the same story the paper tells.  They power
+``pathfinder case --id N`` and serve as executable documentation; the
+full-size versions with shape assertions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..sim.machine import Machine
+from ..sim.topology import spr_config
+from ..tiering import TPP, TPPConfig
+from ..tsdb import pearsonr
+from ..workloads import (
+    HotColdAccess,
+    MBW,
+    SequentialStream,
+    ZipfAccess,
+    build_app,
+)
+from .profiler import PathFinder, ProfileResult
+from .report import render_path_map, render_stall_breakdown
+from .spec import AppSpec, ProfileSpec
+
+
+def _profile(machine: Machine, apps: List[AppSpec], epoch: float = 25_000.0,
+             max_epochs: int = 60) -> ProfileResult:
+    profiler = PathFinder(
+        machine, ProfileSpec(apps=apps, epoch_cycles=epoch,
+                             max_epochs=max_epochs)
+    )
+    result = profiler.run()
+    result.profiler = profiler  # convenient back-reference for the cases
+    return result
+
+
+def case1_path_classification(ops: int = 8000) -> None:
+    """Case 1 (section 5.2): PFBuilder path maps for fotonik3d on CXL."""
+    machine = Machine(spr_config(num_cores=2))
+    app = AppSpec(
+        workload=build_app("649.fotonik3d_s", num_ops=ops),
+        core=0, membind=machine.cxl_node.node_id,
+    )
+    result = _profile(machine, [app])
+    print(render_path_map(result.final.path_map, core_id=0))
+    share = result.final.path_map.family_share_at_cxl()
+    print(f"\nHWPF share of CXL hits: {share['HWPF']*100:.1f}% "
+          "(paper: 89.1%) - prefetch dominates the CXL DIMM traffic.")
+
+
+def case2_stall_breakdown(ops: int = 8000) -> None:
+    """Case 2 (section 5.3): PFEstimator breakdown for fft on CXL."""
+    machine = Machine(spr_config(num_cores=2))
+    app = AppSpec(
+        workload=build_app("fft", num_ops=ops),
+        core=0, membind=machine.cxl_node.node_id,
+    )
+    result = _profile(machine, [app])
+    print(render_stall_breakdown(result.final.stalls))
+    shares = result.final.stalls.shares("DRd")
+    uncore = shares["FlexBus+MC"] + shares["CXL_DIMM"]
+    print(f"\nuncore share of DRd stall: {uncore*100:.1f}% "
+          "(paper fft: 83.0%) - stalls concentrate beyond the LLC.")
+
+
+def case3_interference(ops: int = 5000) -> None:
+    """Case 3 (section 5.4): local vs CXL mFlow on one core."""
+    from ..workloads import InterleavedFlows
+
+    for load in (0.2, 1.0):
+        machine = Machine(spr_config(num_cores=2))
+        local = SequentialStream(name="l", num_ops=ops,
+                                 working_set_bytes=1 << 21, gap=3.0, seed=3)
+        cxl = SequentialStream(name="c", num_ops=max(1, int(ops * load)),
+                               working_set_bytes=1 << 21, gap=3.0, seed=17)
+        mixed = InterleavedFlows(local, cxl, secondary_fraction=load / 2.0)
+        mixed.primary.install(machine, machine.local_node.node_id)
+        mixed.secondary.install(machine, machine.cxl_node.node_id)
+        app = AppSpec(workload=mixed, core=0,
+                      preinstalled=[machine.local_node.node_id,
+                                    machine.cxl_node.node_id])
+        result = _profile(machine, [app])
+        total = sum(
+            sum(e.stalls.aggregate("DRd").values()) for e in result.epochs
+        )
+        print(f"CXL load {int(load*100):3d}%: CXL-induced DRd stall "
+              f"{total:10.0f} cycles")
+    print("-> in-core stall grows with the CXL share while the uncore "
+          "stays uncongested (one core cannot saturate the FlexBus).")
+
+
+def case4_contention(ops: int = 3000) -> None:
+    """Case 4 (section 5.5): neighbour CXL flows crush a YCSB flow."""
+    for neighbours in (0, 3):
+        machine = Machine(spr_config(num_cores=4))
+        ycsb = ZipfAccess(name="ycsb", num_ops=ops,
+                          working_set_bytes=1 << 22, gap=2.0, seed=5)
+        apps = [AppSpec(workload=ycsb, core=0,
+                        membind=machine.cxl_node.node_id)]
+        for i in range(neighbours):
+            stream = SequentialStream(
+                name=f"n{i}", num_ops=4 * ops, working_set_bytes=1 << 22,
+                gap=0.5, seed=40 + i,
+            )
+            apps.append(AppSpec(workload=stream, core=1 + i,
+                                membind=machine.cxl_node.node_id))
+        result = _profile(machine, apps)
+        flow = next(f for f in result.flows if f.pid == apps[0].pid)
+        tput = ops / (flow.ended_at or result.total_cycles) * 1000
+        culprit = result.final.queues.culprit()
+        where = f"{culprit.path}@{culprit.component}" if culprit else "-"
+        print(f"{neighbours} neighbours: YCSB {tput:6.1f} ops/kcyc, "
+              f"culprit {where}")
+    print("-> contention manifests first at the shared FlexBus+MC.")
+
+
+def case5_bandwidth(ops: int = 6000) -> None:
+    """Case 5 (section 5.6): bandwidth partition among MBW tenants."""
+    machine = Machine(spr_config(num_cores=4))
+    apps, tenants = [], []
+    for i, (gap, apl) in enumerate(((6.0, 8), (4.0, 4), (2.0, 2), (0.5, 1))):
+        tenant = MBW(name=f"mbw{i}", num_ops=ops, working_set_bytes=1 << 22,
+                     rate_gap=gap, accesses_per_line=apl, seed=60 + i)
+        tenants.append(tenant)
+        apps.append(AppSpec(workload=tenant, core=i,
+                            membind=machine.cxl_node.node_id))
+    result = _profile(machine, apps, max_epochs=80)
+    flows = {f.core_id: f for f in result.flows}
+    freqs, bws = [], []
+    for i, tenant in enumerate(tenants):
+        requests = sum(
+            v for e in result.epochs
+            for (scope, event), v in e.snapshot.delta.items()
+            if scope == f"core{i}" and event.endswith(".cxl_dram")
+        )
+        lifetime = flows[i].ended_at or result.total_cycles
+        freqs.append(requests / lifetime)
+        bws.append(tenant.num_ops * 64.0 / tenant.accesses_per_line / lifetime)
+        print(f"MBW-{i+1}: req freq {freqs[-1]*1000:6.2f}/kcyc, "
+              f"bandwidth {bws[-1]:5.2f} B/cyc")
+    print(f"Pearson(freq, bandwidth) = {pearsonr(freqs, bws):.3f} "
+          "(paper: 0.998)")
+
+
+def case6_locality(ops: int = 20000) -> None:
+    """Case 6 (section 5.7): a CXL neighbour disturbs a victim's LLC."""
+    machine = Machine(
+        spr_config(num_cores=3, l2_size=512 * 1024, llc_size=4 << 20)
+    )
+    victim = ZipfAccess(name="victim", num_ops=ops,
+                        working_set_bytes=4 << 20, theta=0.6, gap=3.0, seed=9)
+    apps = [
+        AppSpec(workload=victim, core=0, membind=machine.local_node.node_id),
+        AppSpec(
+            workload=build_app("554.roms_r", num_ops=ops // 2, seed=13),
+            core=1, membind=machine.cxl_node.node_id, start_at=60_000.0,
+        ),
+    ]
+    result = _profile(machine, apps, epoch=10_000.0, max_epochs=80)
+    profiler = result.profiler
+    before, after = profiler.materializer.locality_shift(
+        apps[0].pid, 60_000.0, dst="LLC"
+    )
+    print(f"victim LLC hits/epoch: before launch {before:.1f}, "
+          f"after {after:.1f}")
+    report = profiler.materializer.locality(apps[0].pid, component="LLC")
+    print(f"stable phases detected: {len(report.windows)}")
+
+
+def case7_tpp(ops: int = 12000) -> None:
+    """Case 7 (section 5.8): TPP guided by page temperature."""
+    for enabled in (False, True):
+        machine = Machine(spr_config(num_cores=2))
+        gups = HotColdAccess(name="gups", num_ops=ops,
+                             working_set_bytes=3 << 20, hot_probability=0.9,
+                             read_ratio=0.5, gap=3.0, seed=21)
+        tpp = TPP(machine, TPPConfig(epoch_cycles=10_000.0,
+                                     promote_per_epoch=128,
+                                     hot_threshold=1.5), enabled=enabled)
+        app = AppSpec(workload=gups, core=0,
+                      interleave=(machine.local_node.node_id,
+                                  machine.cxl_node.node_id, 0.5))
+        result = _profile(machine, [app], max_epochs=120)
+        flow_end = max((f.ended_at or result.total_cycles)
+                       for f in result.flows)
+        print(f"TPP {'on ' if enabled else 'off'}: {flow_end:9.0f} cycles, "
+              f"{tpp.stats.promotions} promotions")
+    print("-> promotion of the hot set collapses CXL traffic (paper: 3.0x).")
+
+
+CASES: Dict[int, Callable[[], None]] = {
+    1: case1_path_classification,
+    2: case2_stall_breakdown,
+    3: case3_interference,
+    4: case4_contention,
+    5: case5_bandwidth,
+    6: case6_locality,
+    7: case7_tpp,
+}
+
+
+def run_case(case_id: int) -> None:
+    if case_id not in CASES:
+        raise KeyError(f"unknown case {case_id}; choose 1-7")
+    fn = CASES[case_id]
+    print(f"### Case {case_id}: {fn.__doc__.splitlines()[0]}\n")
+    fn()

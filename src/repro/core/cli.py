@@ -1,0 +1,136 @@
+"""PathFinder command-line interface.
+
+Mirrors the paper's CLI utility: pick applications from the Table 6
+catalog, pin them to cores, bind their memory to the local or CXL node,
+and run a profiling session with periodic reports.
+
+Examples::
+
+    pathfinder run --app 519.lbm_r --node cxl --ops 20000
+    pathfinder run --app fft --app barnes --node cxl --epoch 100000
+    pathfinder list-apps --suite GAPBS
+    pathfinder list-events --group cha
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..pmu.events import ALL_EVENTS, events_in_group
+from ..sim.machine import Machine
+from ..sim.topology import emr_config, spr_config
+from ..workloads.suites import APPLICATIONS, build_app, suite_names
+from .profiler import PathFinder
+from .report import render_epoch, render_session
+from .spec import AppSpec, ProfileSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pathfinder",
+        description="CXL.mem profiler over a simulated SPR/EMR server",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="profile one or more applications")
+    run.add_argument(
+        "--app", action="append", required=True,
+        help="application name from the catalog (repeatable)",
+    )
+    run.add_argument(
+        "--node", choices=["local", "cxl"], default="cxl",
+        help="memory node to bind the working sets to",
+    )
+    run.add_argument("--ops", type=int, default=10000, help="ops per app")
+    run.add_argument("--epoch", type=float, default=50000.0,
+                     help="profiling epoch length in cycles")
+    run.add_argument("--machine", choices=["spr", "emr"], default="spr")
+    run.add_argument("--cores", type=int, default=None,
+                     help="number of simulated cores")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--per-epoch", action="store_true",
+                     help="print every epoch, not just the final one")
+
+    apps = sub.add_parser("list-apps", help="show the application catalog")
+    apps.add_argument("--suite", default=None)
+
+    events = sub.add_parser("list-events", help="show the PMU event catalog")
+    events.add_argument(
+        "--group", choices=["core", "cha", "uncore", "cxl"], default=None
+    )
+
+    case = sub.add_parser(
+        "case", help="run a compact version of one paper case study (1-7)"
+    )
+    case.add_argument("--id", type=int, required=True, choices=range(1, 8))
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    cores = args.cores or max(2, len(args.app))
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    machine = Machine(config_fn(num_cores=cores))
+    node = (
+        machine.cxl_node.node_id if args.node == "cxl"
+        else machine.local_node.node_id
+    )
+    specs: List[AppSpec] = []
+    for i, name in enumerate(args.app):
+        workload = build_app(name, num_ops=args.ops, seed=args.seed + i)
+        specs.append(AppSpec(workload=workload, core=i, membind=node))
+    profiler = PathFinder(machine, ProfileSpec(apps=specs, epoch_cycles=args.epoch))
+    result = profiler.run()
+    if args.per_epoch:
+        for epoch_result in result.epochs:
+            print(render_epoch(epoch_result))
+    print(render_session(result))
+    return 0
+
+
+def _cmd_list_apps(args: argparse.Namespace) -> int:
+    names = suite_names(args.suite)
+    if not names:
+        print(f"no applications in suite {args.suite!r}", file=sys.stderr)
+        return 2
+    for name in names:
+        spec = APPLICATIONS[name]
+        print(
+            f"{name:<22} {spec.suite:<14} ws={spec.working_set_mb:9.1f}MB"
+            f" pattern={spec.pattern}"
+        )
+    return 0
+
+
+def _cmd_list_events(args: argparse.Namespace) -> int:
+    events = events_in_group(args.group) if args.group else ALL_EVENTS
+    for event in events:
+        print(f"{event.name:<52} {event.group:<7} {event.scope_kind:<12}"
+              f" paths={','.join(event.paths) or '-'}")
+    print(f"total: {len(events)} events")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list-apps":
+        return _cmd_list_apps(args)
+    if args.command == "list-events":
+        return _cmd_list_events(args)
+    if args.command == "case":
+        from .cases import run_case
+
+        run_case(args.id)
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""PFEstimator: CXL-induced pipeline-stall breakdown (section 4.4, ALG 2).
+
+Mixed local/CXL traffic shares every stall counter, so splitting stalls by
+miss-target proportion alone is inaccurate.  PFEstimator instead walks the
+data path *bottom-up*, the way reverse traceroute reconstructs a path from
+the far end:
+
+1. **CXL DIMM / FlexBus RC / host uncore / CHA** (ALG 2 lines 2-27): the
+   per-request residency beyond the LLC is profiled from the uncore
+   counters - packing-buffer and device-MC occupancy at the DIMM, ingress
+   and link-serialisation occupancy at the root port, TOR occupancy of
+   CXL-bound misses at the CHA - and normalised into fractions of the
+   core-observed CXL load latency.  (IMC RPQ/WPQ occupancy attributed to
+   the CXL DIMM is ~zero because CXL bypasses the IMC, Figure 4-a.)
+2. **In-core (LLC -> L2 -> LFB -> L1D -> SB)**: the nested stall counters
+   are differenced so each level is charged only the stall *increment* it
+   adds (``stalls_l1d - stalls_l2`` is the stall served by L2, and so on);
+   the final ``stalls_l3`` residue - time actually spent waiting beyond
+   the LLC - is distributed over LLC/CHA/FlexBus+MC/CXL-DIMM using the
+   stage-1 residency fractions.  Each level's stall is further scaled by
+   the latency-weighted CXL share of its traffic, so a slow CXL fill
+   outweighs several fast DDR fills.
+
+Per-path splitting at levels where the core PMU cannot distinguish access
+types (section 5.9) uses each path's miss counts at that level as weights,
+mirroring the real tool's necessity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..pmu.views import (
+    CHAPMUView,
+    CXLDeviceView,
+    CorePMUView,
+    IMCView,
+    M2PCIeView,
+    core_ids,
+    cxl_node_ids,
+)
+from .snapshot import Snapshot
+
+COMPONENTS = ("SB", "L1D", "LFB", "L2", "LLC", "CHA", "FlexBus+MC", "CXL_DIMM")
+FAMILIES = ("DRd", "RFO", "HWPF", "DWr")
+
+# White-box split of the downstream *service* time (the part that is pure
+# latency, not queueing) between the link complex and the device: two link
+# crossings vs controller + media.  Section 4.5 sanctions white-box
+# modelling of opaque hardware.
+_LINK_SERVICE_SHARE = 0.45
+
+
+@dataclass
+class StallBreakdown:
+    """CXL-induced stall cycles per (core, path family, component)."""
+
+    snapshot_id: int
+    per_core: Dict[int, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def aggregate(self, family: str) -> Dict[str, float]:
+        out = {component: 0.0 for component in COMPONENTS}
+        for core_stats in self.per_core.values():
+            for component, value in core_stats.get(family, {}).items():
+                out[component] += value
+        return out
+
+    def shares(self, family: str) -> Dict[str, float]:
+        """Figure 6's percentage view: each component's share of the total."""
+        agg = self.aggregate(family)
+        total = sum(agg.values())
+        if total <= 0:
+            return {component: 0.0 for component in COMPONENTS}
+        return {component: value / total for component, value in agg.items()}
+
+    def core_total(self, core_id: int, family: str) -> float:
+        return sum(self.per_core.get(core_id, {}).get(family, {}).values())
+
+    def component(self, family: str, component: str) -> float:
+        return self.aggregate(family).get(component, 0.0)
+
+    def uncore_fraction(self, family: str) -> float:
+        """Share of stalls at FlexBus+MC and the DIMM (fft: ~83% for DRd)."""
+        shares = self.shares(family)
+        return shares["FlexBus+MC"] + shares["CXL_DIMM"]
+
+
+@dataclass
+class DownstreamProfile:
+    """Per-CXL-request residency fractions beyond the LLC lookup."""
+
+    frac_llc: float = 0.0
+    frac_cha: float = 0.0
+    frac_flex: float = 0.0
+    frac_dimm: float = 0.0
+    mean_cxl_latency: float = 0.0
+
+    @property
+    def valid(self) -> bool:
+        return self.mean_cxl_latency > 0
+
+
+class PFEstimator:
+    """Runs the ALG-2 back-propagation over one snapshot."""
+
+    def __init__(self, socket: int = 0) -> None:
+        self.socket = socket
+
+    # -- public API ---------------------------------------------------------
+
+    def breakdown(
+        self, snapshot: Snapshot, cxl_node_id: Optional[int] = None
+    ) -> StallBreakdown:
+        delta = snapshot.delta
+        nodes = cxl_node_ids(delta)
+        if cxl_node_id is not None:
+            nodes = [n for n in nodes if n == cxl_node_id]
+        cores = core_ids(delta)
+        result = StallBreakdown(snapshot_id=snapshot.snapshot_id)
+        core_views = {cid: CorePMUView(delta, cid) for cid in cores}
+        cha = CHAPMUView(delta, self.socket)
+        profile = self._downstream_profile(delta, nodes, core_views, cha)
+        for cid in cores:
+            view = core_views[cid]
+            result.per_core[cid] = {
+                family: self._attribute(view, family, profile)
+                for family in FAMILIES
+            }
+        return result
+
+    @staticmethod
+    def _cxl_responses(view: CorePMUView, family: str) -> float:
+        """CXL-served responses of one family on one core (ocr counters)."""
+        if family == "HWPF":
+            return (
+                view.ocr("HWPF", "cxl_dram")
+                + view.ocr("HWPF_L1", "cxl_dram")
+                + view.ocr("HWPF_RFO", "cxl_dram")
+            )
+        return view.ocr(family, "cxl_dram")
+
+    # -- stages 1-4: downstream residency profile -------------------------------
+
+    def _downstream_profile(
+        self,
+        delta,
+        nodes: List[int],
+        core_views: Mapping[int, CorePMUView],
+        cha: CHAPMUView,
+    ) -> DownstreamProfile:
+        """ALG 2 lines 2-27 condensed into per-request residencies."""
+        served = 0.0
+        flex_queue = dimm_queue = 0.0
+        for node in nodes:
+            device = CXLDeviceView(delta, node)
+            m2p = M2PCIeView(delta, node)
+            served += m2p.data_responses + m2p.write_acks
+            flex_queue += m2p.ingress_occupancy + m2p.get("unc_m2p_link_occupancy")
+            dimm_queue += (
+                device.pack_buf_occupancy("mem_req")
+                + device.pack_buf_occupancy("mem_data")
+                + device.mc_occupancy
+            )
+        # Stage 3 (host uncore): IMC occupancy attributed to the CXL DIMM.
+        # CXL traffic bypasses the IMC (Figure 4-a), so this term is zero;
+        # the call documents ALG 2 line 21.
+        _ = IMCView(delta, 0)
+        if served <= 0:
+            return DownstreamProfile()
+        q_flex = flex_queue / served
+        q_dimm = dimm_queue / served
+        # Core-observed mean latencies (load-latency sampling).
+        cxl_lat = self._weighted_latency(core_views, ("CXL_DRAM",))
+        llc_lat = self._weighted_latency(core_views, ("local_LLC", "snc_LLC"))
+        if cxl_lat <= 0:
+            return DownstreamProfile()
+        if llc_lat <= 0:
+            llc_lat = 0.15 * cxl_lat  # cold-LLC fallback: nominal lookup cost
+        # CHA own queueing: TOR residency minus everything downstream of it.
+        tor_occ = sum(
+            cha.tor_occupancy(family, "miss_cxl")
+            for family in ("DRd", "RFO", "HWPF")
+        )
+        tor_n = sum(
+            cha.tor_inserts(family, "miss_cxl")
+            for family in ("DRd", "RFO", "HWPF")
+        )
+        per_req_tor = tor_occ / tor_n if tor_n > 0 else 0.0
+        service_rest = max(0.0, cxl_lat - llc_lat - q_flex - q_dimm)
+        cha_own = max(0.0, per_req_tor - q_flex - q_dimm - service_rest - llc_lat)
+        flex_total = q_flex + _LINK_SERVICE_SHARE * service_rest
+        dimm_total = q_dimm + (1.0 - _LINK_SERVICE_SHARE) * service_rest
+        denominator = llc_lat + cha_own + flex_total + dimm_total
+        if denominator <= 0:
+            return DownstreamProfile()
+        return DownstreamProfile(
+            frac_llc=llc_lat / denominator,
+            frac_cha=cha_own / denominator,
+            frac_flex=flex_total / denominator,
+            frac_dimm=dimm_total / denominator,
+            mean_cxl_latency=cxl_lat,
+        )
+
+    @staticmethod
+    def _weighted_latency(
+        core_views: Mapping[int, CorePMUView], locations: Tuple[str, ...]
+    ) -> float:
+        total = count = 0.0
+        for view in core_views.values():
+            for location in locations:
+                mean, n = view.latency_sample(location)
+                total += mean * n
+                count += n
+        return total / count if count else 0.0
+
+    # -- stage 5: in-core back-propagation ---------------------------------------
+
+    def _attribute(
+        self, view: CorePMUView, family: str, profile: DownstreamProfile
+    ) -> Dict[str, float]:
+        out = {component: 0.0 for component in COMPONENTS}
+        if family == "DWr":
+            # SB entries drain when the store's ownership (RFO) or
+            # write-back completes, so the CXL share of the write pipeline
+            # covers both the RFO and the modified-write streams.
+            wb_cxl = view.ocr("DWr", "cxl_dram") + view.ocr("RFO", "cxl_dram")
+            wb_all = view.ocr("DWr", "any_response") + view.ocr(
+                "RFO", "any_response"
+            )
+            share = wb_cxl / wb_all if wb_all > 0 else 0.0
+            out["SB"] = (view.sb_stall_rd_wr + view.sb_stall_wr_only) * share
+            return out
+        if not profile.valid:
+            return out
+        share = self._latency_weighted_cxl_share(view, family)
+        weight = self._path_weight(view, family)
+        l1 = view.l1_stall_cycles
+        l2 = view.l2_stall_cycles
+        l3 = view.l3_stall_cycles
+        fb_full = view.lfb_full_stall
+        # Increment each level adds over the level below it.
+        l1_increment = max(0.0, l1 - l2) * share["l1"] * weight["l1"]
+        lfb_own = min(fb_full * share["l1"] * weight["l1"], l1_increment)
+        out["LFB"] = lfb_own
+        out["L1D"] = l1_increment - lfb_own
+        out["L2"] = max(0.0, l2 - l3) * share["l2"] * weight["l2"]
+        # Residue: stall cycles spent waiting beyond the LLC, split by the
+        # downstream residency profile (stages 1-4).
+        beyond = l3 * share["llc"] * weight["llc"]
+        out["LLC"] = beyond * profile.frac_llc
+        out["CHA"] = beyond * profile.frac_cha
+        out["FlexBus+MC"] = beyond * profile.frac_flex
+        out["CXL_DIMM"] = beyond * profile.frac_dimm
+        return out
+
+    def _latency_weighted_cxl_share(
+        self, view: CorePMUView, family: str
+    ) -> Dict[str, float]:
+        """Fraction of stall pressure attributable to CXL at each level.
+
+        Weight = (CXL responses x CXL latency) / sum over serve locations,
+        so one 700-cycle CXL fill outweighs several 200-cycle DDR fills.
+        """
+        cxl_mean, _count = view.latency_sample("CXL_DRAM")
+        if cxl_mean == 0.0:
+            cxl_mean = 1.0
+        cxl = self._cxl_responses(view, family) * cxl_mean
+        other = 0.0
+        for location, scenario in (
+            ("local_DRAM", "local_dram"),
+            ("remote_DRAM", "remote_dram"),
+            ("local_LLC", "l3_hit"),
+            ("snc_LLC", "snc_cache"),
+            ("remote_LLC", "remote_cache"),
+        ):
+            mean, _n = view.latency_sample(location)
+            other += view.ocr(family, scenario) * (mean if mean > 0 else 1.0)
+        total = cxl + other
+        offcore_share = cxl / total if total > 0 else 0.0
+        return {"l1": offcore_share, "l2": offcore_share, "llc": offcore_share}
+
+    def _path_weight(self, view: CorePMUView, family: str) -> Dict[str, float]:
+        """Split the (access-type-blind) demand stall counters across path
+        families by their miss populations at each level (section 5.9)."""
+        l2_misses = {f: view.l2_misses(f) for f in ("DRd", "RFO", "HWPF")}
+        total_l2 = sum(l2_misses.values())
+        l2_share = l2_misses.get(family, 0.0) / total_l2 if total_l2 > 0 else 0.0
+        # L1-level weights: only DRd is visible at L1D/LFB; RFO/HWPF get the
+        # residual proportional to their L2 presence.
+        return {"l1": l2_share, "l2": l2_share, "llc": l2_share}

@@ -1,0 +1,97 @@
+"""mFlow: the unit of CXL.mem profiling (section 4.2).
+
+A memory flow is ``Core_i <-> DIMM_j``: every load, store and prefetch a
+pinned thread exchanges with one DIMM, in committed order.  It is
+application-dependent (lifetime = workload), location-sensitive (new flow
+on thread migration or first touch of a new DIMM) and bidirectional.  An
+application therefore owns up to ``cores x DIMMs`` flows, and each flow
+accumulates a time-ordered list of snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+_flow_ids = itertools.count(1)
+
+
+@dataclass
+class MFlow:
+    """One Core_i <-> DIMM_j memory flow."""
+
+    pid: int
+    core_id: int
+    node_id: int
+    node_kind: str                  # "local_ddr" | "remote_ddr" | "cxl"
+    app_name: str = ""
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+    created_at: float = 0.0
+    ended_at: Optional[float] = None
+    snapshot_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_cxl(self) -> bool:
+        return self.node_kind == "cxl"
+
+    @property
+    def alive(self) -> bool:
+        return self.ended_at is None
+
+    @property
+    def key(self) -> str:
+        return f"pid{self.pid}.core{self.core_id}.node{self.node_id}"
+
+    def end(self, time: float) -> None:
+        self.ended_at = time
+
+    def attach_snapshot(self, snapshot_id: int) -> None:
+        self.snapshot_ids.append(snapshot_id)
+
+
+class MFlowRegistry:
+    """Tracks live flows; creates one lazily per (pid, core, node)."""
+
+    def __init__(self) -> None:
+        self._flows: dict = {}
+
+    def get_or_create(
+        self,
+        pid: int,
+        core_id: int,
+        node_id: int,
+        node_kind: str,
+        app_name: str = "",
+        now: float = 0.0,
+    ) -> MFlow:
+        key = (pid, core_id, node_id)
+        flow = self._flows.get(key)
+        if flow is None or not flow.alive:
+            flow = MFlow(
+                pid=pid,
+                core_id=core_id,
+                node_id=node_id,
+                node_kind=node_kind,
+                app_name=app_name,
+                created_at=now,
+            )
+            self._flows[key] = flow
+        return flow
+
+    def flows_of(self, pid: Optional[int] = None) -> List[MFlow]:
+        flows = list(self._flows.values())
+        if pid is not None:
+            flows = [f for f in flows if f.pid == pid]
+        return sorted(flows, key=lambda f: f.flow_id)
+
+    def cxl_flows(self) -> List[MFlow]:
+        return [f for f in self._flows.values() if f.is_cxl]
+
+    def end_all(self, pid: int, now: float) -> None:
+        for flow in self._flows.values():
+            if flow.pid == pid and flow.alive:
+                flow.end(now)
+
+    def __len__(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,145 @@
+"""Session persistence: export/import profiling digests as JSON.
+
+The paper layers a time-series database over the profiler so sessions can
+be analysed offline and across runs.  This module provides the file
+format: a compact JSON digest of a :class:`ProfileResult` - per-epoch
+counter deltas (sparse), flow metadata and session parameters - plus a
+loader that reconstitutes snapshots so every technique (PFBuilder,
+PFEstimator, PFAnalyzer, PFMaterializer) can re-run on saved data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .mflow import MFlow
+from .profiler import ProfileResult
+from .snapshot import Snapshot
+
+FORMAT_VERSION = 1
+
+
+def _flow_to_dict(flow: MFlow) -> Dict:
+    return {
+        "flow_id": flow.flow_id,
+        "pid": flow.pid,
+        "core_id": flow.core_id,
+        "node_id": flow.node_id,
+        "node_kind": flow.node_kind,
+        "app_name": flow.app_name,
+        "created_at": flow.created_at,
+        "ended_at": flow.ended_at,
+        "snapshot_ids": list(flow.snapshot_ids),
+    }
+
+
+def _flow_from_dict(data: Dict) -> MFlow:
+    flow = MFlow(
+        pid=data["pid"],
+        core_id=data["core_id"],
+        node_id=data["node_id"],
+        node_kind=data["node_kind"],
+        app_name=data.get("app_name", ""),
+        created_at=data.get("created_at", 0.0),
+    )
+    flow.flow_id = data["flow_id"]
+    flow.ended_at = data.get("ended_at")
+    flow.snapshot_ids = list(data.get("snapshot_ids", []))
+    return flow
+
+
+def save_session(result: ProfileResult, path: Union[str, Path]) -> None:
+    """Write a profiling session digest to ``path`` (JSON)."""
+    flows_by_id = {}
+    epochs = []
+    for epoch in result.epochs:
+        snapshot = epoch.snapshot
+        delta = [
+            [scope, event, value]
+            for (scope, event), value in snapshot.delta.items()
+            if value
+        ]
+        epochs.append(
+            {
+                "epoch": epoch.epoch,
+                "snapshot_id": snapshot.snapshot_id,
+                "t_start": snapshot.t_start,
+                "t_end": snapshot.t_end,
+                "flow_ids": [f.flow_id for f in snapshot.flows],
+                "delta": delta,
+            }
+        )
+        for flow in snapshot.flows:
+            flows_by_id[flow.flow_id] = flow
+    for flow in result.flows:
+        flows_by_id[flow.flow_id] = flow
+    document = {
+        "format_version": FORMAT_VERSION,
+        "total_cycles": result.total_cycles,
+        "flows": [_flow_to_dict(f) for f in flows_by_id.values()],
+        "epochs": epochs,
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_session(path: Union[str, Path]) -> "LoadedSession":
+    """Read a digest back; snapshots are fully reusable by the analyses."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported session format version: {version}")
+    flows = {
+        data["flow_id"]: _flow_from_dict(data)
+        for data in document.get("flows", [])
+    }
+    snapshots: List[Snapshot] = []
+    for epoch in document["epochs"]:
+        delta = {
+            (scope, event): value for scope, event, value in epoch["delta"]
+        }
+        snapshot = Snapshot(
+            t_start=epoch["t_start"],
+            t_end=epoch["t_end"],
+            delta=delta,
+            flows=[flows[fid] for fid in epoch["flow_ids"] if fid in flows],
+        )
+        snapshot.snapshot_id = epoch["snapshot_id"]
+        snapshots.append(snapshot)
+    return LoadedSession(
+        snapshots=snapshots,
+        flows=list(flows.values()),
+        total_cycles=document.get("total_cycles", 0.0),
+    )
+
+
+class LoadedSession:
+    """A reconstituted session: snapshots + flows, analysis-ready."""
+
+    def __init__(
+        self, snapshots: List[Snapshot], flows: List[MFlow], total_cycles: float
+    ) -> None:
+        self.snapshots = snapshots
+        self.flows = flows
+        self.total_cycles = total_cycles
+
+    def reanalyze(self):
+        """Re-run the four techniques offline; returns EpochResult-like
+        tuples of (snapshot, path_map, stalls, queues)."""
+        from .analyzer import PFAnalyzer
+        from .builder import PFBuilder
+        from .estimator import PFEstimator
+
+        builder, estimator, analyzer = PFBuilder(), PFEstimator(), PFAnalyzer()
+        out = []
+        for snapshot in self.snapshots:
+            out.append(
+                (
+                    snapshot,
+                    builder.build(snapshot),
+                    estimator.breakdown(snapshot),
+                    analyzer.analyze(snapshot),
+                )
+            )
+        return out

@@ -1,0 +1,212 @@
+"""PathFinder orchestration (section 4.1's workflow, Figure 5-c).
+
+``PathFinder.run()`` installs the applications on the machine, then drives
+the simulation in scheduling epochs.  At each epoch boundary it takes a
+PMU snapshot, associates it with the live mFlows, and pushes it through
+the four techniques: PFBuilder (path map), PFEstimator (stall breakdown),
+PFAnalyzer (queue/culprit analysis) and PFMaterializer (time-series
+ingestion).  The per-epoch results are collected into an
+:class:`EpochResult` list that the case studies and the CLI render.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+from ..sim.machine import Machine
+from .analyzer import AnalyzerReport, PFAnalyzer
+from .builder import PFBuilder, PathMap
+from .estimator import PFEstimator, StallBreakdown
+from .materializer import PFMaterializer
+from .mflow import MFlow, MFlowRegistry
+from .snapshot import Snapshot, SnapshotTaker
+from .spec import AppSpec, ProfileSpec, ProfilingMode
+
+
+@dataclass
+class EpochResult:
+    """Everything PathFinder derived from one snapshot."""
+
+    epoch: int
+    snapshot: Snapshot
+    path_map: PathMap
+    stalls: StallBreakdown
+    queues: AnalyzerReport
+
+    @property
+    def t_end(self) -> float:
+        return self.snapshot.t_end
+
+
+@dataclass
+class ProfileResult:
+    """A full profiling session: epoch series + final aggregate."""
+
+    epochs: List[EpochResult] = field(default_factory=list)
+    final: Optional[EpochResult] = None
+    flows: List[MFlow] = field(default_factory=list)
+    total_cycles: float = 0.0
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def series(self, fn) -> List[float]:
+        """Map an extractor over the epoch results."""
+        return [fn(e) for e in self.epochs]
+
+
+class PathFinder:
+    """The profiler: wraps a machine and a profiling specification."""
+
+    def __init__(self, machine: Machine, spec: ProfileSpec) -> None:
+        self.machine = machine
+        self.spec = spec
+        self.builder = PFBuilder()
+        self.estimator = PFEstimator()
+        self.analyzer = PFAnalyzer()
+        self.materializer = PFMaterializer()
+        self.flows = MFlowRegistry()
+        self._taker = SnapshotTaker(machine.pmu)
+        self._running_apps: Dict[int, AppSpec] = {}
+        self._pending_starts = 0
+
+    # -- setup -----------------------------------------------------------
+
+    def _install(self, app: AppSpec) -> None:
+        workload = app.workload
+        if app.membind is not None:
+            workload.install(self.machine, app.membind)
+            nodes = [app.membind]
+        elif app.interleave is not None:
+            local, cxl, ratio = app.interleave
+            workload.install_interleaved(self.machine, local, cxl, ratio)
+            nodes = [local, cxl]
+        else:
+            # Caller already placed the pages (e.g. striped across a pool).
+            nodes = list(app.preinstalled)
+        for node_id in nodes:
+            node = self.machine.address_space.node(node_id)
+            self.flows.get_or_create(
+                pid=app.pid,
+                core_id=app.core,
+                node_id=node_id,
+                node_kind=node.kind.value,
+                app_name=app.name,
+                now=self.machine.now,
+            )
+        self._running_apps[app.pid] = app
+
+        def finished(pid=app.pid) -> None:
+            self.flows.end_all(pid, self.machine.now)
+            self._running_apps.pop(pid, None)
+
+        self.machine.pin(app.core, iter(workload), on_done=finished)
+
+    def _deferred_install(self, app: AppSpec) -> None:
+        self._pending_starts -= 1
+        self._install(app)
+
+    # -- thread migration (mFlow location sensitivity, section 4.2) --------
+
+    def migrate(self, pid: int, new_core: int) -> None:
+        """Move a profiled application to another core.
+
+        The old (pid, core, node) flows end and fresh flows begin on the
+        new core - "we would create and initiate a new mFlow when the
+        thread migrates to a new core".
+        """
+        app = self._running_apps.get(pid)
+        if app is None:
+            raise KeyError(f"pid {pid} is not running")
+        old_flows = [f for f in self.flows.flows_of(pid) if f.alive]
+
+        def migrated() -> None:
+            now = self.machine.now
+            for flow in old_flows:
+                flow.end(now)
+            for flow in old_flows:
+                self.flows.get_or_create(
+                    pid=pid,
+                    core_id=new_core,
+                    node_id=flow.node_id,
+                    node_kind=flow.node_kind,
+                    app_name=flow.app_name,
+                    now=now,
+                )
+            app.core = new_core
+
+        self.machine.migrate(app.core, new_core, on_migrated=migrated)
+
+    def schedule_migration(self, pid: int, new_core: int, at: float) -> None:
+        """Arrange a migration at an absolute cycle time."""
+        self.machine.engine.at(at, lambda: self._try_migrate(pid, new_core))
+
+    def _try_migrate(self, pid: int, new_core: int) -> None:
+        if pid in self._running_apps:
+            self.migrate(pid, new_core)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> ProfileResult:
+        for app in self.spec.apps:
+            if app.start_at > 0:
+                self._pending_starts += 1
+                self.machine.engine.after(
+                    app.start_at, lambda a=app: self._deferred_install(a)
+                )
+            else:
+                self._install(app)
+        result = ProfileResult()
+        epoch = 0
+        while (
+            not self.machine.all_idle or self._pending_starts > 0
+        ) and epoch < self.spec.max_epochs:
+            epoch_start = self.machine.now
+            self.machine.run(until=self.machine.now + self.spec.epoch_cycles)
+            epoch += 1
+            # A flow belongs to the epoch if it was alive at any point in it.
+            live = [
+                f
+                for f in self.flows.flows_of()
+                if f.alive or (f.ended_at is not None and f.ended_at > epoch_start)
+            ]
+            snapshot = self._taker.take(self.machine.now, flows=live)
+            epoch_result = self._process(epoch, snapshot)
+            if self.spec.mode is ProfilingMode.CONTINUOUS:
+                result.epochs.append(epoch_result)
+            result.final = epoch_result
+        result.flows = self.flows.flows_of()
+        result.total_cycles = self.machine.now
+        return result
+
+    def _process(self, epoch: int, snapshot: Snapshot) -> EpochResult:
+        path_map = self.builder.build(snapshot)
+        stalls = self.estimator.breakdown(snapshot)
+        queues = self.analyzer.analyze(snapshot)
+        self.materializer.ingest(snapshot, path_map)
+        if logger.isEnabledFor(logging.DEBUG):
+            culprit = queues.culprit()
+            logger.debug(
+                "epoch %d [%0.0f..%0.0f]: cxl_hits=%0.0f culprit=%s",
+                epoch, snapshot.t_start, snapshot.t_end, path_map.cxl_hits(),
+                f"{culprit.path}@{culprit.component}" if culprit else "-",
+            )
+        return EpochResult(
+            epoch=epoch,
+            snapshot=snapshot,
+            path_map=path_map,
+            stalls=stalls,
+            queues=queues,
+        )
+
+
+def profile(
+    machine: Machine, spec: ProfileSpec
+) -> ProfileResult:
+    """One-call convenience wrapper used by examples and benches."""
+    return PathFinder(machine, spec).run()

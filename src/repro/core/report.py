@@ -1,0 +1,103 @@
+"""Human-readable report rendering for profiling sessions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .builder import FAMILIES, PathMap
+from .estimator import COMPONENTS as STALL_COMPONENTS
+from .estimator import StallBreakdown
+from .analyzer import AnalyzerReport
+from .profiler import EpochResult, ProfileResult
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "      -"
+    if value >= 1e6:
+        return f"{value:7.1e}"
+    return f"{value:7.0f}"
+
+
+def render_path_map(path_map: PathMap, core_id: int) -> str:
+    """Table 7-style rendering: component rows x path-family columns."""
+    lines = [
+        f"Path map (snapshot {path_map.snapshot_id}, core {core_id})",
+        "component    " + "".join(f"{f:>9}" for f in FAMILIES),
+    ]
+    for component, row in path_map.rows(core_id):
+        lines.append(
+            f"{component:<13}"
+            + "".join(f"{_fmt(row[f]):>9}" for f in FAMILIES)
+        )
+    hot_core = path_map.hot_path_core(core_id)
+    hot_uncore = path_map.hot_path_uncore()
+    lines.append(f"hot path: core={hot_core} uncore={hot_uncore}")
+    share = path_map.family_share_at_cxl()
+    lines.append(
+        "CXL share: "
+        + " ".join(f"{f}={share[f]*100:.1f}%" for f in FAMILIES)
+    )
+    return "\n".join(lines)
+
+
+def render_stall_breakdown(stalls: StallBreakdown) -> str:
+    """Figure 6-style rendering: per-path stall shares across components."""
+    lines = [f"CXL-induced stall breakdown (snapshot {stalls.snapshot_id})"]
+    header = "path   " + "".join(f"{c:>12}" for c in STALL_COMPONENTS)
+    lines.append(header)
+    for family in FAMILIES:
+        shares = stalls.shares(family)
+        lines.append(
+            f"{family:<7}"
+            + "".join(f"{shares[c]*100:11.1f}%" for c in STALL_COMPONENTS)
+        )
+    return "\n".join(lines)
+
+
+def render_queues(report: AnalyzerReport, top_n: int = 5) -> str:
+    lines = [f"Queue analysis (snapshot {report.snapshot_id})"]
+    ranked = sorted(
+        report.estimates, key=lambda e: e.queue_length, reverse=True
+    )[:top_n]
+    for est in ranked:
+        core = "all" if est.core_id < 0 else str(est.core_id)
+        lines.append(
+            f"  {est.path:>5} @ {est.component:<10} core={core:<4}"
+            f" L={est.queue_length:8.3f}  lambda={est.arrival_rate:.4f}"
+            f"  W={est.delay:8.1f}"
+        )
+    culprit = report.culprit()
+    if culprit is not None:
+        lines.append(
+            f"culprit: {culprit.path} on {culprit.component}"
+            f" (queue length {culprit.queue_length:.3f})"
+        )
+    return "\n".join(lines)
+
+
+def render_epoch(result: EpochResult, core_id: int = 0) -> str:
+    parts = [
+        f"=== epoch {result.epoch} (t={result.snapshot.t_start:.0f}"
+        f"..{result.snapshot.t_end:.0f}) ===",
+        render_path_map(result.path_map, core_id),
+        render_stall_breakdown(result.stalls),
+        render_queues(result.queues),
+    ]
+    return "\n".join(parts)
+
+
+def render_session(result: ProfileResult, core_id: int = 0) -> str:
+    lines = [
+        f"PathFinder session: {result.num_epochs} epochs,"
+        f" {result.total_cycles:.0f} cycles, {len(result.flows)} mFlows"
+    ]
+    for flow in result.flows:
+        lines.append(
+            f"  mFlow {flow.flow_id}: pid={flow.pid} core={flow.core_id}"
+            f" node={flow.node_id} ({flow.node_kind})"
+            f" snapshots={len(flow.snapshot_ids)}"
+        )
+    if result.final is not None:
+        lines.append(render_epoch(result.final, core_id))
+    return "\n".join(lines)

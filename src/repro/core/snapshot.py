@@ -1,0 +1,65 @@
+"""Snapshot capture: one profiling epoch's PMU state.
+
+PathFinder performs snapshot-based path-driven profiling (section 4.1):
+at the end of every scheduling epoch it reads all PMUs, diffs against the
+previous read, and tags the delta with the flows that ran.  The
+:class:`Snapshot` is the unit every downstream technique (PFBuilder,
+PFEstimator, PFAnalyzer, PFMaterializer) consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..pmu.registry import CounterRegistry, delta as counter_delta
+from .mflow import MFlow
+
+CounterKey = Tuple[str, str]
+
+_snapshot_ids = itertools.count(1)
+
+
+@dataclass
+class Snapshot:
+    """Counter activity between two PMU reads, tagged with live flows."""
+
+    t_start: float
+    t_end: float
+    delta: Mapping[CounterKey, float]
+    flows: List[MFlow] = field(default_factory=list)
+    snapshot_id: int = field(default_factory=lambda: next(_snapshot_ids))
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def flow_for_core(self, core_id: int) -> List[MFlow]:
+        return [f for f in self.flows if f.core_id == core_id]
+
+    def get(self, scope: str, event: str, default: float = 0.0) -> float:
+        return self.delta.get((scope, event), default)
+
+
+class SnapshotTaker:
+    """Stateful reader turning absolute counters into epoch deltas."""
+
+    def __init__(self, registry: CounterRegistry) -> None:
+        self._registry = registry
+        self._previous: Dict[CounterKey, float] = {}
+        self._previous_time = 0.0
+
+    def take(self, now: float, flows: Optional[List[MFlow]] = None) -> Snapshot:
+        current = self._registry.snapshot(now)
+        snapshot = Snapshot(
+            t_start=self._previous_time,
+            t_end=now,
+            delta=counter_delta(current, self._previous),
+            flows=list(flows or []),
+        )
+        for flow in snapshot.flows:
+            flow.attach_snapshot(snapshot.snapshot_id)
+        self._previous = current
+        self._previous_time = now
+        return snapshot

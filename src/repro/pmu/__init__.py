@@ -1,0 +1,54 @@
+"""PMU emulation: counter registry, event catalog, and structured views.
+
+This package is the boundary between substrate and profiler: the simulator
+writes counters into :class:`CounterRegistry` under the perf event names of
+the paper's Tables 1-4, and PathFinder reads them back through the view
+classes - never through simulator internals.  Re-pointing the views at a
+Linux-perf reader would turn this reproduction into the authors' tool.
+"""
+
+from .events import (
+    ALL_EVENTS,
+    CHA_EVENTS,
+    CORE_EVENTS,
+    CXL_EVENTS,
+    EVENTS_BY_NAME,
+    EventSpec,
+    UNCORE_EVENTS,
+    catalog_size,
+    events_for_path,
+    events_in_group,
+)
+from .registry import CounterRegistry, Sampler, delta
+from .views import (
+    CHAPMUView,
+    CXLDeviceView,
+    CorePMUView,
+    IMCView,
+    M2PCIeView,
+    core_ids,
+    cxl_node_ids,
+)
+
+__all__ = [
+    "ALL_EVENTS",
+    "CHA_EVENTS",
+    "CHAPMUView",
+    "CORE_EVENTS",
+    "CXLDeviceView",
+    "CXL_EVENTS",
+    "CorePMUView",
+    "CounterRegistry",
+    "EVENTS_BY_NAME",
+    "EventSpec",
+    "IMCView",
+    "M2PCIeView",
+    "Sampler",
+    "UNCORE_EVENTS",
+    "catalog_size",
+    "core_ids",
+    "cxl_node_ids",
+    "delta",
+    "events_for_path",
+    "events_in_group",
+]

@@ -1,0 +1,372 @@
+"""Structured views over raw counter snapshots.
+
+PathFinder's techniques consume counter *deltas* between two snapshots
+(one profiling epoch).  These view classes organise a delta dict into the
+quantities the paper's figures report - per-path hits and misses at each
+level, stall cycles, queue occupancies, and latency estimates - without
+ever touching simulator state.  They are the equivalent of the metric
+expressions perf/VTune derive from raw events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+CounterDelta = Mapping[Tuple[str, str], float]
+
+# Table 5 / section 4.3: architectural path -> CHA TOR sub-event.
+TOR_SUBEVENT = {
+    "DRd": "ia_drd",
+    "RFO": "ia_rfo",
+    "HWPF": "ia_drd_pref",
+    "HWPF_RFO": "ia_rfo_pref",
+    "DWr": "ia_wb",
+}
+
+OCR_BASE = {
+    "DRd": "ocr.demand_data_rd",
+    "RFO": "ocr.rfo",
+    "HWPF": "ocr.l2_hw_pf_drd",
+    "HWPF_L1": "ocr.l1d_hw_pf",
+    "HWPF_RFO": "ocr.l2_hw_pf_rfo",
+    "DWr": "ocr.modified_write",
+}
+
+SERVE_SCENARIOS = (
+    "l3_hit", "snc_cache", "remote_cache", "local_dram", "snc_dram",
+    "remote_dram", "cxl_dram",
+)
+
+
+class _View:
+    def __init__(self, delta: CounterDelta, scope: str) -> None:
+        self._delta = delta
+        self.scope = scope
+
+    def get(self, event: str, scope: Optional[str] = None) -> float:
+        return self._delta.get((scope or self.scope, event), 0.0)
+
+
+class CorePMUView(_View):
+    """Core PMU (Table 1) of one core over one epoch."""
+
+    def __init__(self, delta: CounterDelta, core_id: int) -> None:
+        super().__init__(delta, f"core{core_id}")
+        self.core_id = core_id
+
+    # -- store buffer ---------------------------------------------------
+
+    @property
+    def sb_stall_rd_wr(self) -> float:
+        return self.get("resource_stalls.sb")
+
+    @property
+    def sb_stall_wr_only(self) -> float:
+        return self.get("exe_activity.bound_on_stores")
+
+    @property
+    def sb_occupancy(self) -> float:
+        return self.get("sb.occupancy")
+
+    # -- L1D ---------------------------------------------------------------
+
+    @property
+    def l1_hits(self) -> float:
+        return self.get("mem_load_retired.l1_hit")
+
+    @property
+    def l1_misses(self) -> float:
+        return self.get("mem_load_retired.l1_miss")
+
+    @property
+    def l1_evictions(self) -> float:
+        return self.get("l1d.replacement")
+
+    @property
+    def l1_stall_cycles(self) -> float:
+        return self.get("memory_activity.stalls_l1d_miss")
+
+    @property
+    def l1_miss_outstanding_cycles(self) -> float:
+        return self.get("cycle_activity.cycles_l1d_miss")
+
+    # -- LFB ----------------------------------------------------------------
+
+    @property
+    def fb_hits(self) -> float:
+        return self.get("mem_load_retired.fb_hit")
+
+    @property
+    def lfb_full_stall(self) -> float:
+        return self.get("l1d_pend_miss.fb_full")
+
+    @property
+    def lfb_occupancy(self) -> float:
+        return self.get("lfb.occupancy")
+
+    @property
+    def lfb_inserts(self) -> float:
+        return self.get("lfb.inserts")
+
+    # -- L2 per path -------------------------------------------------------
+
+    def l2_hits(self, path: str) -> float:
+        if path == "DRd":
+            return self.get("l2_rqsts.demand_data_rd_hit")
+        if path == "RFO":
+            return self.get("l2_rqsts.rfo_hit")
+        if path == "HWPF":
+            return self.get("l2_rqsts.pf_hit") + self.get("l2_rqsts.swpf_hit")
+        raise KeyError(f"no L2 hit counter for path {path}")
+
+    def l2_misses(self, path: str) -> float:
+        if path == "DRd":
+            return self.get("l2_rqsts.demand_data_rd_miss")
+        if path == "RFO":
+            return self.get("l2_rqsts.rfo_miss")
+        if path == "HWPF":
+            return self.get("l2_rqsts.pf_miss") + self.get("l2_rqsts.swpf_miss")
+        raise KeyError(f"no L2 miss counter for path {path}")
+
+    @property
+    def l2_stall_cycles(self) -> float:
+        return self.get("memory_activity.stalls_l2_miss")
+
+    @property
+    def l3_stall_cycles(self) -> float:
+        return self.get("cycle_activity.stalls_l3_miss")
+
+    # -- latency -----------------------------------------------------------
+
+    @property
+    def avg_demand_read_latency(self) -> float:
+        """Average demand-read data response time, perf's classic formula:
+        outstanding-cycles integral / number of offcore demand reads."""
+        requests = self.get("offcore_requests.demand_data_rd")
+        if requests <= 0:
+            return 0.0
+        return self.get("ORO.demand_data_rd") / requests
+
+    def latency_sample(self, location: str) -> Tuple[float, float]:
+        """(mean latency, sample count) of loads served at ``location``."""
+        count = self.get(f"lat_sample.{location}.count")
+        if count <= 0:
+            return 0.0, 0.0
+        return self.get(f"lat_sample.{location}.sum") / count, count
+
+    # -- serve-location classification (ocr.*) --------------------------------
+
+    def ocr(self, path: str, scenario: str) -> float:
+        return self.get(f"{OCR_BASE[path]}.{scenario}")
+
+    def serve_histogram(self, path: str) -> Dict[str, float]:
+        return {s: self.ocr(path, s) for s in SERVE_SCENARIOS}
+
+    @property
+    def cycles(self) -> float:
+        return self.get("cpu_clk_unhalted")
+
+    @property
+    def instructions(self) -> float:
+        return self.get("inst_retired.any")
+
+    @property
+    def ops_completed(self) -> float:
+        return self.get("app.ops_completed")
+
+
+class CHAPMUView(_View):
+    """CHA/LLC PMU (Table 2) of one socket over one epoch."""
+
+    def __init__(self, delta: CounterDelta, socket: int = 0) -> None:
+        super().__init__(delta, f"cha{socket}")
+        self.socket = socket
+
+    def tor_inserts(self, path: str, scenario: str = "total") -> float:
+        return self.get(f"unc_cha_tor_inserts.{TOR_SUBEVENT[path]}.{scenario}")
+
+    def tor_occupancy(self, path: str, scenario: str = "total") -> float:
+        sub = TOR_SUBEVENT[path]
+        return self.get(f"unc_cha_tor_occupancy.{sub}.{scenario}")
+
+    def llc_hits(self, path: str) -> float:
+        return self.tor_inserts(path, "hit")
+
+    def llc_misses(self, path: str) -> float:
+        return self.tor_inserts(path, "miss")
+
+    def miss_targets(self, path: str) -> Dict[str, float]:
+        """Where did this path's LLC misses get served from?"""
+        out = {}
+        for scenario in ("miss_local_ddr", "miss_remote_ddr", "miss_cxl"):
+            out[scenario] = self.tor_inserts(path, scenario)
+        return out
+
+    @property
+    def snoop_hits(self) -> float:
+        return self.get("unc_cha_snoop.hit") + self.get("unc_cha_snoop.hitm")
+
+    @property
+    def snoop_hitm(self) -> float:
+        return self.get("unc_cha_snoop.hitm")
+
+    def state_transitions(self) -> Dict[str, float]:
+        prefix = "unc_cha_state."
+        return {
+            event[len(prefix):]: value
+            for (scope, event), value in self._delta.items()
+            if scope == self.scope and event.startswith(prefix)
+        }
+
+    def avg_tor_latency(self, path: str, scenario: str = "total") -> float:
+        """Mean TOR residency (cycles) per request: occupancy / inserts."""
+        inserts = self.tor_inserts(path, scenario)
+        if inserts <= 0:
+            return 0.0
+        return self.tor_occupancy(path, scenario) / inserts
+
+
+class IMCView(_View):
+    """IMC channel counters (Table 3), aggregated over all channels."""
+
+    def __init__(self, delta: CounterDelta, imc_id: int = 0) -> None:
+        super().__init__(delta, f"imc{imc_id}")
+        self.imc_id = imc_id
+        self._channels = sorted(
+            {
+                scope
+                for (scope, _event) in delta
+                if scope.startswith(f"imc{imc_id}.ch")
+            }
+        )
+
+    @property
+    def channels(self) -> List[str]:
+        return self._channels
+
+    def _sum(self, event: str) -> float:
+        return sum(self._delta.get((ch, event), 0.0) for ch in self._channels)
+
+    @property
+    def rpq_inserts(self) -> float:
+        return self._sum("unc_m_rpq_inserts")
+
+    @property
+    def wpq_inserts(self) -> float:
+        return self._sum("unc_m_wpq_inserts")
+
+    @property
+    def rpq_occupancy(self) -> float:
+        return self._sum("unc_m_rpq_occupancy")
+
+    @property
+    def wpq_occupancy(self) -> float:
+        return self._sum("unc_m_wpq_occupancy")
+
+    @property
+    def rpq_cycles_ne(self) -> float:
+        return self._sum("unc_m_rpq_cycles_ne")
+
+    @property
+    def wpq_cycles_ne(self) -> float:
+        return self._sum("unc_m_wpq_cycles_ne")
+
+    @property
+    def cas_reads(self) -> float:
+        return self._sum("unc_m_cas_count.rd")
+
+    @property
+    def cas_writes(self) -> float:
+        return self._sum("unc_m_cas_count.wr")
+
+    @property
+    def cas_all(self) -> float:
+        return self._sum("unc_m_cas_count.all")
+
+
+class M2PCIeView(_View):
+    """M2PCIe / FlexBus root-port counters for one CXL endpoint."""
+
+    def __init__(self, delta: CounterDelta, node_id: int) -> None:
+        super().__init__(delta, f"m2pcie{node_id}")
+        self.node_id = node_id
+
+    @property
+    def ingress_inserts(self) -> float:
+        return self.get("unc_m2p_rxc_inserts.all")
+
+    @property
+    def ingress_cycles_ne(self) -> float:
+        return self.get("unc_m2p_rxc_cycles_ne.all")
+
+    @property
+    def ingress_occupancy(self) -> float:
+        return self.get("unc_m2p_rxc_occupancy.all")
+
+    @property
+    def data_responses(self) -> float:
+        """CXL loads completed (block data to mesh)."""
+        return self.get("unc_m2p_txc_inserts.bl")
+
+    @property
+    def write_acks(self) -> float:
+        """CXL stores completed (acknowledgements to mesh)."""
+        return self.get("unc_m2p_txc_inserts.ak")
+
+
+class CXLDeviceView(_View):
+    """CXL device counters (Table 4) for one Type-3 endpoint."""
+
+    def __init__(self, delta: CounterDelta, node_id: int) -> None:
+        super().__init__(delta, f"cxl{node_id}")
+        self.node_id = node_id
+
+    @property
+    def req_inserts(self) -> float:
+        return self.get("unc_cxlcm_rxc_pack_buf_inserts.mem_req")
+
+    @property
+    def data_inserts(self) -> float:
+        return self.get("unc_cxlcm_rxc_pack_buf_inserts.mem_data")
+
+    def pack_buf_cycles_ne(self, which: str = "mem_req") -> float:
+        return self.get(f"unc_cxlcm_rxc_pack_buf_ne.{which}")
+
+    def pack_buf_cycles_full(self, which: str = "mem_req") -> float:
+        return self.get(f"unc_cxlcm_rxc_pack_buf_full.{which}")
+
+    def pack_buf_occupancy(self, which: str = "mem_req") -> float:
+        return self.get(f"unc_cxlcm_rxc_pack_buf_occupancy.{which}")
+
+    @property
+    def mc_occupancy(self) -> float:
+        return self.get("unc_cxlcm_mc_occupancy")
+
+    @property
+    def mc_cycles_ne(self) -> float:
+        return self.get("unc_cxlcm_mc_cycles_ne")
+
+    @property
+    def drs_responses(self) -> float:
+        return self.get("unc_cxlcm_txc_pack_buf_inserts.mem_data")
+
+    @property
+    def ndr_responses(self) -> float:
+        return self.get("unc_cxlcm_txc_pack_buf_inserts.mem_req")
+
+
+def core_ids(delta: CounterDelta) -> List[int]:
+    """All core scopes present in a delta."""
+    ids = set()
+    for scope, _event in delta:
+        if scope.startswith("core") and scope[4:].isdigit():
+            ids.add(int(scope[4:]))
+    return sorted(ids)
+
+
+def cxl_node_ids(delta: CounterDelta) -> List[int]:
+    ids = set()
+    for scope, _event in delta:
+        if scope.startswith("cxl") and scope[3:].isdigit():
+            ids.add(int(scope[3:]))
+    return sorted(ids)

@@ -1,0 +1,275 @@
+"""Set-associative caches with pluggable replacement.
+
+Tag arrays are functional: workloads generate real addresses, so hit/miss
+behaviour (and therefore every locality effect the paper measures - LFB hit
+shifts, L2 hit drops under CXL, LLC occupancy changes) emerges from actual
+reuse distances rather than from tuned probabilities.
+
+Lines carry MESIF coherence states (section 2.2); the CHA's directory
+drives the state transitions, the cache itself only stores them.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .request import CACHELINE
+
+
+class MESIF(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    FORWARD = "F"
+
+
+@dataclass
+class CacheLine:
+    tag: int
+    state: MESIF = MESIF.EXCLUSIVE
+    dirty: bool = False
+    # S3-FIFO metadata
+    freq: int = 0
+    in_main: bool = False
+
+
+@dataclass
+class EvictedLine:
+    """What fell out of a set on fill: address plus write-back need."""
+
+    address: int
+    dirty: bool
+    state: MESIF
+
+
+class ReplacementPolicy:
+    """Interface: pick a victim way index within one set."""
+
+    def touch(self, cache_set: "CacheSet", way: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, cache_set: "CacheSet") -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used over the set's recency list."""
+
+    def touch(self, cache_set: "CacheSet", way: int) -> None:
+        order = cache_set.recency
+        order.remove(way)
+        order.append(way)
+
+    def victim(self, cache_set: "CacheSet") -> int:
+        return cache_set.recency[0]
+
+
+class S3FIFOPolicy(ReplacementPolicy):
+    """S3-FIFO (SOSP'23): small probationary FIFO + main FIFO + ghost.
+
+    The paper models on-path components as "a variant of the FCFS queue
+    (S3-FIFO)" in section 4.5, so we provide it as an alternative LLC
+    policy.  New lines enter the small queue; lines re-referenced while
+    there (freq > 0) are promoted into main on eviction; main evicts lazily,
+    demoting once-unused lines.
+    """
+
+    def touch(self, cache_set: "CacheSet", way: int) -> None:
+        cache_set.lines[way].freq = min(3, cache_set.lines[way].freq + 1)
+
+    def victim(self, cache_set: "CacheSet") -> int:
+        # Evict from the small (probationary) FIFO first.
+        for attempt in range(2 * len(cache_set.recency)):
+            if not cache_set.small_fifo and not cache_set.main_fifo:
+                break
+            if cache_set.small_fifo:
+                way = cache_set.small_fifo[0]
+                line = cache_set.lines[way]
+                if line.freq > 0:
+                    # promote to main
+                    cache_set.small_fifo.popleft()
+                    line.in_main = True
+                    line.freq = 0
+                    cache_set.main_fifo.append(way)
+                    continue
+                cache_set.small_fifo.popleft()
+                return way
+            way = cache_set.main_fifo[0]
+            line = cache_set.lines[way]
+            if line.freq > 0:
+                cache_set.main_fifo.popleft()
+                line.freq -= 1
+                cache_set.main_fifo.append(way)
+                continue
+            cache_set.main_fifo.popleft()
+            return way
+        # Degenerate fallback: first valid way.
+        return cache_set.recency[0]
+
+
+@dataclass
+class CacheSet:
+    lines: Dict[int, CacheLine] = field(default_factory=dict)  # way -> line
+    recency: List[int] = field(default_factory=list)           # LRU order
+    small_fifo: Deque[int] = field(default_factory=deque)      # S3-FIFO
+    main_fifo: Deque[int] = field(default_factory=deque)
+
+
+class Cache:
+    """One level of set-associative cache (L1D, L2, or an LLC slice)."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        name: str = "cache",
+        policy: str = "lru",
+        line_size: int = CACHELINE,
+    ) -> None:
+        self.name = name
+        self.line_size = line_size
+        self.ways = ways
+        # Round capacity down to a whole number of sets.
+        self.num_sets = size_bytes // (ways * line_size)
+        if self.num_sets < 1:
+            raise ValueError(f"{name}: zero sets")
+        self.sets: Dict[int, CacheSet] = {}
+        if policy == "lru":
+            self.policy: ReplacementPolicy = LRUPolicy()
+        elif policy == "s3fifo":
+            self.policy = S3FIFOPolicy()
+        else:
+            raise ValueError(f"unknown replacement policy: {policy}")
+        self._policy_name = policy
+        self.hits = 0
+        self.misses = 0
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_size
+        return line % self.num_sets, line // self.num_sets  # (set, tag)
+
+    def _set(self, set_index: int) -> CacheSet:
+        cache_set = self.sets.get(set_index)
+        if cache_set is None:
+            cache_set = CacheSet()
+            self.sets[set_index] = cache_set
+        return cache_set
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Probe the tag array.  Counts a hit/miss; updates recency on hit."""
+        set_index, tag = self._index(address)
+        cache_set = self._set(set_index)
+        for way, line in cache_set.lines.items():
+            if line.tag == tag and line.state is not MESIF.INVALID:
+                self.hits += 1
+                if touch:
+                    self.policy.touch(cache_set, way)
+                return line
+        self.misses += 1
+        return None
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Tag check with no side effects (used by snoops and tests)."""
+        set_index, tag = self._index(address)
+        cache_set = self.sets.get(set_index)
+        if cache_set is None:
+            return None
+        for line in cache_set.lines.values():
+            if line.tag == tag and line.state is not MESIF.INVALID:
+                return line
+        return None
+
+    def fill(
+        self, address: int, state: MESIF = MESIF.EXCLUSIVE, dirty: bool = False
+    ) -> Optional[EvictedLine]:
+        """Install a line, returning whatever got evicted (if anything)."""
+        set_index, tag = self._index(address)
+        cache_set = self._set(set_index)
+        # Refill of an already-present line just updates state.
+        for way, line in cache_set.lines.items():
+            if line.tag == tag:
+                line.state = state
+                line.dirty = line.dirty or dirty
+                return None
+        evicted: Optional[EvictedLine] = None
+        if len(cache_set.lines) >= self.ways:
+            victim_way = self.policy.victim(cache_set)
+            victim = cache_set.lines.pop(victim_way)
+            if victim_way in cache_set.recency:
+                cache_set.recency.remove(victim_way)
+            if victim_way in cache_set.small_fifo:
+                cache_set.small_fifo.remove(victim_way)
+            if victim_way in cache_set.main_fifo:
+                cache_set.main_fifo.remove(victim_way)
+            if victim.state is not MESIF.INVALID:
+                evicted = EvictedLine(
+                    address=self._reconstruct(set_index, victim.tag),
+                    dirty=victim.dirty or victim.state is MESIF.MODIFIED,
+                    state=victim.state,
+                )
+            way = victim_way
+        else:
+            way = len(cache_set.lines)
+            while way in cache_set.lines:
+                way += 1
+        new_line = CacheLine(tag=tag, state=state, dirty=dirty)
+        cache_set.lines[way] = new_line
+        cache_set.recency.append(way)
+        if self._policy_name == "s3fifo":
+            cache_set.small_fifo.append(way)
+        return evicted
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Drop a line (snoop invalidation).  Returns the old line."""
+        set_index, tag = self._index(address)
+        cache_set = self.sets.get(set_index)
+        if cache_set is None:
+            return None
+        for way, line in list(cache_set.lines.items()):
+            if line.tag == tag:
+                del cache_set.lines[way]
+                if way in cache_set.recency:
+                    cache_set.recency.remove(way)
+                if way in cache_set.small_fifo:
+                    cache_set.small_fifo.remove(way)
+                if way in cache_set.main_fifo:
+                    cache_set.main_fifo.remove(way)
+                return line
+        return None
+
+    def set_state(self, address: int, state: MESIF) -> bool:
+        line = self.probe(address)
+        if line is None:
+            return False
+        line.state = state
+        return True
+
+    def _reconstruct(self, set_index: int, tag: int) -> int:
+        return (tag * self.num_sets + set_index) * self.line_size
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_size
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(
+            1
+            for cache_set in self.sets.values()
+            for line in cache_set.lines.values()
+            if line.state is not MESIF.INVALID
+        )
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,435 @@
+"""Caching and Home Agent (CHA): LLC slices, snoop filter, TOR.
+
+Each CHA couples one LLC slice with a snoop-filter directory partition and
+a Table of Requests (TOR) - the hardware queue whose insert/occupancy
+counters are PFBuilder's main uncore signal (Table 5).  Requests arriving
+from cores are TOR-tracked from insertion until their data returns, and
+classified by outcome exactly the way ``unc_cha_tor_inserts.ia_*`` does:
+hit, miss, miss targeting local DDR, SNC-distant DDR, remote socket, or
+CXL.  The same resolution also feeds the per-core ``ocr.*`` offcore
+response counters (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..pmu.registry import CounterRegistry
+from .address import AddressSpace, NodeKind
+from .cache import Cache, MESIF
+from .coherence import Directory
+from .engine import Engine
+from .flexbus import M2PCIe
+from .imc import IMC
+from .mesh import Mesh
+from .request import MemRequest, Path, ServeLocation
+
+# TOR insert event per architectural path (Table 5's PFBuilder mapping).
+TOR_EVENT_BY_PATH: Dict[Path, str] = {
+    Path.DRD: "unc_cha_tor_inserts.ia_drd",
+    Path.RFO: "unc_cha_tor_inserts.ia_rfo",
+    Path.L1_HWPF: "unc_cha_tor_inserts.ia_drd_pref",
+    Path.L2_HWPF_DRD: "unc_cha_tor_inserts.ia_drd_pref",
+    Path.SWPF: "unc_cha_tor_inserts.ia_drd_pref",
+    Path.L2_HWPF_RFO: "unc_cha_tor_inserts.ia_rfo_pref",
+    Path.DWR: "unc_cha_tor_inserts.ia_wb",
+}
+
+OCR_EVENT_BY_PATH: Dict[Path, str] = {
+    Path.DRD: "ocr.demand_data_rd",
+    Path.RFO: "ocr.rfo",
+    Path.L1_HWPF: "ocr.l1d_hw_pf",
+    Path.L2_HWPF_DRD: "ocr.l2_hw_pf_drd",
+    Path.SWPF: "ocr.demand_data_rd",  # SW PF merges into DRd (section 3.2)
+    Path.L2_HWPF_RFO: "ocr.l2_hw_pf_rfo",
+    Path.DWR: "ocr.modified_write",
+}
+
+# Serve-location -> ocr scenario suffix (Table 2's 9 scenarios).
+OCR_SUFFIX: Dict[ServeLocation, str] = {
+    ServeLocation.LOCAL_LLC: "l3_hit",
+    ServeLocation.SNC_LLC: "snc_cache",
+    ServeLocation.REMOTE_LLC: "remote_cache",
+    ServeLocation.LOCAL_DRAM: "local_dram",
+    ServeLocation.REMOTE_DRAM: "remote_dram",
+    ServeLocation.CXL_DRAM: "cxl_dram",
+}
+
+
+class _CategoryOccupancy:
+    """Time-integrated in-flight count per (event, scenario) category.
+
+    Implements the ``unc_cha_tor_occupancy.*`` family: for each cycle,
+    accumulate the number of valid TOR entries of that category.
+    """
+
+    def __init__(self) -> None:
+        self._depth: Dict[str, int] = {}
+        self._integral: Dict[str, float] = {}
+        self._last: Dict[str, float] = {}
+
+    def _advance(self, key: str, now: float) -> None:
+        last = self._last.get(key, now)
+        depth = self._depth.get(key, 0)
+        self._integral[key] = self._integral.get(key, 0.0) + depth * (now - last)
+        self._last[key] = now
+
+    def enter(self, key: str, now: float) -> None:
+        self._advance(key, now)
+        self._depth[key] = self._depth.get(key, 0) + 1
+
+    def exit(self, key: str, now: float) -> None:
+        self._advance(key, now)
+        self._depth[key] -= 1
+
+    def sync(self, now: float) -> Dict[str, float]:
+        for key in list(self._depth):
+            self._advance(key, now)
+        return dict(self._integral)
+
+
+class CHASlice:
+    """One LLC slice + its TOR."""
+
+    def __init__(
+        self,
+        slice_id: int,
+        cluster: int,
+        llc: Cache,
+        engine: Engine,
+        tor_depth: int = 88,
+    ) -> None:
+        self.slice_id = slice_id
+        self.cluster = cluster
+        self.llc = llc
+        self.tor_inflight = 0
+        self.tor_depth = tor_depth
+        self.engine = engine
+
+
+class CHA:
+    """Socket-level CHA complex: slice array, directory, routing."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pmu: CounterRegistry,
+        address_space: AddressSpace,
+        mesh: Mesh,
+        imc: IMC,
+        m2pcie_by_node: Dict[int, M2PCIe],
+        num_slices: int = 8,
+        num_clusters: int = 2,
+        llc_size_bytes: int = 60 * (1 << 20),
+        llc_ways: int = 12,
+        llc_policy: str = "lru",
+        llc_hit_latency: float = 46.0,
+        snoop_latency: float = 70.0,
+        socket: int = 0,
+        cores_per_cluster: int = 16,
+    ) -> None:
+        self.engine = engine
+        self.pmu = pmu
+        self.address_space = address_space
+        self.mesh = mesh
+        self.imc = imc
+        self.m2pcie_by_node = m2pcie_by_node
+        self.socket = socket
+        self.num_clusters = max(1, num_clusters)
+        self.cores_per_cluster = cores_per_cluster
+        self.llc_hit_latency = llc_hit_latency
+        self.snoop_latency = snoop_latency
+        self.directory = Directory(socket)
+        slice_size = llc_size_bytes // num_slices
+        self.slices: List[CHASlice] = [
+            CHASlice(
+                s,
+                cluster=s % self.num_clusters,
+                llc=Cache(slice_size, llc_ways, name=f"llc{s}", policy=llc_policy),
+                engine=engine,
+            )
+            for s in range(num_slices)
+        ]
+        self._occupancy = _CategoryOccupancy()
+        self.scope = f"cha{socket}"
+        pmu.on_sync(self._sync)
+        # Dirty LLC evictions become memory write-backs; the machine wires
+        # this to the core-independent write-back issuer.
+        self.writeback_sink: Optional[Callable[[int], None]] = None
+
+    # -- helpers ----------------------------------------------------------
+
+    def slice_for(self, address: int) -> CHASlice:
+        return self.slices[(address // 64) % len(self.slices)]
+
+    def cluster_of_core(self, core_id: int) -> int:
+        return core_id // self.cores_per_cluster % self.num_clusters
+
+    def _classify_hit(self, core_id: int, cha_slice: CHASlice) -> ServeLocation:
+        if cha_slice.cluster == self.cluster_of_core(core_id):
+            return ServeLocation.LOCAL_LLC
+        return ServeLocation.SNC_LLC
+
+    def _memory_location(self, kind: NodeKind) -> ServeLocation:
+        if kind is NodeKind.LOCAL_DDR:
+            return ServeLocation.LOCAL_DRAM
+        if kind is NodeKind.REMOTE_DDR:
+            return ServeLocation.REMOTE_DRAM
+        return ServeLocation.CXL_DRAM
+
+    # -- counter emission ------------------------------------------------
+
+    def _tor_insert_counters(
+        self, request: MemRequest, outcome: str, target: Optional[NodeKind]
+    ) -> List[str]:
+        """Expand one TOR insert into its scenario counter keys."""
+        event = TOR_EVENT_BY_PATH[request.path]
+        keys = [f"{event}.total", "unc_cha_tor_inserts.ia.total"]
+        if outcome == "hit":
+            keys.append(f"{event}.hit")
+            keys.append("unc_cha_tor_inserts.ia.hit")
+        else:
+            keys.append(f"{event}.miss")
+            keys.append("unc_cha_tor_inserts.ia.miss")
+            if target is NodeKind.LOCAL_DDR:
+                keys += [f"{event}.miss_local", f"{event}.miss_local_ddr",
+                         f"{event}.miss_ddr"]
+            elif target is NodeKind.REMOTE_DDR:
+                keys += [f"{event}.miss_remote", f"{event}.miss_remote_ddr",
+                         f"{event}.miss_ddr"]
+            elif target is NodeKind.CXL:
+                keys.append(f"{event}.miss_cxl")
+                keys.append("unc_cha_tor_inserts.ia.miss_cxl")
+        return keys
+
+    def _emit_ocr(self, request: MemRequest, location: ServeLocation) -> None:
+        event = OCR_EVENT_BY_PATH[request.path]
+        core_scope = f"core{request.core_id}"
+        self.pmu.add(core_scope, f"{event}.any_response")
+        suffix = OCR_SUFFIX.get(location)
+        if suffix:
+            self.pmu.add(core_scope, f"{event}.{suffix}")
+        if location.is_memory or location is ServeLocation.REMOTE_LLC:
+            self.pmu.add(core_scope, f"{event}.non_local_cache")
+
+    # -- main entry ---------------------------------------------------------
+
+    def submit(
+        self, request: MemRequest, on_response: Callable[[MemRequest], None]
+    ) -> None:
+        """An L2 miss arrives from a core (after the core->CHA mesh hop)."""
+        cha_slice = self.slice_for(request.address)
+        same_cluster = cha_slice.cluster == self.cluster_of_core(request.core_id)
+        hop = self.mesh.core_to_cha_latency(same_cluster)
+        self.mesh.send(hop, lambda: self._at_slice(request, cha_slice, on_response))
+
+    def _at_slice(
+        self,
+        request: MemRequest,
+        cha_slice: CHASlice,
+        on_response: Callable[[MemRequest], None],
+    ) -> None:
+        now = self.engine.now
+        request.stamp(f"cha{cha_slice.slice_id}", now)
+        node = self.address_space.node_of(request.address)
+        request.dest_node = node.node_id
+        line = self.llc_lookup(request.address, cha_slice)
+        if line is not None:
+            outcome, target = "hit", None
+        else:
+            outcome, target = "miss", node.kind
+        # TOR bookkeeping: insert counters + occupancy from now to response.
+        event = TOR_EVENT_BY_PATH[request.path]
+        sub_event = event.rsplit(".", 1)[1]  # e.g. "ia_drd"
+        for key in self._tor_insert_counters(request, outcome, target):
+            self.pmu.add(self.scope, key)
+        occ_keys = [f"{sub_event}.total", "ia.total"]
+        occ_keys.append(f"{sub_event}.{outcome}")
+        if outcome == "miss" and target is NodeKind.CXL:
+            occ_keys.append(f"{sub_event}.miss_cxl")
+            occ_keys.append("ia.miss_cxl")
+        for key in occ_keys:
+            self._occupancy.enter(key, now)
+        cha_slice.tor_inflight += 1
+
+        def respond(req: MemRequest, location: ServeLocation) -> None:
+            end = self.engine.now
+            for key in occ_keys:
+                self._occupancy.exit(key, end)
+            cha_slice.tor_inflight -= 1
+            req.complete(location, end)
+            self._emit_ocr(req, location)
+            on_response(req)
+
+        if line is not None:
+            location = self._classify_hit(request.core_id, cha_slice)
+            if request.path is Path.RFO or (
+                request.path is Path.DWR and request.is_store
+            ):
+                # Ownership transfer: invalidate other sharers.
+                self.directory.read_for_ownership(request.line, request.core_id)
+                line.state = MESIF.EXCLUSIVE
+            self.engine.after(
+                self.llc_hit_latency, lambda: respond(request, location)
+            )
+            return
+        request.missed_llc = True
+        if request.on_llc_miss is not None:
+            request.on_llc_miss()
+        self._resolve_miss(request, cha_slice, respond)
+
+    def llc_lookup(self, address: int, cha_slice: Optional[CHASlice] = None):
+        if cha_slice is None:
+            cha_slice = self.slice_for(address)
+        return cha_slice.llc.lookup(address)
+
+    # -- miss resolution ------------------------------------------------------
+
+    def _resolve_miss(
+        self,
+        request: MemRequest,
+        cha_slice: CHASlice,
+        respond: Callable[[MemRequest, ServeLocation], None],
+    ) -> None:
+        # 1. Snoop filter: can another core's private cache forward the line?
+        if request.path in (Path.RFO, Path.L2_HWPF_RFO):
+            snoop = self.directory.read_for_ownership(request.line, request.core_id)
+        else:
+            snoop = self.directory.read(request.line, request.core_id)
+        if snoop.hit and not request.is_store:
+            # Table 2's serve classes: a same-cluster core forward counts
+            # under the l3_hit scenario ("snooped from another core's
+            # caches on the same socket"), a cross-cluster forward under
+            # snc_cache; cross-socket forwards would be remote_cache.
+            forwarder_cluster = self.cluster_of_core(snoop.served_by_core)
+            requester_cluster = self.cluster_of_core(request.core_id)
+            if forwarder_cluster == requester_cluster:
+                location = ServeLocation.LOCAL_LLC
+                delay = self.snoop_latency
+            else:
+                location = ServeLocation.SNC_LLC
+                delay = self.snoop_latency + self.mesh.snc_penalty
+            if snoop.had_modified:
+                self.pmu.add(self.scope, "unc_cha_snoop.hitm")
+            else:
+                self.pmu.add(self.scope, "unc_cha_snoop.hit")
+            self.engine.after(
+                delay,
+                lambda: self._fill_and_respond(request, cha_slice, location, respond),
+            )
+            return
+        # 2. Route to the owning memory.
+        node = self.address_space.node_of(request.address)
+        location = self._memory_location(node.kind)
+        if node.kind is NodeKind.CXL:
+            m2pcie = self.m2pcie_by_node[node.node_id]
+            hop = self.mesh.cha_to_flexbus_latency()
+
+            def to_flexbus() -> None:
+                accepted = m2pcie.submit(
+                    request,
+                    lambda req: self._fill_and_respond(
+                        req, cha_slice, location, respond
+                    ),
+                )
+                if not accepted:
+                    m2pcie.wait_for_slot(to_flexbus)
+
+            self.mesh.send(hop, to_flexbus)
+        else:
+            cross = node.kind is NodeKind.REMOTE_DDR
+            hop = self.mesh.cha_to_memory_latency(cross_socket=cross)
+
+            def to_imc() -> None:
+                accepted = self.imc.submit(
+                    request,
+                    lambda req: self._fill_and_respond(
+                        req, cha_slice, location, respond
+                    ),
+                )
+                if not accepted:
+                    self.imc.wait_for_slot(request, to_imc)
+
+            self.mesh.send(hop, to_imc)
+
+    def _fill_and_respond(
+        self,
+        request: MemRequest,
+        cha_slice: CHASlice,
+        location: ServeLocation,
+        respond: Callable[[MemRequest, ServeLocation], None],
+    ) -> None:
+        """Data (or completion) arrived: install in LLC, return to core."""
+        if request.path is not Path.DWR:
+            state = MESIF.EXCLUSIVE if request.path in (
+                Path.RFO, Path.L2_HWPF_RFO
+            ) else MESIF.FORWARD
+            evicted = cha_slice.llc.fill(request.address, state=state)
+            if evicted is not None and evicted.dirty and self.writeback_sink:
+                self.writeback_sink(evicted.address)
+        respond(request, location)
+
+    # -- write-back path (DWr) -------------------------------------------------
+
+    def writeback(self, address: int, core_id: int, on_done=None) -> None:
+        """A dirty line leaves a core's private caches (DWr path).
+
+        Dirty data is absorbed by the LLC slice; if the line's home is CXL
+        or the LLC copy gets evicted later, the data moves to memory as an
+        RwD/WPQ store.  Write-backs to CXL-homed lines stream through to
+        the device (host LLC is not a persistence point for device memory
+        in this model), producing the CXL.mem store transactions of path #2.
+        """
+        request = MemRequest(
+            address=address,
+            path=Path.DWR,
+            core_id=core_id,
+            issue_time=self.engine.now,
+            is_store=True,
+        )
+        cha_slice = self.slice_for(address)
+        node = self.address_space.node_of(address)
+        event = TOR_EVENT_BY_PATH[Path.DWR]
+        self.pmu.add(self.scope, f"{event}.total")
+        self.directory.drop(request.line, core_id)
+
+        def done(req: MemRequest) -> None:
+            req.complete(self._memory_location(node.kind), self.engine.now)
+            self._emit_ocr(req, req.serve_location)
+            if on_done is not None:
+                on_done(req)
+
+        if node.kind is NodeKind.CXL:
+            self.pmu.add(self.scope, f"{event}.m_to_i")
+            m2pcie = self.m2pcie_by_node[node.node_id]
+            hop = self.mesh.cha_to_flexbus_latency()
+
+            def to_flexbus() -> None:
+                if not m2pcie.submit(request, done):
+                    m2pcie.wait_for_slot(to_flexbus)
+
+            self.mesh.send(hop, to_flexbus)
+        else:
+            self.pmu.add(self.scope, f"{event}.m_to_e")
+            cha_slice.llc.fill(address, state=MESIF.MODIFIED, dirty=True)
+            hop = self.mesh.cha_to_memory_latency(
+                cross_socket=node.kind is NodeKind.REMOTE_DDR
+            )
+
+            def to_imc() -> None:
+                if not self.imc.submit(request, done):
+                    self.imc.wait_for_slot(request, to_imc)
+
+            self.mesh.send(hop, to_imc)
+
+    # -- PMU sync ---------------------------------------------------------
+
+    def _sync(self, now: float) -> None:
+        for key, integral in self._occupancy.sync(now).items():
+            self.pmu.set(self.scope, f"unc_cha_tor_occupancy.{key}", integral)
+        for transition, count in self.directory.transitions.items():
+            self.pmu.set(self.scope, f"unc_cha_state.{transition}", float(count))
+        hits = sum(s.llc.hits for s in self.slices)
+        misses = sum(s.llc.misses for s in self.slices)
+        self.pmu.set(self.scope, "llc_lookup.hits", float(hits))
+        self.pmu.set(self.scope, "llc_lookup.misses", float(misses))

@@ -1,0 +1,605 @@
+"""Core model: pipeline front of the Clos network.
+
+A :class:`Core` pulls :class:`~repro.sim.request.MemOp` items from a
+workload, pushes them through its private hierarchy (SB -> L1D -> LFB ->
+L2) and hands L2 misses to the CHA.  It is the ingress stage of the
+paper's Clos view (section 4.1) and the place where every core-PMU event
+of Table 1 is produced.
+
+Stall semantics
+---------------
+The core blocks - and stall-cycle counters tick - in exactly the
+situations the paper measures:
+
+* store issue with a full SB (``resource_stalls.sb`` when loads are in
+  flight, ``exe_activity.bound_on_stores`` otherwise);
+* load miss with a full LFB (``l1d_pend_miss.fb_full``);
+* a dependent load whose producer has not returned, or the out-of-order
+  window (bounded outstanding demand loads) filling up - during such waits
+  ``memory_activity.stalls_l{1d,2}_miss`` / ``cycle_activity.stalls_l3_miss``
+  tick according to how deep the blocking load has missed.
+
+Latency observation mirrors perf's load-latency sampling: at completion,
+each demand load adds its end-to-end latency to a per-serve-location
+histogram (``lat_sample.<location>.{sum,count}``), which is what gives
+PFAnalyzer its per-hop delays without touching simulator internals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..pmu.registry import CounterRegistry
+from .address import AddressSpace
+from .cache import Cache, MESIF
+from .cha import CHA
+from .engine import Engine
+from .lfb import LineFillBuffer
+from .prefetch import CorePrefetchers
+from .request import MemOp, MemRequest, Path, ServeLocation
+from .store_buffer import StoreBuffer
+
+
+class GatedIntegrator:
+    """Integral of a count over time, plus cycles where count > 0.
+
+    The primitive behind ``offcore_requests_outstanding.*`` and
+    ``cycle_activity.cycles_l*_miss``.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.integral = 0.0
+        self.active_cycles = 0.0
+        self._last = 0.0
+
+    def _advance(self, now: float) -> None:
+        dt = now - self._last
+        if dt > 0:
+            self.integral += self.count * dt
+            if self.count > 0:
+                self.active_cycles += dt
+        self._last = now
+
+    def inc(self, now: float) -> None:
+        self._advance(now)
+        self.count += 1
+
+    def dec(self, now: float) -> None:
+        self._advance(now)
+        self.count -= 1
+
+    def sync(self, now: float) -> None:
+        self._advance(now)
+
+
+class Core:
+    """One CPU core with private L1D/L2, SB, LFB and prefetch engines."""
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: Engine,
+        pmu: CounterRegistry,
+        cha: CHA,
+        address_space: AddressSpace,
+        l1d_size: int = 48 * 1024,
+        l1d_ways: int = 12,
+        l2_size: int = 2 * (1 << 20),
+        l2_ways: int = 16,
+        sb_entries: int = 56,
+        lfb_entries: int = 16,
+        max_outstanding_loads: int = 48,
+        l1_latency: float = 5.0,
+        l2_latency: float = 15.0,
+        prefetchers: Optional[CorePrefetchers] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.engine = engine
+        self.pmu = pmu
+        self.cha = cha
+        self.address_space = address_space
+        self.scope = f"core{core_id}"
+        self.l1d = Cache(l1d_size, l1d_ways, name=f"core{core_id}.l1d")
+        self.l2 = Cache(l2_size, l2_ways, name=f"core{core_id}.l2")
+        self.sb = StoreBuffer(engine, sb_entries, core_id)
+        self.lfb = LineFillBuffer(engine, lfb_entries, core_id)
+        self.prefetchers = prefetchers or CorePrefetchers()
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.max_outstanding_loads = max_outstanding_loads
+
+        self._workload: Optional[Iterator[MemOp]] = None
+        self._l2_pf_pending: set = set()
+        self._rfo_pending: Dict[int, List] = {}
+        self._handover = None
+        self._running = False
+        # Optional sampling hook: tiering engines (TPP) register here to
+        # observe the virtual access stream, standing in for NUMA hint
+        # faults.  Called as probe(core_id, virtual_address, is_store).
+        self.access_probe: Optional[Callable[[int, int, bool], None]] = None
+        self._done_callback: Optional[Callable[[], None]] = None
+        self._last_load: Optional[MemRequest] = None
+        self._outstanding_demand: Dict[int, MemRequest] = {}
+
+        # Stall/latency integrators.
+        self._oro_demand_rd = GatedIntegrator()   # outstanding demand reads
+        self._oro_all_rd = GatedIntegrator()      # demand + prefetch reads
+        self._l1_miss_out = GatedIntegrator()
+        self._l2_miss_out = GatedIntegrator()
+        self._l3_miss_out = GatedIntegrator()
+        self.ops_completed = 0
+        self.loads_issued = 0
+        self.stores_issued = 0
+        pmu.on_sync(self._sync)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self, workload: Iterator[MemOp], on_done: Optional[Callable[[], None]] = None) -> None:
+        """Start executing ``workload``; ``on_done`` fires at exhaustion."""
+        if self._running:
+            raise RuntimeError(f"core {self.core_id} is already running")
+        self._workload = iter(workload)
+        self._done_callback = on_done
+        self._running = True
+        self.engine.after(0.0, self._next_op)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def request_preempt(
+        self, handover: Callable[[Iterator[MemOp], Optional[Callable[[], None]]], None]
+    ) -> None:
+        """Preempt at the next op boundary (OS context switch).
+
+        ``handover(remaining_ops, on_done)`` receives the un-consumed
+        workload iterator and the original completion callback, so the
+        scheduler can resume the thread on another core.  Requests already
+        in flight drain on this core, exactly as hardware would.
+        """
+        if not self._running:
+            raise RuntimeError(f"core {self.core_id} is not running anything")
+        self._handover = handover
+
+    def _next_op(self) -> None:
+        assert self._workload is not None
+        if self._handover is not None:
+            handover, self._handover = self._handover, None
+            workload, self._workload = self._workload, None
+            done, self._done_callback = self._done_callback, None
+            self._running = False
+            handover(workload, done)
+            return
+        try:
+            op = next(self._workload)
+        except StopIteration:
+            self._running = False
+            if self._done_callback:
+                self._done_callback()
+            return
+        self.pmu.add(self.scope, "inst_retired.any", 1.0 + op.gap)
+        if op.gap > 0:
+            self.engine.after(op.gap, lambda: self._issue(op))
+        else:
+            self._issue(op)
+
+    # -- issue -----------------------------------------------------------
+
+    def _issue(self, op: MemOp) -> None:
+        if self.access_probe is not None:
+            self.access_probe(self.core_id, op.address, op.is_store)
+        physical = self.address_space.translate(op.address)
+        if op.software_prefetch:
+            self._issue_swpf(physical)
+            self._op_done()
+            return
+        if op.is_store:
+            self._issue_store(physical)
+        else:
+            self._issue_load(physical, op.dependent)
+
+    def _op_done(self) -> None:
+        self.ops_completed += 1
+        self.engine.after(0.0, self._next_op)
+
+    # -- stall accounting ----------------------------------------------------
+
+    def _stalled(self, start: float, reason: str, request: Optional[MemRequest]) -> None:
+        """Book a blocked interval ``[start, now)`` against PMU counters."""
+        duration = self.engine.now - start
+        if duration <= 0:
+            return
+        if reason == "sb":
+            if self._outstanding_demand:
+                self.pmu.add(self.scope, "resource_stalls.sb", duration)
+            else:
+                self.pmu.add(self.scope, "exe_activity.bound_on_stores", duration)
+            return
+        if reason == "lfb_full":
+            self.pmu.add(self.scope, "l1d_pend_miss.fb_full", duration)
+        # Intel semantics: memory_activity.stalls_lX_miss counts execution
+        # stall cycles while *any* LX-miss demand load is outstanding.
+        # The blocking request's own miss flags stand in for the counts,
+        # which may already have been decremented by the time we wake.
+        if (
+            reason == "lfb_full"
+            or self._l1_miss_out.count > 0
+            or (request is not None and request.missed_l1)
+        ):
+            self.pmu.add(self.scope, "memory_activity.stalls_l1d_miss", duration)
+        if self._l2_miss_out.count > 0 or (
+            request is not None and request.missed_l2
+        ):
+            self.pmu.add(self.scope, "memory_activity.stalls_l2_miss", duration)
+        if self._l3_miss_out.count > 0 or (
+            request is not None and request.missed_llc
+        ):
+            self.pmu.add(self.scope, "cycle_activity.stalls_l3_miss", duration)
+
+    # -- store path (DWr / RFO, section 2.2 paths #2-#3) -------------------
+
+    def _issue_store(self, address: int) -> None:
+        entry = self.sb.allocate(address // 64)
+        if entry is None:
+            start = self.engine.now
+            self.sb.space_waiter.wait(
+                lambda: (self._stalled(start, "sb", None), self._issue_store(address))
+            )
+            return
+        self.stores_issued += 1
+        self.pmu.add(self.scope, "mem_inst_retired.all_stores")
+        for addr, path in self.prefetchers.on_l1_access(address):
+            self._issue_hw_prefetch(addr, path)
+        line = self.l1d.lookup(address)
+        if line is not None and line.state in (MESIF.MODIFIED, MESIF.EXCLUSIVE):
+            # Owned: commit in place, drain the SB entry after commit latency.
+            line.state = MESIF.MODIFIED
+            line.dirty = True
+            self.cha.directory.mark_modified(address // 64, self.core_id)
+            self.engine.after(self.l1_latency, lambda: self.sb.release(entry))
+            self._op_done()
+            return
+        # Not owned: RFO to gain exclusive access.  The pipeline moves on;
+        # the SB entry drains when ownership data returns.  Stores to a
+        # line whose RFO is already in flight coalesce onto it.
+        line = address // 64
+        pending = self._rfo_pending.get(line)
+        if pending is not None:
+            pending.append(entry)
+            self._op_done()
+            return
+        self._rfo_pending[line] = [entry]
+        request = MemRequest(
+            address=address,
+            path=Path.RFO,
+            core_id=self.core_id,
+            issue_time=self.engine.now,
+        )
+        request.missed_l1 = True
+        self.pmu.add(self.scope, "l2_rqsts.all_rfo")
+
+        def rfo_done(req: MemRequest) -> None:
+            self._fill_l1(req.address, state=MESIF.MODIFIED, dirty=True)
+            self.cha.directory.mark_modified(req.line, self.core_id)
+            self._record_latency(req)
+            for waiting in self._rfo_pending.pop(req.line, []):
+                self.sb.release(waiting)
+
+        self._access_l2(request, rfo_done)
+        self._op_done()
+
+    # -- load path (DRd, section 2.2 path #1) ----------------------------------
+
+    def _issue_load(self, address: int, dependent: bool) -> None:
+        # A dependent load must wait for the previous load's data; a full
+        # out-of-order window must wait for the oldest load to drain.
+        previous = self._last_load
+        blocker: Optional[MemRequest] = None
+        if dependent and previous is not None and previous.completion_time is None:
+            blocker = previous
+        elif len(self._outstanding_demand) >= self.max_outstanding_loads:
+            blocker = next(iter(self._outstanding_demand.values()))
+        if blocker is not None:
+            start = self.engine.now
+            self._watch_completion(
+                blocker,
+                lambda: (
+                    self._stalled(start, "load", blocker),
+                    self._issue_load(address, dependent),
+                ),
+            )
+            return
+        self.loads_issued += 1
+        self.pmu.add(self.scope, "mem_inst_retired.all_loads")
+        for addr, path in self.prefetchers.on_l1_access(address):
+            self._issue_hw_prefetch(addr, path)
+        line = self.l1d.lookup(address)
+        if line is not None:
+            self.pmu.add(self.scope, "mem_load_retired.l1_hit")
+            self._last_load = None
+            self._op_done()
+            return
+        request = MemRequest(
+            address=address,
+            path=Path.DRD,
+            core_id=self.core_id,
+            issue_time=self.engine.now,
+        )
+        request.missed_l1 = True
+        self._outstanding_demand[request.req_id] = request
+        self._l1_miss_out.inc(self.engine.now)
+        self._last_load = request
+        # LFB: coalesce onto an in-flight line, else take a new entry.
+        # Intel keeps l1_hit / l1_miss / fb_hit disjoint (Table 1).
+        if self.lfb.coalesce(request.line, lambda t: self._demand_filled(request)):
+            self.pmu.add(self.scope, "mem_load_retired.fb_hit")
+            self._op_done()
+            return
+        self.pmu.add(self.scope, "mem_load_retired.l1_miss")
+        self._allocate_lfb_and_descend(request)
+
+    def _allocate_lfb_and_descend(self, request: MemRequest) -> None:
+        entry = self.lfb.allocate(request)
+        if entry is None:
+            start = self.engine.now
+            self.lfb.space_waiter.wait(
+                lambda: (
+                    self._stalled(start, "lfb_full", None),
+                    self._allocate_lfb_and_descend(request),
+                )
+            )
+            return
+        self._oro_demand_rd.inc(self.engine.now)
+        self._oro_all_rd.inc(self.engine.now)
+
+        def load_done(req: MemRequest) -> None:
+            self._fill_l1(req.address, state=MESIF.EXCLUSIVE)
+            self._record_latency(req)
+            self._oro_demand_rd.dec(self.engine.now)
+            self._oro_all_rd.dec(self.engine.now)
+            self.lfb.fill(req.line)
+            self._demand_filled(req)
+
+        self._access_l2(request, load_done)
+        self._op_done()
+
+    def _demand_filled(self, request: MemRequest) -> None:
+        """A demand load's data is usable: clear outstanding bookkeeping."""
+        now = self.engine.now
+        if request.completion_time is None:
+            request.completion_time = now
+        self._outstanding_demand.pop(request.req_id, None)
+        self._l1_miss_out.dec(now)
+        if request.missed_l2 and request.path is Path.DRD:
+            self._l2_miss_out.dec(now)
+        if request.missed_llc and request.path is Path.DRD:
+            self._l3_miss_out.dec(now)
+        self._notify_completion(request)
+
+    def _watch_completion(self, request: MemRequest, callback: Callable[[], None]) -> None:
+        """Poll-free completion watch: piggyback on the request's fill."""
+        if request.completion_time is not None:
+            self.engine.after(0.0, callback)
+            return
+        waiters = getattr(request, "_completion_waiters", None)
+        if waiters is None:
+            waiters = []
+            setattr(request, "_completion_waiters", waiters)
+        waiters.append(callback)
+
+    def _notify_completion(self, request: MemRequest) -> None:
+        for callback in getattr(request, "_completion_waiters", []) or []:
+            self.engine.after(0.0, callback)
+        if hasattr(request, "_completion_waiters"):
+            setattr(request, "_completion_waiters", [])
+
+    # -- L2 and beyond ------------------------------------------------------
+
+    def _access_l2(
+        self, request: MemRequest, on_done: Callable[[MemRequest], None]
+    ) -> None:
+        """Look up L2 after the L1->L2 transfer latency."""
+
+        def at_l2() -> None:
+            request.stamp("l2", self.engine.now)
+            self._count_l2(request, hit=None)
+            line = self.l2.lookup(request.address)
+            # Prefetchers train on demand traffic only; letting prefetches
+            # re-train them would self-sustain an infinite stream.
+            if request.path in (Path.DRD, Path.RFO):
+                for addr, path in self.prefetchers.on_l2_access(
+                    request.address, request.path is Path.RFO
+                ):
+                    self._issue_hw_prefetch(addr, path)
+            if line is not None:
+                self._count_l2(request, hit=True)
+                if request.path in (Path.RFO, Path.L2_HWPF_RFO) and line.state in (
+                    MESIF.SHARED,
+                    MESIF.FORWARD,
+                ):
+                    # Upgrade needed despite L2 presence: go to CHA.
+                    self._count_l2(request, hit=False, silent=True)
+                    self._go_uncore(request, on_done)
+                    return
+                self.engine.after(
+                    self.l2_latency, lambda: self._l2_served(request, on_done)
+                )
+                return
+            self._count_l2(request, hit=False)
+            request.missed_l2 = True
+            if request.path is Path.DRD:
+                self._l2_miss_out.inc(self.engine.now)
+            self._go_uncore(request, on_done)
+
+        self.engine.after(self.l2_latency, at_l2)
+
+    def _l2_served(self, request: MemRequest, on_done) -> None:
+        request.complete(ServeLocation.L2, self.engine.now)
+        on_done(request)
+        self._notify_completion(request)
+
+    def _count_l2(self, request: MemRequest, hit: Optional[bool], silent: bool = False) -> None:
+        if hit is None:
+            self.pmu.add(self.scope, "l2_rqsts.references")
+            if request.path is Path.DRD:
+                self.pmu.add(self.scope, "l2_rqsts.all_demand_references")
+                self.pmu.add(self.scope, "l2_rqsts.all_demand_data_rd")
+            return
+        if silent:
+            return
+        suffix = "hit" if hit else "miss"
+        if request.path is Path.DRD:
+            self.pmu.add(self.scope, f"l2_rqsts.demand_data_rd_{suffix}")
+            self.pmu.add(self.scope, f"mem_load_retired.l2_{suffix}")
+            if not hit:
+                self.pmu.add(self.scope, "l2_rqsts.all_demand_miss")
+                self.pmu.add(self.scope, "offcore_requests.demand_data_rd")
+        elif request.path is Path.RFO:
+            self.pmu.add(self.scope, f"l2_rqsts.rfo_{suffix}")
+            if hit:
+                self.pmu.add(self.scope, "mem_store_retired.l2_hit")
+        elif request.path is Path.SWPF:
+            self.pmu.add(self.scope, f"l2_rqsts.swpf_{suffix}")
+        else:
+            self.pmu.add(self.scope, f"l2_rqsts.pf_{suffix}")
+        if not hit:
+            self.pmu.add(self.scope, "l2_rqsts.miss")
+            self.pmu.add(self.scope, "offcore_requests.all.requests")
+            if not request.is_store:
+                self.pmu.add(self.scope, "offcore_requests.data_rd")
+
+    def _go_uncore(self, request: MemRequest, on_done) -> None:
+        if request.path is Path.DRD:
+            # The L3-miss-outstanding meter ticks only once the CHA resolves
+            # the lookup as a miss; the CHA flips this hook at that point.
+            request.on_llc_miss = lambda: self._l3_miss_out.inc(self.engine.now)
+
+        def uncore_done(req: MemRequest) -> None:
+            self._fill_l2(req)
+            on_done(req)
+            self._notify_completion(req)
+
+        self.cha.submit(request, uncore_done)
+
+    # -- fills / evictions ---------------------------------------------------
+
+    def _fill_l2(self, request: MemRequest) -> None:
+        state = (
+            MESIF.EXCLUSIVE
+            if request.path in (Path.RFO, Path.L2_HWPF_RFO)
+            else MESIF.SHARED
+        )
+        evicted = self.l2.fill(request.address, state=state)
+        if evicted is not None:
+            self.l1d.invalidate(evicted.address)
+            if evicted.dirty:
+                self.cha.writeback(evicted.address, self.core_id)
+            else:
+                self.cha.directory.drop(evicted.address // 64, self.core_id)
+
+    def _fill_l1(self, address: int, state: MESIF, dirty: bool = False) -> None:
+        evicted = self.l1d.fill(address, state=state, dirty=dirty)
+        if evicted is not None:
+            self.pmu.add(self.scope, "l1d.replacement")
+            if evicted.dirty:
+                # Dirty L1 victim folds into L2 (write-back cache).
+                self.l2.fill(evicted.address, state=MESIF.MODIFIED, dirty=True)
+
+    def _record_latency(self, request: MemRequest) -> None:
+        if request.serve_location is None or request.completion_time is None:
+            return
+        location = request.serve_location.value
+        latency = request.completion_time - request.issue_time
+        self.pmu.add(self.scope, f"lat_sample.{location}.sum", latency)
+        self.pmu.add(self.scope, f"lat_sample.{location}.count")
+
+    # -- prefetch issue -----------------------------------------------------
+
+    def _issue_hw_prefetch(self, address: int, path: Path) -> None:
+        """Asynchronous prefetch: never blocks, drops instead of stalling."""
+        if self.l1d.probe(address) is not None:
+            return
+        request = MemRequest(
+            address=address,
+            path=path,
+            core_id=self.core_id,
+            issue_time=self.engine.now,
+        )
+        request.missed_l1 = True
+        if path is Path.L1_HWPF:
+            if self.lfb.full or self.lfb.outstanding(request.line) is not None:
+                return  # hardware drops prefetches under pressure
+            self.lfb.allocate(request)
+            self._oro_all_rd.inc(self.engine.now)
+
+            def l1pf_done(req: MemRequest) -> None:
+                self._fill_l1(req.address, state=MESIF.SHARED)
+                self._oro_all_rd.dec(self.engine.now)
+                self.lfb.fill(req.line)
+
+            self._access_l2(request, l1pf_done)
+        else:
+            if self.l2.probe(address) is not None:
+                return
+            if request.line in self._l2_pf_pending:
+                return  # already in flight; hardware would drop the dup
+            self._l2_pf_pending.add(request.line)
+
+            def l2pf_done(req: MemRequest) -> None:
+                self._l2_pf_pending.discard(req.line)
+
+            self._access_l2(request, l2pf_done)
+
+    def _issue_swpf(self, address: int) -> None:
+        self.pmu.add(self.scope, "sw_prefetch_access.any")
+        if self.l1d.probe(address) is not None:
+            return
+        request = MemRequest(
+            address=address,
+            path=Path.SWPF,
+            core_id=self.core_id,
+            issue_time=self.engine.now,
+        )
+        request.missed_l1 = True
+        if self.lfb.full or self.lfb.outstanding(request.line) is not None:
+            return
+
+        self.lfb.allocate(request)
+
+        def swpf_done(req: MemRequest) -> None:
+            self._fill_l1(req.address, state=MESIF.SHARED)
+            self.lfb.fill(req.line)
+
+        self._access_l2(request, swpf_done)
+
+    # -- PMU sync -----------------------------------------------------------
+
+    def _sync(self, now: float) -> None:
+        self.sb.sync(now)
+        self.lfb.sync(now)
+        for integ in (
+            self._oro_demand_rd,
+            self._oro_all_rd,
+            self._l1_miss_out,
+            self._l2_miss_out,
+            self._l3_miss_out,
+        ):
+            integ.sync(now)
+        s = self.scope
+        self.pmu.set(s, "sb.occupancy", self.sb.stats.occupancy_integral)
+        self.pmu.set(s, "sb.inserts", float(self.sb.allocations))
+        self.pmu.set(s, "lfb.occupancy", self.lfb.stats.occupancy_integral)
+        self.pmu.set(s, "lfb.inserts", float(self.lfb.allocations))
+        self.pmu.set(s, "ORO.demand_data_rd", self._oro_demand_rd.integral)
+        self.pmu.set(
+            s, "ORO.cycles_with_demand_data_rd", self._oro_demand_rd.active_cycles
+        )
+        self.pmu.set(s, "ORO.data_rd", self._oro_all_rd.integral)
+        self.pmu.set(s, "ORO.cycles_with_data_rd", self._oro_all_rd.active_cycles)
+        self.pmu.set(s, "cycle_activity.cycles_l1d_miss", self._l1_miss_out.active_cycles)
+        self.pmu.set(s, "cycle_activity.cycles_l2_miss", self._l2_miss_out.active_cycles)
+        self.pmu.set(s, "cycle_activity.cycles_l3_miss_out", self._l3_miss_out.active_cycles)
+        self.pmu.set(s, "ORO.l3_miss_demand_data_rd", self._l3_miss_out.integral)
+        self.pmu.set(s, "cpu_clk_unhalted", now)
+        self.pmu.set(s, "app.ops_completed", float(self.ops_completed))

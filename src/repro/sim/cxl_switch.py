@@ -1,0 +1,208 @@
+"""CXL switch: one fabric tier between the host and a device pool.
+
+The paper's introduction motivates next-generation CXL fabrics with
+multi-tier switching ("a disaggregated memory pool can provide tens to
+hundreds of terabytes"); its evaluation stops at directly-attached
+devices.  This module builds the next step: a store-and-forward switch
+that sits between one or more host root ports and several downstream
+Type-3 devices.
+
+Model: per-direction crossbar with input-queued ports.  A flit arriving
+from the host is queued at the switch ingress, takes ``forward_latency``
+to traverse the crossbar (serialised per output port at the port's
+bandwidth), and is delivered to the target device; responses flow back
+the same way.  The switch exposes PMU-style meters per port so PathFinder
+can treat it as one more Clos stage - which is exactly how the paper's
+system model would absorb it (section 4.2: "a middle stage").
+
+Use :func:`attach_switch` to retrofit a built machine: it interposes the
+switch on every (root port, device) pair, after which all CXL.mem traffic
+transits the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..pmu.registry import CounterRegistry
+from .cxl_device import CXLDevice
+from .engine import Engine
+from .flexbus import M2PCIe
+from .queues import MonitoredQueue, Server
+from .request import MemRequest
+
+
+class SwitchPort:
+    """One output-serialised direction of the crossbar."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bytes_per_cycle: float,
+        forward_latency: float,
+        queue_depth: int = 128,
+    ) -> None:
+        self.engine = engine
+        self.forward_latency = forward_latency
+        self.queue = MonitoredQueue(engine, queue_depth, name=name)
+        self._server = Server(
+            engine,
+            self.queue,
+            service_time=lambda item: item[0] / bytes_per_cycle,
+            on_done=self._forward,
+            name=name,
+        )
+
+    def _forward(self, item) -> None:
+        _flit_bytes, deliver = item
+        self.engine.after(self.forward_latency, deliver)
+
+    def send(self, flit_bytes: float, deliver: Callable[[], None]) -> bool:
+        return self._server.submit((flit_bytes, deliver))
+
+
+class CXLSwitch:
+    """An N-downstream-port CXL fabric switch."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pmu: CounterRegistry,
+        scope: str = "cxlsw0",
+        bytes_per_cycle: float = 32.0,
+        forward_latency: float = 60.0,
+        queue_depth: int = 128,
+    ) -> None:
+        self.engine = engine
+        self.pmu = pmu
+        self.scope = scope
+        self.bytes_per_cycle = bytes_per_cycle
+        self.forward_latency = forward_latency
+        self.queue_depth = queue_depth
+        self.down_ports: Dict[str, SwitchPort] = {}   # towards devices
+        self.up_ports: Dict[str, SwitchPort] = {}     # towards hosts
+        self.forwarded_down = 0
+        self.forwarded_up = 0
+        pmu.on_sync(self._sync)
+
+    def _port(self, ports: Dict[str, SwitchPort], key: str) -> SwitchPort:
+        port = ports.get(key)
+        if port is None:
+            direction = "down" if ports is self.down_ports else "up"
+            port = SwitchPort(
+                self.engine,
+                f"{self.scope}.{direction}.{key}",
+                self.bytes_per_cycle,
+                self.forward_latency,
+                self.queue_depth,
+            )
+            ports[key] = port
+        return port
+
+    def forward_to_device(
+        self, device_key: str, flit_bytes: float, deliver: Callable[[], None]
+    ) -> None:
+        self.forwarded_down += 1
+        port = self._port(self.down_ports, device_key)
+        if not port.send(flit_bytes, deliver):
+            # Input queue full: fabric credits throttle; retry shortly.
+            self.engine.after(
+                4.0, lambda: self.forward_to_device(device_key, flit_bytes, deliver)
+            )
+
+    def forward_to_host(
+        self, host_key: str, flit_bytes: float, deliver: Callable[[], None]
+    ) -> None:
+        self.forwarded_up += 1
+        port = self._port(self.up_ports, host_key)
+        if not port.send(flit_bytes, deliver):
+            self.engine.after(
+                4.0, lambda: self.forward_to_host(host_key, flit_bytes, deliver)
+            )
+
+    def _sync(self, now: float) -> None:
+        for direction, ports in (("down", self.down_ports), ("up", self.up_ports)):
+            for key, port in ports.items():
+                port.queue.stats.sync(now)
+                self.pmu.set(
+                    self.scope,
+                    f"unc_cxlsw_{direction}_occupancy.{key}",
+                    port.queue.stats.occupancy_integral,
+                )
+                self.pmu.set(
+                    self.scope,
+                    f"unc_cxlsw_{direction}_cycles_ne.{key}",
+                    port.queue.stats.cycles_not_empty,
+                )
+        self.pmu.set(self.scope, "unc_cxlsw_fwd_down", float(self.forwarded_down))
+        self.pmu.set(self.scope, "unc_cxlsw_fwd_up", float(self.forwarded_up))
+
+
+class _SwitchedEndpoint:
+    """Device-side shim: routes an M2PCIe's traffic through the switch."""
+
+    def __init__(
+        self,
+        switch: CXLSwitch,
+        device: CXLDevice,
+        host_key: str,
+        device_key: str,
+        port: M2PCIe,
+    ) -> None:
+        self.switch = switch
+        self.device = device
+        self.host_key = host_key
+        self.device_key = device_key
+        self.port = port
+
+    def receive(
+        self, request: MemRequest, respond: Callable[[MemRequest], None]
+    ) -> None:
+        flit_down = (
+            self.port.data_flit_bytes if request.is_store
+            else self.port.header_flit_bytes
+        )
+
+        def back_through_switch(req: MemRequest) -> None:
+            flit_up = (
+                self.port.header_flit_bytes if req.is_store
+                else self.port.data_flit_bytes
+            )
+            self.switch.forward_to_host(
+                self.host_key, flit_up, lambda: respond(req)
+            )
+
+        self.switch.forward_to_device(
+            self.device_key,
+            flit_down,
+            lambda: self.device.receive(request, back_through_switch),
+        )
+
+
+def attach_switch(
+    machine,
+    bytes_per_cycle: float = 32.0,
+    forward_latency: float = 60.0,
+    queue_depth: int = 128,
+) -> CXLSwitch:
+    """Interpose a fabric switch between a machine's root ports and its
+    CXL devices.  Every CXL access afterwards pays the switch traversal
+    (two crossings) - the "switched pooling case" of section 2.3."""
+    switch = CXLSwitch(
+        machine.engine,
+        machine.pmu,
+        bytes_per_cycle=bytes_per_cycle,
+        forward_latency=forward_latency,
+        queue_depth=queue_depth,
+    )
+    for node_id, port in machine.m2pcie.items():
+        device = machine.cxl_devices[node_id]
+        port.device = _SwitchedEndpoint(
+            switch,
+            device,
+            host_key="host0",
+            device_key=f"dev{node_id}",
+            port=port,
+        )
+    return switch

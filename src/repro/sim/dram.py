@@ -1,0 +1,70 @@
+"""DRAM media timing model.
+
+Both the host DDR5 DIMMs (behind the IMC) and the CXL device's DDR4
+(behind the device-side memory controller) are modelled as a bank of
+channels, each a bandwidth pipe with a fixed access latency on top:
+service time at the channel enforces bandwidth, and the remaining media
+latency elapses without holding the channel (column access overlaps with
+the next command's row activation in a real part; the PMU only sees CAS
+counts and pending-queue occupancy, which this shape reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .request import CACHELINE
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing of one DRAM module, expressed in CPU cycles.
+
+    ``access_latency``: idle-load latency of the media (activation + CAS +
+    data return).  ``bytes_per_cycle``: per-channel peak bandwidth.
+    """
+
+    access_latency: float
+    bytes_per_cycle: float
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.access_latency < 0 or self.bytes_per_cycle <= 0:
+            raise ValueError("invalid DRAM timing")
+        if self.channels < 1:
+            raise ValueError("need at least one channel")
+
+    @property
+    def service_cycles(self) -> float:
+        """Channel-occupancy time of one cacheline CAS."""
+        return CACHELINE / self.bytes_per_cycle
+
+    @property
+    def trailing_latency(self) -> float:
+        """Latency beyond channel occupancy (pure delay, no resource)."""
+        return max(0.0, self.access_latency - self.service_cycles)
+
+    @property
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        return self.bytes_per_cycle * self.channels
+
+
+def ddr5_timing(frequency_ghz: float = 2.0) -> DRAMTiming:
+    """SPR testbed DDR5: ~55 ns media latency, ~131 GB/s across 8 channels."""
+    cycles_per_ns = frequency_ghz
+    per_channel_gbs = 131.1 / 8
+    return DRAMTiming(
+        access_latency=55.0 * cycles_per_ns,
+        bytes_per_cycle=per_channel_gbs / frequency_ghz,
+        channels=8,
+    )
+
+
+def cxl_ddr4_timing(frequency_ghz: float = 2.0) -> DRAMTiming:
+    """Agilex CXL card DDR4: slower media, single effective channel."""
+    cycles_per_ns = frequency_ghz
+    return DRAMTiming(
+        access_latency=95.0 * cycles_per_ns,
+        bytes_per_cycle=(17.6 * 1.15) / frequency_ghz,
+        channels=1,
+    )

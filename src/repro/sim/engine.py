@@ -1,0 +1,121 @@
+"""Discrete-event simulation engine.
+
+The whole server is simulated as a network of queueing stages (the paper's
+"multi-stage Clos network" view, section 4.1).  Time is measured in CPU
+*cycles* as a float; the machine configuration maps cycles to wall-clock
+time via its core frequency.
+
+The engine is a classic event-heap scheduler.  Components never busy-wait:
+they schedule callbacks at absolute times, and anything that needs to block
+(a core stalled on a full buffer, a request waiting for a queue slot) parks
+itself on a :class:`Waiter` list that the resource owner wakes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Engine:
+    """Event-heap discrete-event scheduler keyed on CPU cycles."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._stopped = False
+
+    # -- scheduling ---------------------------------------------------
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event in the past: {time} < {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.at(self.now + delay, callback)
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the earliest pending event.  Returns False when idle."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        self._events_executed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        ``until`` bounds simulated time (events past it stay queued and the
+        clock is advanced exactly to ``until``); ``max_events`` bounds the
+        number of executed events.  Returns the final clock value.
+        """
+        executed = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            if max_events is not None and executed >= max_events:
+                return self.now
+            self.step()
+            executed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Abort :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+
+class Waiter:
+    """A FIFO parking lot for blocked actors.
+
+    Resources with finite capacity (store buffer, LFB, TOR, pending queues,
+    packing buffers) keep one of these; a blocked producer enqueues a
+    wake-up callback and the resource calls :meth:`wake_one` whenever a slot
+    frees.  Wake-ups run as fresh events so a waker never re-enters the
+    caller's stack.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._waiting: List[Callable[[], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def wait(self, callback: Callable[[], None]) -> None:
+        self._waiting.append(callback)
+
+    def wake_one(self) -> None:
+        if self._waiting:
+            callback = self._waiting.pop(0)
+            self._engine.after(0.0, callback)
+
+    def wake_all(self) -> None:
+        waiting, self._waiting = self._waiting, []
+        for callback in waiting:
+            self._engine.after(0.0, callback)

@@ -1,0 +1,135 @@
+"""Hardware prefetchers.
+
+Intel SPR/EMR cores carry L1D and L2 stride/stream prefetchers (and SPR
+adds an LLC prefetcher, section 2.2 path #4).  We implement a classic
+per-page stride detector: it watches demand accesses, learns a stride once
+it repeats with enough confidence, then issues ``degree`` prefetch
+requests ahead of the stream.  Prefetches are asynchronous - they do not
+stall the core - but consume the same downstream resources as demand
+requests, which is how the paper's HWPF-path congestion effects appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .request import CACHELINE, Path
+
+_PAGE_SHIFT = 12  # stride tracking region (4 KiB, like Intel's DCU IP)
+
+
+@dataclass
+class StrideEntry:
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-page stride detector emitting lookahead prefetch addresses."""
+
+    def __init__(
+        self,
+        path: Path,
+        degree: int = 2,
+        distance: int = 4,
+        table_entries: int = 64,
+        min_confidence: int = 2,
+    ) -> None:
+        if degree < 0 or distance < 1:
+            raise ValueError("degree must be >= 0 and distance >= 1")
+        self.path = path
+        self.degree = degree
+        self.distance = distance
+        self.table_entries = table_entries
+        self.min_confidence = min_confidence
+        self._table: Dict[int, StrideEntry] = {}
+        self._lru: List[int] = []
+        self.issued = 0
+        self.trained = 0
+
+    def observe(self, address: int) -> List[int]:
+        """Feed one demand access; returns prefetch addresses to issue."""
+        line = address // CACHELINE
+        page = address >> _PAGE_SHIFT
+        entry = self._table.get(page)
+        if entry is None:
+            self._insert(page, StrideEntry(last_line=line))
+            return []
+        self._touch(page)
+        stride = line - entry.last_line
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 8)
+        else:
+            entry.confidence = max(entry.confidence - 1, 0)
+            if entry.confidence == 0:
+                entry.stride = stride
+        entry.last_line = line
+        if entry.confidence < self.min_confidence or entry.stride == 0:
+            return []
+        self.trained += 1
+        prefetches = []
+        for k in range(1, self.degree + 1):
+            target = line + entry.stride * (self.distance + k - 1)
+            if target < 0:
+                continue
+            prefetches.append(target * CACHELINE)
+        self.issued += len(prefetches)
+        return prefetches
+
+    def _insert(self, page: int, entry: StrideEntry) -> None:
+        if len(self._table) >= self.table_entries:
+            victim = self._lru.pop(0)
+            del self._table[victim]
+        self._table[page] = entry
+        self._lru.append(page)
+
+    def _touch(self, page: int) -> None:
+        self._lru.remove(page)
+        self._lru.append(page)
+
+
+class CorePrefetchers:
+    """The L1D and L2 prefetch engines attached to one core.
+
+    The L2 prefetcher is trained by L2 accesses (i.e. L1 misses) and runs
+    deeper/stronger; the L1D (DCU) prefetcher is shallow.  ``l2_rfo_ratio``
+    makes a fraction of L2 prefetches RFO-flavoured, matching the
+    ``ocr.l2_hw_pf_rfo`` path in Table 5.
+    """
+
+    def __init__(
+        self,
+        l1_degree: int = 1,
+        l2_degree: int = 3,
+        l2_rfo_ratio: float = 0.0,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.l1 = StridePrefetcher(Path.L1_HWPF, degree=l1_degree, distance=4)
+        self.l2 = StridePrefetcher(Path.L2_HWPF_DRD, degree=l2_degree, distance=16)
+        self.l2_rfo_ratio = l2_rfo_ratio
+        self._l2_counter = 0
+
+    def on_l1_access(self, address: int) -> List[Tuple[int, Path]]:
+        if not self.enabled:
+            return []
+        return [(a, Path.L1_HWPF) for a in self.l1.observe(address)]
+
+    def on_l2_access(self, address: int, was_store: bool) -> List[Tuple[int, Path]]:
+        if not self.enabled:
+            return []
+        out: List[Tuple[int, Path]] = []
+        for a in self.l2.observe(address):
+            self._l2_counter += 1
+            rfo_every = (
+                int(1.0 / self.l2_rfo_ratio) if self.l2_rfo_ratio > 0 else 0
+            )
+            if was_store and rfo_every and self._l2_counter % rfo_every == 0:
+                out.append((a, Path.L2_HWPF_RFO))
+            else:
+                out.append((a, Path.L2_HWPF_DRD))
+        return out

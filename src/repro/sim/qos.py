@@ -1,0 +1,150 @@
+"""CXL 3.x QoS telemetry feedback loop (section 3.5's future work).
+
+The CXL 3.0/3.1 specification defines QoS telemetry for memory: the
+device classifies its own load (light / optimal / moderate overload /
+severe overload, derived here from the ``unc_cxlcm`` packing-buffer and
+MC occupancy counters) and reports a *DevLoad* indication in S2M
+responses; the host throttles its injection rate in response.  The paper
+notes that no shipping DIMM implements this yet and leaves it as future
+work - this module builds it: a per-root-port controller that samples the
+device's load class every window and adjusts the M2PCIe port arbitration
+delay with the spec's multiplicative backoff / additive recovery shape.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .cxl_device import CXLDevice, QoSLoadClass
+from .engine import Engine
+from .flexbus import M2PCIe
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class QoSConfig:
+    window_cycles: float = 5_000.0
+    base_arbitration: float = 4.0
+    max_arbitration: float = 64.0
+    backoff_moderate: float = 1.5   # multiplicative, per window
+    backoff_severe: float = 2.5
+    recovery_step: float = 2.0      # additive decrease toward base
+
+
+class DevLoadThrottler:
+    """Host-side injection throttle driven by device QoS telemetry.
+
+    Attach to one endpoint of a machine::
+
+        DevLoadThrottler.attach(machine, node_id)
+
+    The controller runs one window per ``window_cycles`` while the machine
+    has active workloads, then stops (so the event heap drains).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        port: M2PCIe,
+        device: CXLDevice,
+        config: Optional[QoSConfig] = None,
+        enabled: bool = True,
+        keep_running=None,
+    ) -> None:
+        self.engine = engine
+        self.port = port
+        self.device = device
+        self.config = config or QoSConfig()
+        self.enabled = enabled
+        self.history: List[Tuple[float, QoSLoadClass, float]] = []
+        self._last_occupancy_integral = 0.0
+        self._last_time = engine.now
+        # Predicate deciding whether another control window should run;
+        # without one the controller runs exactly one window per request.
+        self._keep_running = keep_running
+        if enabled:
+            self.port.arbitration_cycles = self.config.base_arbitration
+            self._schedule()
+
+    @classmethod
+    def attach(cls, machine, node_id: Optional[int] = None,
+               config: Optional[QoSConfig] = None,
+               enabled: bool = True) -> "DevLoadThrottler":
+        """Wire a throttler onto one of a machine's CXL endpoints."""
+        node = node_id if node_id is not None else machine.cxl_node.node_id
+        return cls(
+            machine.engine,
+            machine.m2pcie[node],
+            machine.cxl_devices[node],
+            config=config,
+            enabled=enabled,
+            keep_running=lambda: not machine.all_idle,
+        )
+
+    def _schedule(self) -> None:
+        self.engine.after(self.config.window_cycles, self._window)
+
+    def _window(self) -> None:
+        self.control()
+        if self._keep_running is None or self._keep_running():
+            self._schedule()
+
+    # -- control law -------------------------------------------------------
+
+    def window_load_class(self) -> QoSLoadClass:
+        """Device load class over the *last window* (not cumulative)."""
+        queue = self.device.mc_queue
+        queue.stats.sync(self.engine.now)
+        integral = queue.stats.occupancy_integral
+        elapsed = self.engine.now - self._last_time
+        window_occ = (
+            (integral - self._last_occupancy_integral) / elapsed
+            if elapsed > 0
+            else 0.0
+        )
+        self._last_occupancy_integral = integral
+        self._last_time = self.engine.now
+        capacity = queue.capacity or 1
+        ratio = window_occ / capacity
+        if ratio < 0.25:
+            return QoSLoadClass.LIGHT
+        if ratio < 0.5:
+            return QoSLoadClass.OPTIMAL
+        if ratio < 0.8:
+            return QoSLoadClass.MODERATE_OVERLOAD
+        return QoSLoadClass.SEVERE_OVERLOAD
+
+    def control(self) -> QoSLoadClass:
+        load = self.window_load_class()
+        if not self.enabled:
+            return load
+        arb = self.port.arbitration_cycles
+        cfg = self.config
+        if load is QoSLoadClass.SEVERE_OVERLOAD:
+            arb = min(cfg.max_arbitration, arb * cfg.backoff_severe)
+        elif load is QoSLoadClass.MODERATE_OVERLOAD:
+            arb = min(cfg.max_arbitration, arb * cfg.backoff_moderate)
+        else:
+            arb = max(cfg.base_arbitration, arb - cfg.recovery_step)
+        self.port.arbitration_cycles = arb
+        self.history.append((self.engine.now, load, arb))
+        logger.debug(
+            "devload window at %0.0f: %s, arbitration=%0.1f",
+            self.engine.now, load.value, arb,
+        )
+        return load
+
+    @property
+    def current_arbitration(self) -> float:
+        return self.port.arbitration_cycles
+
+    def throttled_windows(self) -> int:
+        return sum(
+            1
+            for _t, load, _arb in self.history
+            if load in (QoSLoadClass.MODERATE_OVERLOAD,
+                        QoSLoadClass.SEVERE_OVERLOAD)
+        )

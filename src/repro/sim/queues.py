@@ -1,0 +1,197 @@
+"""Monitored queueing primitives.
+
+Every uncore PMU counter in the paper (Tables 3-4) is one of three shapes:
+number of inserts, cycles-not-empty, or time-integrated occupancy, all over
+some hardware FIFO (RPQ/WPQ, TOR, M2PCIe ingress, CXL packing buffers).
+:class:`MonitoredQueue` provides exactly those three meters over a bounded
+FIFO; :class:`Server` adds a service process so a queue plus a server form
+one stage of the Clos network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import Engine, Waiter
+
+
+class QueueStats:
+    """Insert / not-empty / full / occupancy meters for one FIFO.
+
+    Occupancy and cycle counters are integrals over time, accumulated
+    lazily: ``_advance`` folds in ``depth * (now - last_update)`` whenever
+    depth changes or a reader syncs.
+    """
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.occupancy_integral = 0.0   # sum of depth over cycles
+        self.cycles_not_empty = 0.0
+        self.cycles_full = 0.0
+        self._depth = 0
+        self._capacity: Optional[int] = None
+        self._last_update = 0.0
+
+    def _advance(self, now: float) -> None:
+        dt = now - self._last_update
+        if dt < 0:
+            raise ValueError("time went backwards in queue stats")
+        if dt:
+            self.occupancy_integral += self._depth * dt
+            if self._depth > 0:
+                self.cycles_not_empty += dt
+            if self._capacity is not None and self._depth >= self._capacity:
+                self.cycles_full += dt
+            self._last_update = now
+
+    def on_insert(self, now: float) -> None:
+        self._advance(now)
+        self.inserts += 1
+        self._depth += 1
+
+    def on_remove(self, now: float) -> None:
+        self._advance(now)
+        if self._depth <= 0:
+            raise ValueError("removing from empty queue")
+        self._depth -= 1
+
+    def sync(self, now: float) -> None:
+        self._advance(now)
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def mean_occupancy(self, elapsed: float) -> float:
+        """Average queue length over ``elapsed`` cycles."""
+        if elapsed <= 0:
+            return 0.0
+        return self.occupancy_integral / elapsed
+
+
+class MonitoredQueue:
+    """Bounded FIFO with PMU-style meters and blocking producers.
+
+    ``try_push`` is non-blocking (returns False when full, letting the
+    caller count a stall and park on :attr:`space_waiter`); ``pop`` frees a
+    slot and wakes one parked producer.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: Optional[int] = None,
+        name: str = "queue",
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.stats = QueueStats()
+        self.stats._capacity = capacity
+        self._items: Deque[Any] = deque()
+        self.space_waiter = Waiter(engine)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def try_push(self, item: Any) -> bool:
+        if self.full:
+            return False
+        self._items.append(item)
+        self.stats.on_insert(self.engine.now)
+        return True
+
+    def push(self, item: Any) -> None:
+        """Push that trusts the caller already checked ``full``."""
+        if not self.try_push(item):
+            raise OverflowError(f"{self.name} is full (cap={self.capacity})")
+
+    def pop(self) -> Any:
+        if not self._items:
+            raise IndexError(f"{self.name} is empty")
+        item = self._items.popleft()
+        self.stats.on_remove(self.engine.now)
+        self.space_waiter.wake_one()
+        return item
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise IndexError(f"{self.name} is empty")
+        return self._items[0]
+
+
+class Server:
+    """A k-server service stage draining a :class:`MonitoredQueue`.
+
+    ``service_time(item)`` returns the cycles one server spends on an item;
+    ``on_done(item)`` fires when service completes.  Throughput is thus
+    ``servers / mean_service_time`` - this is how every bandwidth limit in
+    the simulator (DRAM channels, FlexBus link, CXL media) is expressed.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        queue: MonitoredQueue,
+        service_time: Callable[[Any], float],
+        on_done: Callable[[Any], None],
+        servers: int = 1,
+        name: str = "server",
+    ) -> None:
+        if servers <= 0:
+            raise ValueError(f"{name}: need at least one server")
+        self.engine = engine
+        self.queue = queue
+        self.service_time = service_time
+        self.on_done = on_done
+        self.servers = servers
+        self.name = name
+        self.busy = 0
+        self.busy_integral = 0.0
+        self._last_update = 0.0
+        self.completed = 0
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self.busy_integral += self.busy * (now - self._last_update)
+        self._last_update = now
+
+    def submit(self, item: Any) -> bool:
+        """Enqueue ``item`` and kick a server if one is idle."""
+        if not self.queue.try_push(item):
+            return False
+        self._dispatch()
+        return True
+
+    def _dispatch(self) -> None:
+        while self.busy < self.servers and not self.queue.empty:
+            item = self.queue.pop()
+            self._account()
+            self.busy += 1
+            delay = self.service_time(item)
+            if delay < 0:
+                raise ValueError(f"{self.name}: negative service time")
+            self.engine.after(delay, lambda it=item: self._finish(it))
+
+    def _finish(self, item: Any) -> None:
+        self._account()
+        self.busy -= 1
+        self.completed += 1
+        self.on_done(item)
+        self._dispatch()
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_integral / (elapsed * self.servers)

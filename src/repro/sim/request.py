@@ -1,0 +1,173 @@
+"""Memory request model.
+
+Section 2.2 of the paper identifies four architectural request classes that
+yield CXL.mem transactions: demand data read (DRd), demand write (DWr),
+read-for-ownership (RFO) and hardware/software prefetch.  Section 2.1 maps
+them onto the four CXL.mem flit transactions (M2S Req/RwD, S2M DRS/NDR).
+
+A :class:`MemRequest` is created by a core (or prefetcher) and threaded
+through every architectural module; each module stamps the request with the
+outcome it observed so PathFinder-side code never needs simulator internals
+beyond PMU counters, while tests can assert against the ground-truth trace.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+CACHELINE = 64  # bytes
+
+
+class Path(enum.Enum):
+    """Architectural data paths (paper Figure 1 and Table 5)."""
+
+    DRD = "DRd"            # demand data read
+    RFO = "RFO"            # read for ownership (demand store miss)
+    DWR = "DWr"            # demand write / writeback stream
+    L1_HWPF = "L1_HWPF"    # L1D hardware prefetch
+    L2_HWPF_DRD = "L2_HWPF_DRd"
+    L2_HWPF_RFO = "L2_HWPF_RFO"
+    SWPF = "SWPF"          # software prefetch (merges into DRd after L1D)
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self in _PREFETCH_PATHS
+
+    @property
+    def is_demand(self) -> bool:
+        return self in (Path.DRD, Path.RFO, Path.DWR)
+
+    @property
+    def family(self) -> str:
+        """Coarse grouping used in the paper's figures: DRd/RFO/HWPF/DWr."""
+        if self in (Path.L1_HWPF, Path.L2_HWPF_DRD, Path.L2_HWPF_RFO, Path.SWPF):
+            return "HWPF"
+        return self.value
+
+
+_PREFETCH_PATHS = frozenset(
+    {Path.L1_HWPF, Path.L2_HWPF_DRD, Path.L2_HWPF_RFO, Path.SWPF}
+)
+
+PATH_FAMILIES = ("DRd", "RFO", "HWPF", "DWr")
+
+
+class CXLOpcode(enum.Enum):
+    """CXL.mem transaction opcodes (section 2.1)."""
+
+    M2S_REQ = "Req"    # master-to-subordinate read request, no data
+    M2S_RWD = "RwD"    # master-to-subordinate write request with data
+    S2M_DRS = "DRS"    # data response (read return)
+    S2M_NDR = "NDR"    # no-data response (write completion)
+
+
+class ServeLocation(enum.Enum):
+    """Where a request was ultimately served (CHA Table 2 scenarios)."""
+
+    L1D = "L1D"
+    LFB = "LFB"
+    L2 = "L2"
+    LOCAL_LLC = "local_LLC"       # the core's own SNC cluster LLC slice
+    SNC_LLC = "snc_LLC"           # distant cluster slice on same socket
+    REMOTE_LLC = "remote_LLC"     # another socket's cache (snoop hit)
+    LOCAL_DRAM = "local_DRAM"
+    REMOTE_DRAM = "remote_DRAM"   # cross-socket DDR
+    CXL_DRAM = "CXL_DRAM"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (
+            ServeLocation.LOCAL_DRAM,
+            ServeLocation.REMOTE_DRAM,
+            ServeLocation.CXL_DRAM,
+        )
+
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One cacheline-granular memory request walking the Clos network."""
+
+    address: int
+    path: Path
+    core_id: int
+    issue_time: float
+    is_store: bool = False
+    mflow_id: Optional[int] = None
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    # Outcome stamps, filled in as the request traverses the hierarchy.
+    serve_location: Optional[ServeLocation] = None
+    completion_time: Optional[float] = None
+    missed_l1: bool = False
+    missed_l2: bool = False
+    missed_llc: bool = False
+    dest_node: Optional[int] = None       # NUMA node that owns the address
+    cxl_opcode: Optional[CXLOpcode] = None
+    hops: List[Tuple[str, float]] = field(default_factory=list)
+    # Optional hook the issuing core installs; the CHA fires it the moment
+    # the LLC lookup resolves as a miss (feeds the L3-miss-outstanding meter).
+    on_llc_miss: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        self.address = line_address(self.address)
+
+    # -- trace helpers --------------------------------------------------
+
+    def stamp(self, component: str, time: float) -> None:
+        self.hops.append((component, time))
+
+    def complete(self, location: ServeLocation, time: float) -> None:
+        self.serve_location = location
+        self.completion_time = time
+
+    @property
+    def latency(self) -> float:
+        if self.completion_time is None:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.completion_time - self.issue_time
+
+    @property
+    def line(self) -> int:
+        return self.address // CACHELINE
+
+    @property
+    def is_cxl(self) -> bool:
+        return self.serve_location is ServeLocation.CXL_DRAM or (
+            self.cxl_opcode is not None
+        )
+
+
+@dataclass
+class MemOp:
+    """One workload-level memory operation fed to a core.
+
+    ``gap`` is the number of compute cycles preceding the access (the
+    non-memory instruction stream); ``dependent`` marks a load that needs
+    the previous load's data before it can issue (pointer chasing);
+    ``software_prefetch`` turns the access into a non-blocking SW PF.
+    """
+
+    address: int
+    is_store: bool = False
+    gap: float = 0.0
+    dependent: bool = False
+    software_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("negative compute gap")
+        if self.software_prefetch and self.is_store:
+            raise ValueError("software prefetch cannot be a store")
+
+
+def line_address(address: int) -> int:
+    """Align ``address`` down to its cacheline base."""
+    if address < 0:
+        raise ValueError(f"negative address: {address:#x}")
+    return address & ~(CACHELINE - 1)

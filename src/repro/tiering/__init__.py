@@ -1,0 +1,22 @@
+"""Memory-tiering engines for the performance-optimisation case study.
+
+Case 7 (section 5.8) uses PathFinder to analyse and then improve page
+placement: TPP (transparent page placement) is the baseline migrator,
+Colloid balances per-tier access latency, and DynamicColloid is the
+paper's PathFinder-assisted variant that picks the control signal from the
+dominant request type.
+"""
+
+from .colloid import Colloid, ColloidConfig, DynamicColloid
+from .temperature import PageTemperature
+from .tpp import TPP, TPPConfig, TPPStats
+
+__all__ = [
+    "Colloid",
+    "ColloidConfig",
+    "DynamicColloid",
+    "PageTemperature",
+    "TPP",
+    "TPPConfig",
+    "TPPStats",
+]

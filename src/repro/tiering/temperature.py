@@ -1,0 +1,65 @@
+"""Page-temperature tracking.
+
+TPP-style tiering engines need to know which pages are hot.  The kernel
+uses NUMA hint faults and LRU scans; our stand-in samples the virtual
+access stream through the cores' ``access_probe`` hook and keeps an
+exponentially-decayed access count per virtual page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sim.address import PAGE_SIZE
+from ..sim.machine import Machine
+
+
+class PageTemperature:
+    """Decayed per-page access counts over the whole machine."""
+
+    def __init__(self, machine: Machine, sample_rate: int = 1) -> None:
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        self.machine = machine
+        self.sample_rate = sample_rate
+        self._heat: Dict[int, float] = {}
+        self._tick = 0
+        self.samples = 0
+        for core in machine.cores:
+            core.access_probe = self._probe
+
+    def _probe(self, core_id: int, virtual_address: int, is_store: bool) -> None:
+        self._tick += 1
+        if self._tick % self.sample_rate:
+            return
+        vpn = virtual_address // PAGE_SIZE
+        self._heat[vpn] = self._heat.get(vpn, 0.0) + 1.0
+        self.samples += 1
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Age all counters (run once per tiering epoch)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
+        self._heat = {
+            vpn: heat * factor for vpn, heat in self._heat.items() if heat * factor > 0.01
+        }
+
+    def heat(self, vpn: int) -> float:
+        return self._heat.get(vpn, 0.0)
+
+    def hottest(self, n: int) -> List[Tuple[int, float]]:
+        """Top-n (vpn, heat) pairs."""
+        return sorted(self._heat.items(), key=lambda kv: kv[1], reverse=True)[:n]
+
+    def coldest(self, n: int, vpns: List[int]) -> List[Tuple[int, float]]:
+        """The n coldest pages among ``vpns`` (candidates for demotion)."""
+        scored = [(vpn, self._heat.get(vpn, 0.0)) for vpn in vpns]
+        return sorted(scored, key=lambda kv: kv[1])[:n]
+
+    def tracked_pages(self) -> int:
+        return len(self._heat)
+
+    def detach(self) -> None:
+        for core in self.machine.cores:
+            if core.access_probe == self._probe:
+                core.access_probe = None

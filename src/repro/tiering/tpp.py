@@ -1,0 +1,133 @@
+"""TPP: Transparent Page Placement (Maruf et al., ASPLOS'23).
+
+The memory-tiering baseline of the paper's Case 7 (section 5.8).  TPP
+promotes pages that are accessed while resident on the slow CXL tier into
+local DDR, and demotes cold local pages to CXL when local memory is under
+pressure.  We reproduce the policy skeleton: an epoch task that
+
+1. samples page temperature (``PageTemperature``),
+2. promotes the hottest CXL-resident pages (rate-limited per epoch),
+3. demotes the coldest local pages when local free space drops below a
+   headroom watermark,
+4. decays temperatures.
+
+Migrations remap virtual pages in the machine's address space, so the next
+access naturally lands on the new tier - the same observable effect the
+kernel's migration has on the PMU counters.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.address import PAGE_SIZE, NodeKind
+from ..sim.machine import Machine
+from .temperature import PageTemperature
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class TPPConfig:
+    epoch_cycles: float = 20_000.0
+    promote_per_epoch: int = 64
+    demote_per_epoch: int = 64
+    hot_threshold: float = 2.0       # min heat to qualify for promotion
+    local_headroom_pages: int = 128  # demote when free local pages drop below
+    decay: float = 0.5
+    sample_rate: int = 1
+
+
+@dataclass
+class TPPStats:
+    promotions: int = 0
+    demotions: int = 0
+    epochs: int = 0
+
+
+class TPP:
+    """Epoch-driven page promotion/demotion between local DDR and CXL."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: Optional[TPPConfig] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.config = config or TPPConfig()
+        self.enabled = enabled
+        self.stats = TPPStats()
+        self.temperature = PageTemperature(
+            machine, sample_rate=self.config.sample_rate
+        )
+        self.local_node = machine.local_node.node_id
+        self.cxl_node = machine.cxl_node.node_id
+        if enabled:
+            self._schedule()
+
+    # -- epoch task ------------------------------------------------------
+
+    def _schedule(self) -> None:
+        self.machine.engine.after(self.config.epoch_cycles, self._epoch)
+
+    def _epoch(self) -> None:
+        if self.enabled:
+            self.run_epoch()
+        if not self.machine.all_idle:
+            self._schedule()
+
+    def run_epoch(self) -> None:
+        self.stats.epochs += 1
+        before = (self.stats.promotions, self.stats.demotions)
+        self._promote()
+        self._demote()
+        self.temperature.decay(self.config.decay)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "tpp epoch %d: +%d promotions, +%d demotions",
+                self.stats.epochs,
+                self.stats.promotions - before[0],
+                self.stats.demotions - before[1],
+            )
+
+    # -- promotion (CXL -> local) ------------------------------------------
+
+    def _promote(self) -> None:
+        space = self.machine.address_space
+        budget = self.config.promote_per_epoch
+        candidates = self.temperature.hottest(4 * budget)
+        for vpn, heat in candidates:
+            if budget <= 0:
+                break
+            if heat < self.config.hot_threshold:
+                break
+            node = space.page_node(vpn)
+            if node is None or node.kind is not NodeKind.CXL:
+                continue
+            if space.free_bytes(self.local_node) < PAGE_SIZE:
+                break
+            space.migrate_page(vpn, self.local_node)
+            self.stats.promotions += 1
+            budget -= 1
+
+    # -- demotion (local -> CXL) -------------------------------------------------
+
+    def _demote(self) -> None:
+        space = self.machine.address_space
+        free_pages = space.free_bytes(self.local_node) // PAGE_SIZE
+        if free_pages >= self.config.local_headroom_pages:
+            return
+        local_vpns = [
+            vpn
+            for vpn, frame in space.mapped_pages().items()
+            if space.node_of(frame).node_id == self.local_node
+        ]
+        budget = self.config.demote_per_epoch
+        for vpn, _heat in self.temperature.coldest(budget, local_vpns):
+            if space.free_bytes(self.cxl_node) < PAGE_SIZE:
+                break
+            space.migrate_page(vpn, self.cxl_node)
+            self.stats.demotions += 1

@@ -1,0 +1,97 @@
+"""Time-series window clustering.
+
+Section 4.6 step 3: partition snapshots into windows with similar values
+so the window length reflects how long an application stays in its
+current phase.  We use a bottom-up change-point segmentation: greedily
+merge adjacent segments while the merged segment's spread stays within a
+tolerance of the series' dynamic range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Window:
+    """One stable phase: ``[start, stop)`` indices over the snapshot list."""
+
+    start: int
+    stop: int
+    mean: float
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def cluster_windows(
+    values: Sequence[float], tolerance: float = 0.15, min_length: int = 1
+) -> List[Window]:
+    """Split a series into maximal windows of similar magnitude.
+
+    ``tolerance`` is the allowed within-window spread as a fraction of the
+    series' overall range; windows shorter than ``min_length`` are merged
+    into their closer neighbour.
+    """
+    if len(values) == 0:
+        return []
+    arr = np.asarray(values, dtype=np.float64)
+    spread = float(arr.max() - arr.min())
+    if spread == 0.0:
+        return [Window(0, len(arr), float(arr[0]))]
+    limit = tolerance * spread
+    windows: List[List[int]] = [[i, i + 1] for i in range(len(arr))]
+    # Greedy adjacent merging while the merged window stays tight.
+    merged = True
+    while merged and len(windows) > 1:
+        merged = False
+        out: List[List[int]] = [windows[0]]
+        for window in windows[1:]:
+            lo, hi = out[-1][0], window[1]
+            segment = arr[lo:hi]
+            if segment.max() - segment.min() <= limit:
+                out[-1][1] = hi
+                merged = True
+            else:
+                out.append(window)
+        windows = out
+    # Absorb too-short windows into the neighbour with the closer mean.
+    result = [
+        Window(lo, hi, float(arr[lo:hi].mean())) for lo, hi in windows
+    ]
+    changed = True
+    while changed and len(result) > 1:
+        changed = False
+        for i, window in enumerate(result):
+            if window.length >= min_length:
+                continue
+            neighbours = []
+            if i > 0:
+                neighbours.append(i - 1)
+            if i + 1 < len(result):
+                neighbours.append(i + 1)
+            target = min(
+                neighbours, key=lambda j: abs(result[j].mean - window.mean)
+            )
+            lo = min(result[target].start, window.start)
+            hi = max(result[target].stop, window.stop)
+            merged_window = Window(lo, hi, float(arr[lo:hi].mean()))
+            result = [
+                w for j, w in enumerate(result) if j not in (i, target)
+            ]
+            result.append(merged_window)
+            result.sort(key=lambda w: w.start)
+            changed = True
+            break
+    return result
+
+
+def dominant_window(windows: List[Window]) -> Window:
+    """The longest stable phase."""
+    if not windows:
+        raise ValueError("no windows")
+    return max(windows, key=lambda w: w.length)

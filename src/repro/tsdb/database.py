@@ -1,0 +1,100 @@
+"""In-memory time-series database (the paper's InfluxDB role, section 4.6).
+
+PFMaterializer encapsulates each profiling snapshot as a compacted record
+tagged with its timestamp and stores it in a time-series database, then
+explores execution characteristics with Flux queries.  This module
+provides the storage engine: measurements hold :class:`Record` rows
+(timestamp + tags + numeric fields); :class:`Query` (tsdb.query) gives the
+Flux-like pipeline on top.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Record:
+    """One row: a timestamped, tagged bag of numeric fields."""
+
+    timestamp: float
+    tags: Mapping[str, str]
+    fields: Mapping[str, float]
+
+    def tag(self, key: str, default: str = "") -> str:
+        return self.tags.get(key, default)
+
+    def field(self, key: str, default: float = 0.0) -> float:
+        return self.fields.get(key, default)
+
+
+class Measurement:
+    """Append-mostly store of records ordered by timestamp."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._records: List[Record] = []
+        self._timestamps: List[float] = []
+
+    def insert(self, record: Record) -> None:
+        index = bisect.bisect_right(self._timestamps, record.timestamp)
+        self._timestamps.insert(index, record.timestamp)
+        self._records.insert(index, record)
+
+    def range(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> List[Record]:
+        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        hi = (
+            len(self._records)
+            if stop is None
+            else bisect.bisect_right(self._timestamps, stop)
+        )
+        return self._records[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+
+class TimeSeriesDB:
+    """A bag of named measurements plus the entry point for queries."""
+
+    def __init__(self) -> None:
+        self._measurements: Dict[str, Measurement] = {}
+
+    def measurement(self, name: str) -> Measurement:
+        table = self._measurements.get(name)
+        if table is None:
+            table = Measurement(name)
+            self._measurements[name] = table
+        return table
+
+    def insert(
+        self,
+        measurement: str,
+        timestamp: float,
+        tags: Optional[Mapping[str, str]] = None,
+        fields: Optional[Mapping[str, float]] = None,
+    ) -> Record:
+        record = Record(
+            timestamp=timestamp, tags=dict(tags or {}), fields=dict(fields or {})
+        )
+        self.measurement(measurement).insert(record)
+        return record
+
+    def from_(self, measurement: str) -> "Query":
+        """Start a Flux-like query pipeline (``from(bucket: ...)``)."""
+        from .query import Query  # local import to avoid a cycle
+
+        return Query(list(self.measurement(measurement)))
+
+    def measurements(self) -> List[str]:
+        return sorted(self._measurements)
+
+    def __contains__(self, measurement: str) -> bool:
+        return measurement in self._measurements

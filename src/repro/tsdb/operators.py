@@ -1,0 +1,115 @@
+"""Flux-style series operators.
+
+The operators PFMaterializer's workflows call out in section 4.6:
+``min()``, ``max()``, ``avg()``, ``movingAverage()``, ``holtWinters()``
+(forecast of regular patterns) and ``pearsonr()`` (cross-flow correlation,
+used by the bandwidth-partition case to reach r=0.998 in Figure 11-b).
+All operate on plain sequences of floats.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def series_min(values: Sequence[float]) -> float:
+    _require_nonempty(values)
+    return float(np.min(values))
+
+
+def series_max(values: Sequence[float]) -> float:
+    _require_nonempty(values)
+    return float(np.max(values))
+
+
+def series_avg(values: Sequence[float]) -> float:
+    _require_nonempty(values)
+    return float(np.mean(values))
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Trailing moving average; the first ``window-1`` points average the
+    prefix (InfluxDB emits fewer points; a full-length output is easier to
+    align against the original series)."""
+    _require_nonempty(values)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(values, dtype=np.float64)
+    cumsum = np.cumsum(arr)
+    out = np.empty_like(arr)
+    for i in range(len(arr)):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out.tolist()
+
+
+def holt_winters(
+    values: Sequence[float],
+    horizon: int = 1,
+    alpha: float = 0.5,
+    beta: float = 0.3,
+    gamma: float = 0.3,
+    season_length: Optional[int] = None,
+) -> List[float]:
+    """Holt-Winters forecast (additive seasonality when season_length set).
+
+    Returns ``horizon`` forecast points past the end of the series.  Used
+    to test whether an application's access pattern is predictable
+    (section 4.6 step 4).
+    """
+    _require_nonempty(values)
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    arr = np.asarray(values, dtype=np.float64)
+    n = len(arr)
+    if season_length and n >= 2 * season_length:
+        m = season_length
+        season = np.array(
+            [arr[i::m][: n // m].mean() for i in range(m)], dtype=np.float64
+        )
+        season -= season.mean()
+        level = arr[:m].mean()
+        trend = (arr[m : 2 * m].mean() - arr[:m].mean()) / m
+        for i in range(n):
+            s_idx = i % m
+            prev_level = level
+            level = alpha * (arr[i] - season[s_idx]) + (1 - alpha) * (
+                level + trend
+            )
+            trend = beta * (level - prev_level) + (1 - beta) * trend
+            season[s_idx] = gamma * (arr[i] - level) + (1 - gamma) * season[s_idx]
+        return [
+            float(level + (h + 1) * trend + season[(n + h) % m])
+            for h in range(horizon)
+        ]
+    # Double exponential smoothing (no seasonality).
+    level = arr[0]
+    trend = arr[1] - arr[0] if n > 1 else 0.0
+    for i in range(1, n):
+        prev_level = level
+        level = alpha * arr[i] + (1 - alpha) * (level + trend)
+        trend = beta * (level - prev_level) + (1 - beta) * trend
+    return [float(level + (h + 1) * trend) for h in range(horizon)]
+
+
+def pearsonr(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length series."""
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    ax = np.asarray(x, dtype=np.float64)
+    ay = np.asarray(y, dtype=np.float64)
+    sx = ax.std()
+    sy = ay.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((ax - ax.mean()) * (ay - ay.mean())).mean() / (sx * sy))
+
+
+def _require_nonempty(values: Sequence[float]) -> None:
+    if len(values) == 0:
+        raise ValueError("empty series")

@@ -1,0 +1,104 @@
+"""Classical time-series analysis: trend, seasonality, residual.
+
+Section 4.6 step 4 applies TSA decomposition to snapshot series to expose
+data trends, periodic behaviour and anomalies.  We implement the textbook
+additive decomposition: centred-moving-average trend, per-phase seasonal
+means, and the leftover residual; anomalies are residual outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Decomposition:
+    trend: List[float]
+    seasonal: List[float]
+    residual: List[float]
+
+    def anomalies(self, z_threshold: float = 3.0) -> List[int]:
+        """Indices whose residual deviates more than ``z_threshold`` sigma."""
+        res = np.asarray(self.residual, dtype=np.float64)
+        finite = res[np.isfinite(res)]
+        if len(finite) < 2:
+            return []
+        sigma = finite.std()
+        if sigma == 0.0:
+            return []
+        mu = finite.mean()
+        return [
+            i
+            for i, value in enumerate(res)
+            if np.isfinite(value) and abs(value - mu) > z_threshold * sigma
+        ]
+
+
+def decompose(
+    values: Sequence[float], period: Optional[int] = None
+) -> Decomposition:
+    """Additive decomposition ``value = trend + seasonal + residual``.
+
+    Without a ``period`` the seasonal component is zero and the trend is a
+    centred moving average over ~an eighth of the series.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = len(arr)
+    if n == 0:
+        raise ValueError("empty series")
+    window = period if period else max(3, n // 8) | 1  # odd window
+    window = min(window if window % 2 else window + 1, n if n % 2 else n - 1)
+    window = max(window, 1)
+    trend = _centered_moving_average(arr, window)
+    detrended = arr - trend
+    if period and n >= 2 * period:
+        seasonal_means = np.array(
+            [np.nanmean(detrended[i::period]) for i in range(period)]
+        )
+        seasonal_means -= np.nanmean(seasonal_means)
+        seasonal = np.array([seasonal_means[i % period] for i in range(n)])
+    else:
+        seasonal = np.zeros(n)
+    residual = arr - trend - seasonal
+    return Decomposition(
+        trend=trend.tolist(), seasonal=seasonal.tolist(), residual=residual.tolist()
+    )
+
+
+def detect_period(values: Sequence[float], max_period: Optional[int] = None) -> Optional[int]:
+    """Dominant period via autocorrelation; None when nothing repeats."""
+    arr = np.asarray(values, dtype=np.float64)
+    n = len(arr)
+    if n < 6:
+        return None
+    arr = arr - arr.mean()
+    if arr.std() == 0.0:
+        return None
+    limit = max_period or n // 2
+    best_lag, best_corr = None, 0.3  # require meaningful correlation
+    for lag in range(2, min(limit, n - 2) + 1):
+        a = arr[:-lag]
+        b = arr[lag:]
+        denom = a.std() * b.std()
+        if denom == 0:
+            continue
+        corr = float((a * b).mean() / denom)
+        if corr > best_corr:
+            best_corr = corr
+            best_lag = lag
+    return best_lag
+
+
+def _centered_moving_average(arr: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1:
+        return arr.copy()
+    half = window // 2
+    out = np.empty_like(arr)
+    for i in range(len(arr)):
+        lo = max(0, i - half)
+        hi = min(len(arr), i + half + 1)
+        out[i] = arr[lo:hi].mean()
+    return out

@@ -1,0 +1,63 @@
+"""Synthetic workload generators standing in for the paper's 77 applications.
+
+The profiler observes memory-access streams, not binaries, so each
+application from Table 6 is represented by a deterministic generator of
+the same locality class and working-set size (scaled).  The catalog lives
+in :mod:`repro.workloads.suites`; the pattern primitives in
+:mod:`repro.workloads.synthetic`.
+"""
+
+from .base import Workload
+from .graph import BFSWorkload, CSRGraph, GraphWorkload, PageRankWorkload
+from .kv import KVClient, KVConfig, KVStore, KVWorkload
+from .parallel import ThreadShard, split_workload
+from .trace import TraceWorkload, record_trace, record_workload
+from .suites import APPLICATIONS, AppSpec, SCALE, build_app, suite_names
+from .synthetic import (
+    GUPS,
+    InterleavedFlows,
+    MBW,
+    HotColdAccess,
+    PhasedWorkload,
+    PointerChase,
+    RandomAccess,
+    SequentialStream,
+    SoftwarePrefetchStream,
+    StridedStream,
+    ZipfAccess,
+    throttled,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AppSpec",
+    "BFSWorkload",
+    "CSRGraph",
+    "GUPS",
+    "GraphWorkload",
+    "HotColdAccess",
+    "KVClient",
+    "KVConfig",
+    "KVStore",
+    "KVWorkload",
+    "InterleavedFlows",
+    "MBW",
+    "PageRankWorkload",
+    "PhasedWorkload",
+    "PointerChase",
+    "RandomAccess",
+    "SCALE",
+    "SequentialStream",
+    "TraceWorkload",
+    "SoftwarePrefetchStream",
+    "StridedStream",
+    "ThreadShard",
+    "Workload",
+    "ZipfAccess",
+    "build_app",
+    "record_trace",
+    "split_workload",
+    "record_workload",
+    "suite_names",
+    "throttled",
+]

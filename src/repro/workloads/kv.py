@@ -1,0 +1,193 @@
+"""Key-value store model (Redis + YCSB, section 5.1's service workload).
+
+The suite catalog's ``ycsb_*`` entries model the *memory stream* of a KV
+service; this module models the *service* itself, closely enough to
+report what YCSB reports - per-request latency percentiles:
+
+* a hash index (open addressing over an index array) and a value heap
+  live in one memory region that can be bound to any tier;
+* a GET is a dependent chain - index probe(s), then the value lines -
+  exactly the pointer-chase structure that makes KV latency track memory
+  latency;
+* a PUT walks the same chain and writes the value lines;
+* the closed-loop client issues one request at a time and records its
+  wall-clock cycles, yielding p50/p95/p99 like a YCSB run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.machine import Machine
+from ..sim.request import CACHELINE, MemOp
+from .base import Workload
+
+_INDEX_ENTRY_BYTES = 16
+
+
+@dataclass
+class KVConfig:
+    num_keys: int = 16384
+    value_bytes: int = 256
+    read_ratio: float = 0.95
+    zipf_theta: float = 0.99
+    probe_depth: int = 2          # mean index probes per lookup
+    compute_gap: float = 4.0      # service CPU work between accesses
+
+
+class KVStore:
+    """Address-space layout of the store: index array + value heap."""
+
+    def __init__(self, config: KVConfig, seed: int = 1) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.index_bytes = config.num_keys * _INDEX_ENTRY_BYTES
+        self.heap_bytes = config.num_keys * config.value_bytes
+        self.total_bytes = self.index_bytes + self.heap_bytes
+        # Value placement: a fixed random permutation (heap allocation).
+        self.value_slot = self.rng.permutation(config.num_keys)
+        # Zipf CDF over keys.
+        ranks = np.arange(
+            1, min(config.num_keys, 1 << 17) + 1, dtype=np.float64
+        )
+        weights = 1.0 / np.power(ranks, config.zipf_theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample_key(self) -> int:
+        rank = int(np.searchsorted(self._cdf, self.rng.random()))
+        # Scatter ranks so hot keys are not index-adjacent.
+        return (rank * 2654435761) % self.config.num_keys
+
+    def request_ops(self, base_address: int, key: int, is_get: bool) -> List[MemOp]:
+        """The memory accesses of one GET/PUT, as a dependent chain."""
+        config = self.config
+        ops: List[MemOp] = []
+        # Index probes: open-addressing walk from the key's home slot.
+        probes = 1 + int(self.rng.geometric(1.0 / config.probe_depth) - 1)
+        for p in range(probes):
+            slot = (key + p) % config.num_keys
+            ops.append(
+                MemOp(
+                    address=base_address + slot * _INDEX_ENTRY_BYTES,
+                    gap=config.compute_gap if p == 0 else 1.0,
+                    dependent=p > 0,
+                )
+            )
+        # Value lines: the first is dependent on the index lookup.
+        value_base = (
+            base_address
+            + self.index_bytes
+            + int(self.value_slot[key]) * config.value_bytes
+        )
+        lines = max(1, config.value_bytes // CACHELINE)
+        for i in range(lines):
+            ops.append(
+                MemOp(
+                    address=value_base + i * CACHELINE,
+                    is_store=not is_get,
+                    gap=1.0,
+                    dependent=(i == 0) and is_get,
+                )
+            )
+        return ops
+
+
+class KVWorkload(Workload):
+    """Open-loop stream of KV requests (for co-location scenarios)."""
+
+    def __init__(
+        self,
+        config: Optional[KVConfig] = None,
+        num_requests: int = 2000,
+        name: str = "kv",
+        seed: int = 1,
+        **kwargs,
+    ) -> None:
+        self.config = config or KVConfig()
+        self.store = KVStore(self.config, seed)
+        # num_ops is approximate (probes vary); report the mean shape.
+        ops_per_request = self.config.probe_depth + max(
+            1, self.config.value_bytes // CACHELINE
+        )
+        super().__init__(
+            name, self.store.total_bytes, num_requests * ops_per_request,
+            seed, **kwargs,
+        )
+        self.num_requests = num_requests
+
+    def ops(self) -> Iterator[MemOp]:
+        self.store.rng = np.random.default_rng(self.seed)
+        for _ in range(self.num_requests):
+            key = self.store.sample_key()
+            is_get = self.store.rng.random() < self.config.read_ratio
+            yield from self.store.request_ops(self.base_address, key, is_get)
+
+
+class KVClient:
+    """Closed-loop client: one request at a time, latency recorded."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        core: int,
+        node_id: int,
+        config: Optional[KVConfig] = None,
+        seed: int = 1,
+    ) -> None:
+        self.machine = machine
+        self.core = core
+        self.config = config or KVConfig()
+        self.store = KVStore(self.config, seed)
+        self.region = Workload("kv-region", self.store.total_bytes, 1, seed)
+        self.region.install(machine, node_id)
+        self.latencies: List[float] = []
+
+    def run(self, num_requests: int, max_events: int = 100_000_000) -> List[float]:
+        """Issue requests back to back; returns per-request cycles.
+
+        Requests chain inside the event loop (each completion pins the
+        next), so the machine never goes idle mid-session and concurrent
+        epoch tasks (TPP, QoS controllers) keep running.
+        """
+        base = self.region.base_address
+        state = {"issued": 0, "start": 0.0}
+
+        def issue_next() -> None:
+            if state["issued"] >= num_requests:
+                return
+            state["issued"] += 1
+            key = self.store.sample_key()
+            is_get = self.store.rng.random() < self.config.read_ratio
+            ops = self.store.request_ops(base, key, is_get)
+            state["start"] = self.machine.now
+            self.machine.pin(self.core, iter(ops), on_done=finish)
+
+        def finish() -> None:
+            self.latencies.append(self.machine.now - state["start"])
+            issue_next()
+
+        issue_next()
+        self.machine.run(max_events=max_events)
+        if len(self.latencies) < num_requests:
+            raise RuntimeError(
+                f"only {len(self.latencies)}/{num_requests} requests completed"
+            )
+        return self.latencies
+
+    def percentiles(self, *points: float) -> Tuple[float, ...]:
+        if not self.latencies:
+            raise ValueError("run() first")
+        arr = np.sort(np.asarray(self.latencies))
+        return tuple(
+            float(np.percentile(arr, p)) for p in (points or (50, 95, 99))
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            raise ValueError("run() first")
+        return float(np.mean(self.latencies))

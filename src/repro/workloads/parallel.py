@@ -1,0 +1,104 @@
+"""Multi-threaded workloads.
+
+The paper's PARSEC/SPLASH-2x/GAP applications run 1-64 threads (Table 6);
+threads share the working set, which is what makes the coherence paths -
+core-to-core snoops, HitM forwards, RFO invalidations - light up in the
+CHA PMU.  :func:`split_workload` shards one catalog workload across N
+cores over a *single shared region*: each thread owns a private slice and
+touches a configurable fraction of shared lines, so the directory sees
+both private and contended traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..sim.request import CACHELINE, MemOp
+from .base import Workload
+
+
+class ThreadShard(Workload):
+    """One thread of a parallel workload: private slice + shared lines."""
+
+    def __init__(
+        self,
+        parent_name: str,
+        thread_id: int,
+        num_threads: int,
+        working_set_bytes: int,
+        num_ops: int,
+        read_ratio: float,
+        shared_fraction: float,
+        gap: float,
+        seed: int,
+        vpn_base: int,
+    ) -> None:
+        super().__init__(
+            f"{parent_name}.t{thread_id}",
+            working_set_bytes,
+            num_ops,
+            seed + thread_id * 7919,
+            vpn_base=vpn_base,
+        )
+        self.thread_id = thread_id
+        self.num_threads = num_threads
+        self.read_ratio = read_ratio
+        self.shared_fraction = shared_fraction
+        self.gap = gap
+
+    def ops(self) -> Iterator[MemOp]:
+        self.reseed()
+        lines = max(self.num_threads * 2, self.working_set_bytes // CACHELINE)
+        # The shared pool is the first slice of the region; private slices
+        # partition the rest.
+        shared_lines = max(1, int(lines * 0.1))
+        private_lines = max(1, (lines - shared_lines) // self.num_threads)
+        private_base = shared_lines + self.thread_id * private_lines
+        n = self.num_ops
+        is_shared = self.rng.random(n) < self.shared_fraction
+        shared_picks = self.rng.integers(0, shared_lines, n)
+        private_picks = private_base + self.rng.integers(0, private_lines, n)
+        stores = self.rng.random(n) >= self.read_ratio
+        for i in range(n):
+            line = int(shared_picks[i]) if is_shared[i] else int(private_picks[i])
+            yield MemOp(
+                address=self._addr(line * CACHELINE),
+                is_store=bool(stores[i]),
+                gap=self.gap,
+            )
+
+
+def split_workload(
+    name: str,
+    num_threads: int,
+    working_set_bytes: int,
+    num_ops_per_thread: int = 4000,
+    read_ratio: float = 0.8,
+    shared_fraction: float = 0.2,
+    gap: float = 3.0,
+    seed: int = 1,
+) -> List[ThreadShard]:
+    """Build N thread shards over one shared region.
+
+    All shards report the same ``vpn_base``, so installing *any one* of
+    them places the whole region; install exactly one and pin each shard
+    to its own core.
+    """
+    if num_threads < 1:
+        raise ValueError("need at least one thread")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError("shared_fraction must be in [0, 1]")
+    first = ThreadShard(
+        name, 0, num_threads, working_set_bytes, num_ops_per_thread,
+        read_ratio, shared_fraction, gap, seed, vpn_base=None,
+    )
+    shards = [first]
+    for thread_id in range(1, num_threads):
+        shards.append(
+            ThreadShard(
+                name, thread_id, num_threads, working_set_bytes,
+                num_ops_per_thread, read_ratio, shared_fraction, gap, seed,
+                vpn_base=first.vpn_base,
+            )
+        )
+    return shards

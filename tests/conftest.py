@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Simulation runs are the expensive part of this suite, so the profiled
+sessions that many tests inspect are produced once per test session by
+module-scoped fixtures and shared read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AppSpec, PathFinder, ProfileSpec
+from repro.sim import Machine, spr_config
+from repro.workloads import RandomAccess, SequentialStream
+
+
+def tiny_config(**overrides):
+    defaults = dict(num_cores=2)
+    defaults.update(overrides)
+    return spr_config(**defaults)
+
+
+@pytest.fixture
+def machine():
+    return Machine(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def cxl_session():
+    """A profiled run of a mixed read/write stream bound to CXL memory."""
+    m = Machine(spr_config(num_cores=2))
+    w = SequentialStream(
+        name="fixture-stream", num_ops=6000, working_set_bytes=1 << 21,
+        read_ratio=0.8, seed=11,
+    )
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=w, core=0, membind=m.cxl_node.node_id)],
+        epoch_cycles=25_000.0,
+    )
+    profiler = PathFinder(m, spec)
+    result = profiler.run()
+    return m, profiler, result
+
+
+@pytest.fixture(scope="session")
+def local_session():
+    """The same stream bound to local DDR, for local-vs-CXL comparisons."""
+    m = Machine(spr_config(num_cores=2))
+    w = SequentialStream(
+        name="fixture-stream", num_ops=6000, working_set_bytes=1 << 21,
+        read_ratio=0.8, seed=11,
+    )
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=w, core=0, membind=m.local_node.node_id)],
+        epoch_cycles=25_000.0,
+    )
+    profiler = PathFinder(m, spec)
+    result = profiler.run()
+    return m, profiler, result
+
+
+@pytest.fixture(scope="session")
+def random_cxl_session():
+    """A pointer-free random workload on CXL (stress, no prefetch cover)."""
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(
+        name="fixture-random", num_ops=5000, working_set_bytes=1 << 22,
+        read_ratio=0.7, seed=23,
+    )
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=w, core=0, membind=m.cxl_node.node_id)],
+        epoch_cycles=25_000.0,
+    )
+    profiler = PathFinder(m, spec)
+    return m, profiler, profiler.run()

@@ -1,0 +1,110 @@
+"""Unit tests for PFAnalyzer's Little's-law math over synthetic deltas."""
+
+import pytest
+
+from repro.core.analyzer import W_TAG_L1, W_TAG_L2, PFAnalyzer
+from repro.core.snapshot import Snapshot
+
+
+def snapshot(delta, duration=10_000.0):
+    return Snapshot(t_start=0.0, t_end=duration, delta=delta)
+
+
+def drd_delta(
+    l1_hits=1000.0, l1_misses=100.0, fb_hits=0.0,
+    l2_hits=60.0, l2_misses=40.0,
+    llc_hits=10.0, offcore=40.0,
+    lfb_inserts=100.0, lfb_occupancy=20_000.0,
+    l2_latency=20.0, llc_latency=80.0, mem_latency=700.0,
+    tor_miss_occ=21_000.0, tor_miss_inserts=30.0,
+):
+    return {
+        ("core0", "mem_load_retired.l1_hit"): l1_hits,
+        ("core0", "mem_load_retired.l1_miss"): l1_misses,
+        ("core0", "mem_load_retired.fb_hit"): fb_hits,
+        ("core0", "l2_rqsts.demand_data_rd_hit"): l2_hits,
+        ("core0", "l2_rqsts.demand_data_rd_miss"): l2_misses,
+        ("core0", "lfb.inserts"): lfb_inserts,
+        ("core0", "lfb.occupancy"): lfb_occupancy,
+        ("core0", "ocr.demand_data_rd.any_response"): offcore,
+        ("core0", "ocr.demand_data_rd.l3_hit"): llc_hits,
+        ("core0", "ocr.demand_data_rd.cxl_dram"): offcore - llc_hits,
+        ("core0", "lat_sample.L2.sum"): l2_latency * l2_hits,
+        ("core0", "lat_sample.L2.count"): l2_hits,
+        ("core0", "lat_sample.local_LLC.sum"): llc_latency * llc_hits,
+        ("core0", "lat_sample.local_LLC.count"): llc_hits,
+        ("core0", "lat_sample.CXL_DRAM.sum"): mem_latency * (offcore - llc_hits),
+        ("core0", "lat_sample.CXL_DRAM.count"): offcore - llc_hits,
+        ("cha0", "unc_cha_tor_occupancy.ia_drd.miss"): tor_miss_occ,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss"): tor_miss_inserts,
+    }
+
+
+def test_l1d_queue_is_hit_rate_times_hit_delay_plus_tag():
+    report = PFAnalyzer().analyze(snapshot(drd_delta()))
+    clocks = 10_000.0
+    expected = (
+        1000.0 / clocks * (W_TAG_L1 + 1.0)    # hits
+        + 100.0 / clocks * W_TAG_L1           # misses: tag lookup only
+    )
+    assert report.queue("L1D", "DRd") == pytest.approx(expected, rel=1e-6)
+
+
+def test_lfb_queue_uses_occupancy_residency():
+    report = PFAnalyzer().analyze(snapshot(drd_delta()))
+    # Residency = occupancy / inserts = 200 cycles; arrivals include
+    # fb-hits + allocations.
+    residency = 20_000.0 / 100.0
+    rate = (0.0 + 100.0) / 10_000.0
+    assert report.queue("LFB", "DRd") == pytest.approx(rate * residency,
+                                                       rel=1e-6)
+
+
+def test_llc_miss_flow_uses_tor_residency():
+    report = PFAnalyzer().analyze(snapshot(drd_delta()))
+    clocks = 10_000.0
+    tor_residency = 21_000.0 / 30.0  # 700 cycles per missing request
+    hits_part = 10.0 / clocks * (80.0 - 20.0)  # llc hit delay increment
+    misses = 40.0 - 10.0
+    miss_part = misses / clocks * tor_residency
+    assert report.queue("LLC", "DRd") == pytest.approx(
+        hits_part + miss_part, rel=1e-6
+    )
+
+
+def test_l2_uses_tag_cost_for_misses():
+    report = PFAnalyzer().analyze(snapshot(drd_delta()))
+    clocks = 10_000.0
+    l1_hit_delay = W_TAG_L1 + 1.0
+    l2_hit_delay = max(20.0 - l1_hit_delay, W_TAG_L2)
+    expected = 60.0 / clocks * l2_hit_delay + 40.0 / clocks * W_TAG_L2
+    assert report.queue("L2", "DRd") == pytest.approx(expected, rel=1e-6)
+
+
+def test_culprit_is_max_queue():
+    report = PFAnalyzer().analyze(snapshot(drd_delta()))
+    culprit = report.culprit()
+    assert culprit is not None
+    assert culprit.queue_length == max(
+        e.queue_length for e in report.estimates
+    )
+
+
+def test_empty_snapshot_no_estimates():
+    report = PFAnalyzer().analyze(snapshot({}))
+    assert report.culprit() is None
+    assert report.by_component() == {}
+
+
+def test_flexbus_estimates_require_cxl_scope():
+    delta = drd_delta()
+    delta[("m2pcie1", "unc_m2p_txc_inserts.bl")] = 30.0
+    delta[("m2pcie1", "unc_m2p_rxc_occupancy.all")] = 3_000.0
+    delta[("m2pcie1", "unc_m2p_link_occupancy")] = 1_500.0
+    delta[("cxl1", "unc_cxlcm_rxc_pack_buf_occupancy.mem_req")] = 600.0
+    delta[("cxl1", "unc_cxlcm_mc_occupancy")] = 900.0
+    delta[("cha0", "unc_cha_tor_inserts.ia_drd.miss_cxl")] = 30.0
+    report = PFAnalyzer().analyze(snapshot(delta))
+    flexbus = report.queue("FlexBus+MC", "DRd")
+    # W = (3000+1500+600+900)/30 = 200; lambda = 30/10000.
+    assert flexbus == pytest.approx(30.0 / 10_000.0 * 200.0, rel=1e-6)

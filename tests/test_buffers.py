@@ -1,0 +1,133 @@
+"""Unit tests for the store buffer and line-fill buffer."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.lfb import LineFillBuffer
+from repro.sim.request import MemRequest, Path
+from repro.sim.store_buffer import StoreBuffer
+
+
+def _req(line: int) -> MemRequest:
+    return MemRequest(address=line * 64, path=Path.DRD, core_id=0, issue_time=0.0)
+
+
+# -- store buffer -----------------------------------------------------------
+
+
+def test_sb_allocate_until_full():
+    sb = StoreBuffer(Engine(), entries=2)
+    assert sb.allocate(1) is not None
+    assert sb.allocate(2) is not None
+    assert sb.full
+    assert sb.allocate(3) is None
+
+
+def test_sb_release_frees_slot_and_wakes():
+    engine = Engine()
+    sb = StoreBuffer(engine, entries=1)
+    entry = sb.allocate(1)
+    woken = []
+    sb.space_waiter.wait(lambda: woken.append(True))
+    sb.release(entry)
+    engine.run()
+    assert not sb.full
+    assert woken == [True]
+
+
+def test_sb_release_empty_raises():
+    sb = StoreBuffer(Engine(), entries=1)
+    entry = sb.allocate(1)
+    sb.release(entry)
+    with pytest.raises(ValueError):
+        sb.release(entry)
+
+
+def test_sb_occupancy_statistics():
+    engine = Engine()
+    sb = StoreBuffer(engine, entries=4)
+    entry = sb.allocate(1)
+    engine.at(10.0, lambda: sb.release(entry))
+    engine.run()
+    sb.sync(20.0)
+    assert sb.stats.occupancy_integral == pytest.approx(10.0)
+    assert sb.allocations == 1
+
+
+def test_sb_invalid_size():
+    with pytest.raises(ValueError):
+        StoreBuffer(Engine(), entries=0)
+
+
+# -- line fill buffer ----------------------------------------------------------
+
+
+def test_lfb_allocate_and_fill():
+    engine = Engine()
+    lfb = LineFillBuffer(engine, entries=2)
+    req = _req(5)
+    entry = lfb.allocate(req)
+    assert entry is not None
+    assert lfb.outstanding(5) is entry
+    released = lfb.fill(5)
+    assert released.primary is req
+    assert lfb.outstanding(5) is None
+
+
+def test_lfb_full_returns_none():
+    lfb = LineFillBuffer(Engine(), entries=1)
+    assert lfb.allocate(_req(1)) is not None
+    assert lfb.full
+    assert lfb.allocate(_req(2)) is None
+
+
+def test_lfb_duplicate_line_allocation_rejected():
+    lfb = LineFillBuffer(Engine(), entries=4)
+    lfb.allocate(_req(1))
+    with pytest.raises(ValueError):
+        lfb.allocate(_req(1))
+
+
+def test_lfb_coalesce_counts_fb_hit_and_wakes_on_fill():
+    engine = Engine()
+    lfb = LineFillBuffer(engine, entries=4)
+    lfb.allocate(_req(1))
+    woken = []
+    assert lfb.coalesce(1, lambda t: woken.append(t))
+    assert lfb.fb_hits == 1
+    engine.at(42.0, lambda: lfb.fill(1))
+    engine.run()
+    assert woken == [42.0]
+
+
+def test_lfb_coalesce_miss_returns_false():
+    lfb = LineFillBuffer(Engine(), entries=4)
+    assert not lfb.coalesce(9, lambda t: None)
+    assert lfb.fb_hits == 0
+
+
+def test_lfb_fill_unknown_line_raises():
+    lfb = LineFillBuffer(Engine(), entries=4)
+    with pytest.raises(KeyError):
+        lfb.fill(3)
+
+
+def test_lfb_fill_wakes_space_waiter():
+    engine = Engine()
+    lfb = LineFillBuffer(engine, entries=1)
+    lfb.allocate(_req(1))
+    woken = []
+    lfb.space_waiter.wait(lambda: woken.append(True))
+    lfb.fill(1)
+    engine.run()
+    assert woken == [True]
+
+
+def test_lfb_occupancy_integral():
+    engine = Engine()
+    lfb = LineFillBuffer(engine, entries=4)
+    lfb.allocate(_req(1))
+    engine.at(8.0, lambda: lfb.fill(1))
+    engine.run()
+    lfb.sync(10.0)
+    assert lfb.stats.occupancy_integral == pytest.approx(8.0)

@@ -1,0 +1,110 @@
+"""Unit tests for PFBuilder over synthetic counter deltas."""
+
+import pytest
+
+from repro.core.builder import PFBuilder
+from repro.core.snapshot import Snapshot
+
+
+def build(delta):
+    return PFBuilder().build(Snapshot(t_start=0.0, t_end=1000.0, delta=delta))
+
+
+def test_core_rows_from_table5_counters():
+    pm = build({
+        ("core0", "mem_load_retired.l1_hit"): 100.0,
+        ("core0", "mem_load_retired.fb_hit"): 20.0,
+        ("core0", "l2_rqsts.demand_data_rd_hit"): 30.0,
+        ("core0", "l2_rqsts.rfo_hit"): 7.0,
+        ("core0", "l2_rqsts.pf_hit"): 4.0,
+        ("core0", "l2_rqsts.swpf_hit"): 1.0,
+        ("core0", "mem_inst_retired.all_stores"): 50.0,
+        ("core0", "mem_store_retired.l2_hit"): 9.0,
+    })
+    assert pm.core_hits(0, "DRd", "L1D") == 100.0
+    assert pm.core_hits(0, "DRd", "LFB") == 20.0
+    assert pm.core_hits(0, "DRd", "L2") == 30.0
+    assert pm.core_hits(0, "RFO", "L2") == 7.0
+    assert pm.core_hits(0, "HWPF", "L2") == 5.0
+    assert pm.core_hits(0, "DWr", "SB") == 50.0
+    assert pm.core_hits(0, "DWr", "L2") == 9.0
+
+
+def test_uncore_rows_from_ocr_counters():
+    pm = build({
+        ("core0", "ocr.demand_data_rd.l3_hit"): 5.0,
+        ("core0", "ocr.demand_data_rd.snc_cache"): 3.0,
+        ("core0", "ocr.demand_data_rd.cxl_dram"): 12.0,
+        ("core0", "ocr.rfo.local_dram"): 2.0,
+        ("core0", "ocr.l2_hw_pf_drd.cxl_dram"): 8.0,
+        ("core0", "ocr.l1d_hw_pf.cxl_dram"): 2.0,
+        ("core0", "ocr.l2_hw_pf_rfo.cxl_dram"): 1.0,
+    })
+    assert pm.uncore_hits("DRd", "local_LLC") == 5.0
+    assert pm.uncore_hits("DRd", "snc_LLC") == 3.0
+    assert pm.uncore_hits("DRd", "CXL_memory") == 12.0
+    assert pm.uncore_hits("RFO", "local_DRAM") == 2.0
+    # The three prefetch flavours combine into the HWPF row.
+    assert pm.uncore_hits("HWPF", "CXL_memory") == 11.0
+    assert pm.cxl_hits() == pytest.approx(23.0)
+
+
+def test_family_share_at_cxl():
+    pm = build({
+        ("core0", "ocr.demand_data_rd.cxl_dram"): 25.0,
+        ("core0", "ocr.l2_hw_pf_drd.cxl_dram"): 75.0,
+    })
+    share = pm.family_share_at_cxl()
+    assert share["DRd"] == pytest.approx(0.25)
+    assert share["HWPF"] == pytest.approx(0.75)
+    assert share["RFO"] == 0.0
+
+
+def test_hot_path_selection():
+    pm = build({
+        ("core0", "mem_load_retired.l1_hit"): 1.0,
+        ("core0", "l2_rqsts.rfo_hit"): 100.0,
+        ("core0", "ocr.l2_hw_pf_drd.cxl_dram"): 10.0,
+        ("core0", "ocr.demand_data_rd.cxl_dram"): 2.0,
+    })
+    assert pm.hot_path_core(0) == "RFO"
+    assert pm.hot_path_uncore() == "HWPF"
+
+
+def test_total_core_requests_skips_unobservable_cells():
+    pm = build({
+        ("core0", "mem_load_retired.l1_hit"): 10.0,
+        ("core0", "mem_inst_retired.all_stores"): 5.0,
+    })
+    # DRd L1D (10) + DWr SB (5); None cells contribute nothing.
+    assert pm.total_core_requests() == 15.0
+
+
+def test_multiple_cores_aggregate_into_uncore():
+    pm = build({
+        ("core0", "ocr.demand_data_rd.cxl_dram"): 4.0,
+        ("core1", "ocr.demand_data_rd.cxl_dram"): 6.0,
+    })
+    assert pm.uncore_hits("DRd", "CXL_memory") == 10.0
+    assert set(pm.per_core) == {0, 1}
+
+
+def test_tor_classification_passthrough():
+    pm = build({
+        ("cha0", "unc_cha_tor_inserts.ia_drd.total"): 50.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.hit"): 20.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss"): 30.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss_cxl"): 25.0,
+    })
+    assert pm.tor["DRd"]["total"] == 50.0
+    assert pm.tor["DRd"]["miss_cxl"] == 25.0
+
+
+def test_rows_shape_matches_table7():
+    pm = build({("core0", "mem_load_retired.l1_hit"): 1.0})
+    rows = pm.rows(0)
+    components = [c for c, _vals in rows]
+    assert components[:4] == ["SB", "L1D", "LFB", "L2"]
+    assert "CXL_memory" in components
+    for _component, values in rows:
+        assert set(values) == {"DRd", "RFO", "HWPF", "DWr"}

@@ -1,0 +1,42 @@
+"""Smoke tests for the scripted case studies and their CLI entry point."""
+
+import pytest
+
+from repro.core.cases import CASES, run_case
+from repro.core.cli import main
+
+
+def test_case_registry_covers_all_seven():
+    assert sorted(CASES) == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_run_case_unknown_id():
+    with pytest.raises(KeyError):
+        run_case(99)
+
+
+def test_case1_via_cli(capsys):
+    assert main(["case", "--id", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Case 1" in out
+    assert "Path map" in out
+    assert "HWPF share of CXL hits" in out
+
+
+def test_case2_stall_breakdown(capsys):
+    run_case(2)
+    out = capsys.readouterr().out
+    assert "stall breakdown" in out
+    assert "uncore share" in out
+
+
+def test_case7_tpp(capsys):
+    run_case(7)
+    out = capsys.readouterr().out
+    assert "TPP on" in out and "TPP off" in out
+    assert "promotions" in out
+
+
+def test_cli_rejects_bad_case_id():
+    with pytest.raises(SystemExit):
+        main(["case", "--id", "9"])

@@ -1,0 +1,68 @@
+"""Tests for the pathfinder CLI."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+def test_list_apps(capsys):
+    assert main(["list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "519.lbm_r" in out
+    assert "SPEC CPU2017" in out
+
+
+def test_list_apps_suite_filter(capsys):
+    assert main(["list-apps", "--suite", "GAPBS"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs" in out
+    assert "519.lbm_r" not in out
+
+
+def test_list_apps_unknown_suite(capsys):
+    assert main(["list-apps", "--suite", "NOPE"]) == 2
+
+
+def test_list_events(capsys):
+    assert main(["list-events"]) == 0
+    out = capsys.readouterr().out
+    assert "resource_stalls.sb" in out
+    assert "total:" in out
+
+
+def test_list_events_group(capsys):
+    assert main(["list-events", "--group", "cxl"]) == 0
+    out = capsys.readouterr().out
+    assert "unc_cxlcm" in out
+    assert "resource_stalls.sb" not in out
+
+
+def test_run_unknown_app(capsys):
+    assert main(["run", "--app", "not-an-app"]) == 2
+
+
+def test_run_small_profile(capsys):
+    code = main([
+        "run", "--app", "541.leela_r", "--ops", "800",
+        "--epoch", "20000", "--node", "cxl",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PathFinder session" in out
+    assert "Path map" in out
+    assert "culprit" in out
+
+
+def test_run_two_apps_local(capsys):
+    code = main([
+        "run", "--app", "541.leela_r", "--app", "548.exchange2_r",
+        "--ops", "500", "--node", "local", "--epoch", "20000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("mFlow") >= 2
+
+
+def test_run_requires_app():
+    with pytest.raises(SystemExit):
+        main(["run"])

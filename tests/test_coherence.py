@@ -1,0 +1,108 @@
+"""Unit tests for the MESIF directory / snoop filter."""
+
+from repro.sim.cache import MESIF
+from repro.sim.coherence import Directory
+
+
+def test_first_read_gets_exclusive():
+    directory = Directory()
+    result = directory.read(line=1, requester=0)
+    assert not result.hit
+    assert directory.entry(1).state is MESIF.EXCLUSIVE
+    assert directory.sharers(1) == {0}
+
+
+def test_second_reader_snoops_first():
+    directory = Directory()
+    directory.read(1, requester=0)
+    result = directory.read(1, requester=1)
+    assert result.hit
+    assert result.served_by_core == 0
+    assert directory.entry(1).state is MESIF.SHARED
+    assert directory.sharers(1) == {0, 1}
+
+
+def test_read_own_line_is_not_a_snoop():
+    directory = Directory()
+    directory.read(1, requester=0)
+    result = directory.read(1, requester=0)
+    assert not result.hit
+
+
+def test_rfo_invalidates_sharers():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.read(1, 1)
+    directory.read(1, 2)
+    result = directory.read_for_ownership(1, requester=3)
+    assert result.hit
+    assert result.invalidated == 3
+    assert directory.sharers(1) == {3}
+    assert directory.entry(1).state is MESIF.EXCLUSIVE
+
+
+def test_rfo_on_unshared_line():
+    directory = Directory()
+    result = directory.read_for_ownership(5, requester=0)
+    assert not result.hit
+    assert directory.sharers(5) == {0}
+
+
+def test_modified_owner_detected_on_snoop():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.mark_modified(1, 0)
+    result = directory.read(1, requester=1)
+    assert result.hit
+    assert result.had_modified
+    # After forwarding, the line is shared/clean.
+    assert directory.entry(1).dirty_owner is None
+
+
+def test_mark_modified_makes_single_owner():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.read(1, 1)
+    directory.mark_modified(1, 1)
+    assert directory.sharers(1) == {1}
+    assert directory.entry(1).state is MESIF.MODIFIED
+    assert directory.entry(1).dirty_owner == 1
+
+
+def test_drop_reports_dirtiness():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.mark_modified(1, 0)
+    assert directory.drop(1, 0) is True
+    assert directory.sharers(1) == set()
+    assert directory.entry(1).state is MESIF.INVALID
+
+
+def test_drop_clean_copy():
+    directory = Directory()
+    directory.read(1, 0)
+    assert directory.drop(1, 0) is False
+
+
+def test_drop_unknown_is_noop():
+    directory = Directory()
+    assert directory.drop(42, 0) is False
+
+
+def test_transition_counters_accumulate():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.read(1, 1)            # E->F
+    directory.read_for_ownership(1, 2)  # S->I
+    transitions = directory.transitions
+    assert transitions.get("I->E", 0) >= 1
+    assert transitions.get("E->F", 0) >= 1
+    assert transitions.get("S->I", 0) >= 1
+
+
+def test_len_counts_lines_with_owners():
+    directory = Directory()
+    directory.read(1, 0)
+    directory.read(2, 0)
+    directory.drop(1, 0)
+    assert len(directory) == 1

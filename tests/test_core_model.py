@@ -1,0 +1,157 @@
+"""Unit/behaviour tests for the core pipeline model."""
+
+import pytest
+
+from repro.sim import Machine, MemOp, spr_config
+from repro.sim.request import CACHELINE
+
+
+def run_ops(ops, node="local", config=None, core=0):
+    machine = Machine(config or spr_config(num_cores=2, prefetch_enabled=False))
+    target = machine.local_node if node == "local" else machine.cxl_node
+    # Map the whole op range onto the target node.
+    max_addr = max(op.address for op in ops) + CACHELINE
+    machine.address_space.alloc_pages(
+        target.node_id, max_addr // 4096 + 1, vpn_base=0
+    )
+    machine.pin(core, iter(ops), on_done=None)
+    machine.run(max_events=5_000_000)
+    assert machine.all_idle, "workload did not finish"
+    return machine, machine.snapshot_counters()
+
+
+def g(snap, event, scope="core0"):
+    return snap.get((scope, event), 0.0)
+
+
+def test_repeated_load_hits_l1_after_first_miss():
+    # Gaps long enough that the first fill lands before the next load.
+    ops = [MemOp(address=0, gap=500.0) for _ in range(10)]
+    machine, snap = run_ops(ops)
+    assert g(snap, "mem_load_retired.l1_miss") == 1
+    assert g(snap, "mem_load_retired.l1_hit") == 9
+
+
+def test_distinct_lines_all_miss():
+    ops = [MemOp(address=i * CACHELINE, gap=1.0) for i in range(20)]
+    machine, snap = run_ops(ops)
+    assert g(snap, "mem_load_retired.l1_miss") == 20
+    assert g(snap, "mem_load_retired.l1_hit") == 0
+
+
+def test_fb_hit_on_same_line_while_outstanding():
+    # Two loads to the same line back-to-back: the second coalesces.
+    ops = [MemOp(address=0, gap=0.0), MemOp(address=0, gap=0.0),
+           MemOp(address=0, gap=0.0)]
+    machine, snap = run_ops(ops)
+    assert g(snap, "mem_load_retired.fb_hit") == 2
+    assert g(snap, "mem_load_retired.l1_miss") == 1  # disjoint categories
+
+
+def test_l2_hit_after_l1_eviction():
+    # Fill enough lines to evict from tiny L1 but stay within L2.
+    config = spr_config(num_cores=1, l1d_size=4 * CACHELINE * 2,
+                        l1d_ways=2, prefetch_enabled=False)
+    lines = 64
+    ops = [MemOp(address=i * CACHELINE, gap=1.0) for i in range(lines)]
+    ops += [MemOp(address=i * CACHELINE, gap=1.0) for i in range(lines)]
+    machine, snap = run_ops(ops, config=config)
+    assert g(snap, "mem_load_retired.l2_hit") > 0
+
+
+def test_store_allocates_and_drains_sb():
+    ops = [MemOp(address=i * CACHELINE, is_store=True, gap=1.0) for i in range(10)]
+    machine, snap = run_ops(ops)
+    assert g(snap, "mem_inst_retired.all_stores") == 10
+    assert g(snap, "sb.inserts") == 10
+    assert len(machine.cores[0].sb) == 0  # all drained at completion
+
+
+def test_store_to_owned_line_commits_without_rfo():
+    ops = [MemOp(address=0, is_store=True, gap=1.0) for _ in range(5)]
+    machine, snap = run_ops(ops)
+    # One RFO for the first store, then ownership persists.
+    assert g(snap, "l2_rqsts.all_rfo") == 1
+
+
+def test_sb_full_stalls_wr_only():
+    # Tiny SB, slow CXL stores, no loads: bound_on_stores must tick.
+    config = spr_config(num_cores=1, sb_entries=4, prefetch_enabled=False)
+    ops = [MemOp(address=i * CACHELINE, is_store=True, gap=0.0) for i in range(200)]
+    machine, snap = run_ops(ops, node="cxl", config=config)
+    assert g(snap, "exe_activity.bound_on_stores") > 0
+
+
+def test_dependent_loads_serialise():
+    lines = 50
+    free_ops = [MemOp(address=i * CACHELINE, gap=0.0) for i in range(lines)]
+    dep_ops = [MemOp(address=i * CACHELINE, gap=0.0, dependent=True)
+               for i in range(lines)]
+    m1, _ = run_ops(free_ops, node="cxl")
+    m2, _ = run_ops(dep_ops, node="cxl")
+    # Chained loads cannot overlap, so they take far longer end-to-end.
+    assert m2.now > 2.0 * m1.now
+
+
+def test_stall_counters_increase_on_cxl(  ):
+    lines = 300
+    ops = [MemOp(address=i * CACHELINE, gap=2.0) for i in range(lines)]
+    _m1, local = run_ops(list(ops))
+    _m2, cxl = run_ops(list(ops), node="cxl")
+    assert g(cxl, "memory_activity.stalls_l1d_miss") > g(
+        local, "memory_activity.stalls_l1d_miss"
+    )
+    assert g(cxl, "cycle_activity.cycles_l1d_miss") > 0
+
+
+def test_software_prefetch_does_not_block_and_warms_cache():
+    line = 7 * CACHELINE
+    ops = [
+        MemOp(address=line, software_prefetch=True, gap=0.0),
+        MemOp(address=0, gap=800.0),     # long gap lets the prefetch land
+        MemOp(address=line, gap=1.0),    # should now hit L1
+    ]
+    machine, snap = run_ops(ops)
+    assert g(snap, "sw_prefetch_access.any") == 1
+    assert g(snap, "mem_load_retired.l1_hit") >= 1
+
+
+def test_latency_samples_recorded_per_location():
+    ops = [MemOp(address=i * CACHELINE, gap=2.0) for i in range(50)]
+    _machine, snap = run_ops(ops, node="cxl")
+    assert g(snap, "lat_sample.CXL_DRAM.count") > 0
+    mean = g(snap, "lat_sample.CXL_DRAM.sum") / g(snap, "lat_sample.CXL_DRAM.count")
+    assert mean > 300.0  # CXL loads are many hundreds of cycles
+
+
+def test_cxl_latency_exceeds_local_latency():
+    ops = [MemOp(address=i * CACHELINE, gap=2.0) for i in range(100)]
+    _m1, local = run_ops(list(ops))
+    _m2, cxl = run_ops(list(ops), node="cxl")
+    lat_local = g(local, "lat_sample.local_DRAM.sum") / max(
+        1.0, g(local, "lat_sample.local_DRAM.count")
+    )
+    lat_cxl = g(cxl, "lat_sample.CXL_DRAM.sum") / max(
+        1.0, g(cxl, "lat_sample.CXL_DRAM.count")
+    )
+    assert lat_cxl > 2.0 * lat_local
+
+
+def test_instruction_counter_includes_gaps():
+    ops = [MemOp(address=0, gap=4.0) for _ in range(10)]
+    _machine, snap = run_ops(ops)
+    assert g(snap, "inst_retired.any") == pytest.approx(10 * 5.0)
+
+
+def test_ops_completed_counter():
+    ops = [MemOp(address=i * CACHELINE, gap=1.0) for i in range(25)]
+    machine, snap = run_ops(ops)
+    assert machine.cores[0].ops_completed == 25
+    assert g(snap, "app.ops_completed") == 25
+
+
+def test_core_cannot_run_twice_concurrently():
+    machine = Machine(spr_config(num_cores=1))
+    machine.pin(0, iter([MemOp(address=0, gap=1.0)]))
+    with pytest.raises(RuntimeError):
+        machine.cores[0].run(iter([MemOp(address=0)]))

@@ -1,0 +1,94 @@
+"""Tests for the CXL fabric switch extension."""
+
+import pytest
+
+from repro.core import AppSpec, PathFinder, ProfileSpec
+from repro.sim import Machine, attach_switch, spr_config
+from repro.workloads import RandomAccess, SequentialStream
+
+
+def run_cxl(switched: bool, num_devices: int = 1, seed: int = 5):
+    machine = Machine(spr_config(num_cores=2, num_cxl_devices=num_devices))
+    switch = attach_switch(machine) if switched else None
+    node_ids = [n.node_id for n in machine.address_space.cxl_nodes]
+    workload = RandomAccess(
+        num_ops=2000, working_set_bytes=1 << 22, read_ratio=0.9,
+        gap=2.0, seed=seed,
+    )
+    if num_devices == 1:
+        workload.install(machine, node_ids[0])
+    else:
+        workload.install_striped(machine, node_ids)
+    machine.pin(0, iter(workload))
+    machine.run(max_events=40_000_000)
+    assert machine.all_idle
+    return machine, switch
+
+
+def _cxl_latency(machine) -> float:
+    snap = machine.snapshot_counters()
+    count = snap.get(("core0", "lat_sample.CXL_DRAM.count"), 0.0)
+    total = snap.get(("core0", "lat_sample.CXL_DRAM.sum"), 0.0)
+    assert count > 0
+    return total / count
+
+
+def test_switch_adds_latency():
+    direct, _ = run_cxl(False)
+    switched, _sw = run_cxl(True)
+    assert _cxl_latency(switched) > _cxl_latency(direct) + 50.0
+
+
+def test_switch_conserves_flits():
+    machine, switch = run_cxl(True)
+    assert switch.forwarded_down == switch.forwarded_up
+    assert switch.forwarded_down > 0
+    # Everything the root port sent transited the fabric.
+    snap = machine.snapshot_counters()
+    inserts = sum(
+        v for (s, e), v in snap.items() if e == "unc_m2p_rxc_inserts.all"
+    )
+    assert switch.forwarded_down == inserts
+
+
+def test_switch_port_counters_in_pmu():
+    machine, switch = run_cxl(True)
+    snap = machine.snapshot_counters()
+    fwd = snap.get(("cxlsw0", "unc_cxlsw_fwd_down"), 0.0)
+    assert fwd == switch.forwarded_down
+    occupancy_keys = [
+        e for (s, e) in snap
+        if s == "cxlsw0" and e.startswith("unc_cxlsw_down_occupancy")
+    ]
+    assert occupancy_keys
+
+
+def test_switch_routes_multiple_devices():
+    machine, switch = run_cxl(True, num_devices=2)
+    assert len(switch.down_ports) == 2
+    snap = machine.snapshot_counters()
+    per_device = [
+        snap.get((f"m2pcie{n.node_id}", "unc_m2p_rxc_inserts.all"), 0.0)
+        for n in machine.address_space.cxl_nodes
+    ]
+    assert all(v > 0 for v in per_device)
+
+
+def test_profiler_runs_unchanged_over_switched_fabric():
+    """PathFinder needs no changes: the switch is just more uncore latency
+    visible through the same counters."""
+    machine = Machine(spr_config(num_cores=2))
+    attach_switch(machine)
+    workload = SequentialStream(
+        num_ops=4000, working_set_bytes=1 << 21, read_ratio=0.8, seed=7,
+    )
+    app = AppSpec(workload=workload, core=0,
+                  membind=machine.cxl_node.node_id)
+    result = PathFinder(
+        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0)
+    ).run()
+    assert result.num_epochs >= 1
+    assert result.final.path_map.cxl_hits() > 0
+    shares = result.final.stalls.shares("DRd")
+    # The fabric time lands in the FlexBus+MC / DIMM buckets.
+    assert shares["FlexBus+MC"] + shares["CXL_DIMM"] > 0.3

@@ -1,0 +1,75 @@
+"""Tests for the session A/B comparison API."""
+
+import pytest
+
+from repro.core import (
+    AppSpec,
+    MetricDelta,
+    PathFinder,
+    ProfileSpec,
+    compare_sessions,
+    render_diff,
+)
+from repro.sim import Machine, spr_config
+from repro.tiering import TPP, TPPConfig
+from repro.workloads import HotColdAccess
+
+
+def _tpp_session(enabled: bool):
+    machine = Machine(spr_config(num_cores=2))
+    workload = HotColdAccess(
+        num_ops=8000, working_set_bytes=3 << 20, hot_probability=0.9,
+        read_ratio=0.5, gap=3.0, seed=21,
+    )
+    TPP(machine, TPPConfig(epoch_cycles=10_000.0, promote_per_epoch=128,
+                           hot_threshold=1.5), enabled=enabled)
+    app = AppSpec(
+        workload=workload, core=0,
+        interleave=(machine.local_node.node_id, machine.cxl_node.node_id, 0.5),
+    )
+    return PathFinder(
+        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0, max_epochs=80)
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def tpp_diff():
+    baseline = _tpp_session(False)
+    treatment = _tpp_session(True)
+    return compare_sessions(baseline, treatment)
+
+
+def test_metric_delta_arithmetic():
+    metric = MetricDelta("m", 100.0, 150.0)
+    assert metric.ratio == pytest.approx(1.5)
+    assert metric.change_pct == pytest.approx(50.0)
+    zero = MetricDelta("z", 0.0, 5.0)
+    assert zero.ratio == float("inf")
+
+
+def test_diff_detects_tpp_speedup(tpp_diff):
+    assert tpp_diff.speedup() > 1.1
+
+
+def test_diff_shows_serve_tier_shift(tpp_diff):
+    drd = tpp_diff.serve_shift["DRd"]
+    assert drd["cxl_dram"].treatment < drd["cxl_dram"].baseline
+    assert drd["local_dram"].treatment > drd["local_dram"].baseline
+
+
+def test_diff_cxl_traffic_collapses(tpp_diff):
+    assert tpp_diff.cxl_traffic is not None
+    assert tpp_diff.cxl_traffic.ratio < 0.7
+
+
+def test_render_diff_is_readable(tpp_diff):
+    text = render_diff(tpp_diff)
+    assert "speedup" in text
+    assert "cxl_dram" in text
+    assert "CXL DIMM traffic" in text
+
+
+def test_diff_metrics_enumeration(tpp_diff):
+    names = [m.name for m in tpp_diff.metrics()]
+    assert "runtime_cycles" in names
+    assert any(name.startswith("DRd.") for name in names)

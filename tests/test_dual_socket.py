@@ -1,0 +1,92 @@
+"""Dual-socket topology: the remote-DDR NUMA path (plain cross-socket
+NUMA, the paper's 163.6 ns middle tier between local DDR and CXL)."""
+
+import pytest
+
+from repro.core import AppSpec, PathFinder, ProfileSpec
+from repro.sim import Machine, NodeKind, spr_config
+from repro.workloads import RandomAccess
+
+
+@pytest.fixture(scope="module")
+def dual_socket_runs():
+    out = {}
+    for tier in ("local", "remote", "cxl"):
+        machine = Machine(
+            spr_config(num_cores=2, remote_mem_bytes=2 << 30)
+        )
+        node = {
+            "local": machine.local_node,
+            "remote": next(
+                n for n in machine.address_space.nodes
+                if n.kind is NodeKind.REMOTE_DDR
+            ),
+            "cxl": machine.cxl_node,
+        }[tier]
+        workload = RandomAccess(
+            name=f"r-{tier}", num_ops=3000, working_set_bytes=1 << 22,
+            read_ratio=1.0, gap=2.0, seed=5,
+        )
+        workload.install(machine, node.node_id)
+        app = AppSpec(workload=workload, core=0, membind=node.node_id)
+        result = PathFinder(
+            machine, ProfileSpec(apps=[app], epoch_cycles=50_000.0)
+        ).run()
+        totals = {}
+        for e in result.epochs:
+            for k, v in e.snapshot.delta.items():
+                totals[k] = totals.get(k, 0.0) + v
+        out[tier] = {"machine": machine, "result": result, "totals": totals}
+    return out
+
+
+def _latency(totals, location):
+    count = totals.get(("core0", f"lat_sample.{location}.count"), 0.0)
+    if count == 0:
+        return 0.0
+    return totals[("core0", f"lat_sample.{location}.sum")] / count
+
+
+def test_remote_node_exists_with_remote_memory():
+    machine = Machine(spr_config(remote_mem_bytes=1 << 30))
+    kinds = [n.kind for n in machine.address_space.nodes]
+    assert NodeKind.REMOTE_DDR in kinds
+
+
+def test_three_tier_latency_ordering(dual_socket_runs):
+    """local DDR < remote (cross-socket) DDR < CXL - the section 2.3
+    testbed ordering (103.2 / 163.6 / 355.3 ns)."""
+    local = _latency(dual_socket_runs["local"]["totals"], "local_DRAM")
+    remote = _latency(dual_socket_runs["remote"]["totals"], "remote_DRAM")
+    cxl = _latency(dual_socket_runs["cxl"]["totals"], "CXL_DRAM")
+    assert 0 < local < remote < cxl
+    # Remote NUMA sits much closer to local than to CXL.
+    assert remote - local < cxl - remote
+
+
+def test_remote_misses_classified_as_remote(dual_socket_runs):
+    totals = dual_socket_runs["remote"]["totals"]
+    assert totals.get(("core0", "ocr.demand_data_rd.remote_dram"), 0.0) > 0
+    assert totals.get(("core0", "ocr.demand_data_rd.cxl_dram"), 0.0) == 0
+    assert totals.get(
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss_remote_ddr"), 0.0
+    ) > 0
+
+
+def test_remote_traffic_uses_imc_not_flexbus(dual_socket_runs):
+    """Cross-socket NUMA goes through UPI+IMC, never the FlexBus."""
+    totals = dual_socket_runs["remote"]["totals"]
+    m2p = sum(
+        v for (s, e), v in totals.items() if e == "unc_m2p_rxc_inserts.all"
+    )
+    cas = sum(v for (s, e), v in totals.items() if e == "unc_m_cas_count.rd")
+    assert m2p == 0
+    assert cas > 0
+
+
+def test_path_map_shows_remote_dram_row(dual_socket_runs):
+    result = dual_socket_runs["remote"]["result"]
+    remote_hits = sum(
+        e.path_map.uncore_hits("DRd", "remote_DRAM") for e in result.epochs
+    )
+    assert remote_hits > 0

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Waiter
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.at(10.0, lambda: order.append("b"))
+    engine.at(5.0, lambda: order.append("a"))
+    engine.at(20.0, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 20.0
+
+
+def test_same_time_events_preserve_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.at(7.0, lambda t=tag: order.append(t))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_after_is_relative_to_now():
+    engine = Engine()
+    seen = []
+    engine.at(100.0, lambda: engine.after(50.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [150.0]
+
+
+def test_scheduling_in_the_past_raises():
+    engine = Engine()
+    engine.at(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.after(-1.0, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    engine = Engine()
+    fired = []
+    engine.at(10.0, lambda: fired.append(10))
+    engine.at(100.0, lambda: fired.append(100))
+    engine.run(until=50.0)
+    assert fired == [10]
+    assert engine.now == 50.0
+    # Remaining event still pending and runs later.
+    engine.run()
+    assert fired == [10, 100]
+
+
+def test_run_until_advances_clock_when_idle():
+    engine = Engine()
+    engine.run(until=123.0)
+    assert engine.now == 123.0
+
+
+def test_max_events_bound():
+    engine = Engine()
+    count = []
+    for i in range(10):
+        engine.at(float(i), lambda: count.append(1))
+    engine.run(max_events=3)
+    assert len(count) == 3
+
+
+def test_stop_aborts_run():
+    engine = Engine()
+    seen = []
+    engine.at(1.0, lambda: (seen.append(1), engine.stop()))
+    engine.at(2.0, lambda: seen.append(2))
+    engine.run()
+    assert seen == [1]
+    assert engine.pending_events == 1
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            engine.after(1.0, lambda: chain(n + 1))
+
+    engine.at(0.0, lambda: chain(0))
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert engine.now == 5.0
+
+
+def test_waiter_fifo_wakeup():
+    engine = Engine()
+    waiter = Waiter(engine)
+    order = []
+    waiter.wait(lambda: order.append("first"))
+    waiter.wait(lambda: order.append("second"))
+    waiter.wake_one()
+    engine.run()
+    assert order == ["first"]
+    waiter.wake_one()
+    engine.run()
+    assert order == ["first", "second"]
+
+
+def test_waiter_wake_all():
+    engine = Engine()
+    waiter = Waiter(engine)
+    seen = []
+    for i in range(4):
+        waiter.wait(lambda i=i: seen.append(i))
+    waiter.wake_all()
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert len(waiter) == 0
+
+
+def test_wake_on_empty_waiter_is_noop():
+    engine = Engine()
+    waiter = Waiter(engine)
+    waiter.wake_one()
+    waiter.wake_all()
+    assert engine.pending_events == 0

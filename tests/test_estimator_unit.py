@@ -1,0 +1,137 @@
+"""Unit tests for PFEstimator's math over handcrafted counter deltas.
+
+The end-to-end tests validate shapes on real simulations; these validate
+the attribution arithmetic exactly: latency weighting, nested-counter
+differencing, and the downstream residency split.
+"""
+
+import pytest
+
+from repro.core.estimator import PFEstimator, StallBreakdown
+from repro.core.snapshot import Snapshot
+
+
+def snapshot(delta, duration=100_000.0):
+    return Snapshot(t_start=0.0, t_end=duration, delta=delta)
+
+
+def base_delta(
+    cxl_loads=100.0,
+    local_loads=0.0,
+    cxl_latency=700.0,
+    local_latency=200.0,
+    llc_latency=60.0,
+    stalls_l1=10_000.0,
+    stalls_l2=8_000.0,
+    stalls_l3=6_000.0,
+    fb_full=1_000.0,
+):
+    """One core, DRd-only traffic with configurable local/CXL mix."""
+    total = cxl_loads + local_loads
+    return {
+        ("core0", "memory_activity.stalls_l1d_miss"): stalls_l1,
+        ("core0", "memory_activity.stalls_l2_miss"): stalls_l2,
+        ("core0", "cycle_activity.stalls_l3_miss"): stalls_l3,
+        ("core0", "l1d_pend_miss.fb_full"): fb_full,
+        ("core0", "l2_rqsts.demand_data_rd_miss"): total,
+        ("core0", "ocr.demand_data_rd.any_response"): total,
+        ("core0", "ocr.demand_data_rd.cxl_dram"): cxl_loads,
+        ("core0", "ocr.demand_data_rd.local_dram"): local_loads,
+        ("core0", "lat_sample.CXL_DRAM.sum"): cxl_latency * cxl_loads,
+        ("core0", "lat_sample.CXL_DRAM.count"): cxl_loads,
+        ("core0", "lat_sample.local_DRAM.sum"): local_latency * local_loads,
+        ("core0", "lat_sample.local_DRAM.count"): local_loads,
+        ("core0", "lat_sample.local_LLC.sum"): llc_latency * 10.0,
+        ("core0", "lat_sample.local_LLC.count"): 10.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss_cxl"): cxl_loads,
+        ("cha0", "unc_cha_tor_occupancy.ia_drd.miss_cxl"): cxl_loads * 650.0,
+        ("m2pcie1", "unc_m2p_rxc_inserts.all"): cxl_loads,
+        ("m2pcie1", "unc_m2p_rxc_occupancy.all"): cxl_loads * 50.0,
+        ("m2pcie1", "unc_m2p_link_occupancy"): cxl_loads * 30.0,
+        ("m2pcie1", "unc_m2p_txc_inserts.bl"): cxl_loads,
+        ("cxl1", "unc_cxlcm_rxc_pack_buf_inserts.mem_req"): cxl_loads,
+        ("cxl1", "unc_cxlcm_rxc_pack_buf_occupancy.mem_req"): cxl_loads * 20.0,
+        ("cxl1", "unc_cxlcm_mc_occupancy"): cxl_loads * 40.0,
+    }
+
+
+def test_cxl_only_traffic_attributes_all_l3_stall():
+    stalls = PFEstimator().breakdown(snapshot(base_delta()))
+    agg = stalls.aggregate("DRd")
+    # The l3 residue is fully attributed (share=1, path weight=1).
+    beyond = agg["LLC"] + agg["CHA"] + agg["FlexBus+MC"] + agg["CXL_DIMM"]
+    assert beyond == pytest.approx(6_000.0, rel=1e-6)
+    # Level increments: L1 bucket(s) get stalls_l1 - stalls_l2, L2 gets
+    # stalls_l2 - stalls_l3.
+    assert agg["L1D"] + agg["LFB"] == pytest.approx(2_000.0, rel=1e-6)
+    assert agg["L2"] == pytest.approx(2_000.0, rel=1e-6)
+
+
+def test_lfb_bucket_bounded_by_fb_full():
+    stalls = PFEstimator().breakdown(snapshot(base_delta(fb_full=500.0)))
+    agg = stalls.aggregate("DRd")
+    assert agg["LFB"] == pytest.approx(500.0, rel=1e-6)
+    assert agg["L1D"] == pytest.approx(1_500.0, rel=1e-6)
+
+
+def test_latency_weighting_beats_count_splitting():
+    """50/50 request counts but CXL responses 3.5x slower: the CXL share
+    must exceed 0.5 (the naive count split) substantially."""
+    delta = base_delta(cxl_loads=50.0, local_loads=50.0)
+    stalls = PFEstimator().breakdown(snapshot(delta))
+    agg = stalls.aggregate("DRd")
+    total_l3 = agg["LLC"] + agg["CHA"] + agg["FlexBus+MC"] + agg["CXL_DIMM"]
+    share = total_l3 / 6_000.0
+    expected = (50 * 700) / (50 * 700 + 50 * 200)
+    assert share == pytest.approx(expected, rel=1e-6)
+    assert share > 0.6
+
+
+def test_no_cxl_traffic_no_attribution():
+    delta = base_delta(cxl_loads=0.0, local_loads=100.0)
+    # Remove CXL-side counters entirely.
+    delta = {k: v for k, v in delta.items()
+             if not k[0].startswith(("cxl", "m2pcie"))}
+    stalls = PFEstimator().breakdown(snapshot(delta))
+    for family in ("DRd", "RFO", "HWPF", "DWr"):
+        assert sum(stalls.aggregate(family).values()) == 0.0
+
+
+def test_downstream_split_sums_to_one():
+    estimator = PFEstimator()
+    from repro.pmu.views import CHAPMUView, CorePMUView
+
+    delta = base_delta()
+    profile = estimator._downstream_profile(
+        delta, [1], {0: CorePMUView(delta, 0)}, CHAPMUView(delta, 0)
+    )
+    assert profile.valid
+    total = (profile.frac_llc + profile.frac_cha + profile.frac_flex
+             + profile.frac_dimm)
+    assert total == pytest.approx(1.0, rel=1e-9)
+    # Queueing was configured heavier at the device than the port.
+    assert profile.frac_dimm > 0
+
+
+def test_shares_helper_normalises():
+    breakdown = StallBreakdown(snapshot_id=1)
+    breakdown.per_core[0] = {
+        "DRd": {"L1D": 10.0, "LFB": 0.0, "L2": 30.0, "SB": 0.0,
+                "LLC": 0.0, "CHA": 0.0, "FlexBus+MC": 40.0, "CXL_DIMM": 20.0},
+    }
+    shares = breakdown.shares("DRd")
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["FlexBus+MC"] == pytest.approx(0.4)
+    assert breakdown.uncore_fraction("DRd") == pytest.approx(0.6)
+
+
+def test_dwr_attribution_uses_write_pipeline_share():
+    delta = base_delta()
+    delta[("core0", "resource_stalls.sb")] = 1_000.0
+    delta[("core0", "ocr.rfo.any_response")] = 10.0
+    delta[("core0", "ocr.rfo.cxl_dram")] = 5.0
+    stalls = PFEstimator().breakdown(snapshot(delta))
+    dwr = stalls.aggregate("DWr")
+    assert dwr["SB"] == pytest.approx(500.0, rel=1e-6)
+    for component in ("L1D", "LFB", "L2", "LLC"):
+        assert dwr[component] == 0.0

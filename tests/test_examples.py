@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the two fastest examples run here (the others take minutes and are
+exercised by the benchmark suite's equivalent scenarios).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "PathFinder session" in out
+    assert "Path map" in out
+    assert "CXL hits per epoch" in out
+
+
+@pytest.mark.slow
+def test_memory_pooling_example():
+    out = run_example("memory_pooling.py")
+    assert "two DIMMs" in out
+    assert "mFlows tracked: 2" in out
+
+
+def test_all_examples_are_syntactically_valid():
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,115 @@
+"""Cross-module conservation invariants over real profiled sessions.
+
+These tie counters at different Clos stages together: what the core sent
+must equal what the uncore classified, what the root port forwarded must
+equal what the device answered, and PFBuilder's derived views must agree
+with the raw counters they summarise.
+"""
+
+import pytest
+
+from repro.pmu.views import CHAPMUView, CorePMUView, CXLDeviceView, M2PCIeView
+
+
+def _totals(result):
+    totals = {}
+    for e in result.epochs:
+        for k, v in e.snapshot.delta.items():
+            totals[k] = totals.get(k, 0.0) + v
+    return totals
+
+
+def test_ocr_scenarios_sum_to_any_response(cxl_session):
+    """Per path family, the serve-location scenarios partition
+    any_response exactly."""
+    _m, _p, result = cxl_session
+    totals = _totals(result)
+    view = CorePMUView(totals, 0)
+    for family in ("DRd", "RFO"):
+        total = view.ocr(family, "any_response")
+        parts = sum(
+            view.ocr(family, scenario)
+            for scenario in ("l3_hit", "snc_cache", "remote_cache",
+                             "local_dram", "remote_dram", "cxl_dram")
+        )
+        assert parts == pytest.approx(total), family
+
+
+def test_tor_hit_plus_miss_equals_total(cxl_session):
+    _m, _p, result = cxl_session
+    cha = CHAPMUView(_totals(result), 0)
+    for family in ("DRd", "RFO", "HWPF"):
+        total = cha.tor_inserts(family, "total")
+        hit = cha.tor_inserts(family, "hit")
+        miss = cha.tor_inserts(family, "miss")
+        assert hit + miss == pytest.approx(total), family
+
+
+def test_device_answers_every_request(cxl_session):
+    machine, _p, result = cxl_session
+    totals = _totals(result)
+    node = machine.cxl_node.node_id
+    device = CXLDeviceView(totals, node)
+    assert device.req_inserts == pytest.approx(device.drs_responses)
+    assert device.data_inserts == pytest.approx(device.ndr_responses)
+
+
+def test_port_and_device_agree(cxl_session):
+    machine, _p, result = cxl_session
+    totals = _totals(result)
+    node = machine.cxl_node.node_id
+    port = M2PCIeView(totals, node)
+    device = CXLDeviceView(totals, node)
+    assert port.ingress_inserts == pytest.approx(
+        device.req_inserts + device.data_inserts
+    )
+    assert port.data_responses == pytest.approx(device.drs_responses)
+    assert port.write_acks == pytest.approx(device.ndr_responses)
+
+
+def test_l2_demand_hits_plus_misses_equal_references(cxl_session):
+    _m, _p, result = cxl_session
+    view = CorePMUView(_totals(result), 0)
+    refs = view.get("l2_rqsts.all_demand_data_rd")
+    hit = view.get("l2_rqsts.demand_data_rd_hit")
+    miss = view.get("l2_rqsts.demand_data_rd_miss")
+    assert hit + miss <= refs + 1e-6
+    # Misses forwarded offcore match the uncore-bound demand reads.
+    assert miss == pytest.approx(view.get("offcore_requests.demand_data_rd"))
+
+
+def test_l1_categories_partition_loads(cxl_session):
+    """l1_hit + l1_miss + fb_hit == retired loads (disjoint categories)."""
+    _m, _p, result = cxl_session
+    view = CorePMUView(_totals(result), 0)
+    loads = view.get("mem_inst_retired.all_loads")
+    parts = view.l1_hits + view.l1_misses + view.fb_hits
+    assert parts == pytest.approx(loads)
+
+
+def test_stall_counters_nested(cxl_session):
+    """stalls_l1d >= stalls_l2 >= stalls_l3: the outstanding-miss sets are
+    nested, so the stall conditions are."""
+    _m, _p, result = cxl_session
+    for e in result.epochs:
+        view = CorePMUView(e.snapshot.delta, 0)
+        assert view.l1_stall_cycles >= view.l2_stall_cycles - 1e-6
+        assert view.l2_stall_cycles >= view.l3_stall_cycles - 1e-6
+
+
+def test_pathmap_cxl_column_matches_ocr(cxl_session):
+    _m, _p, result = cxl_session
+    for e in result.epochs:
+        view = CorePMUView(e.snapshot.delta, 0)
+        pm = e.path_map
+        assert pm.uncore_hits("DRd", "CXL_memory") == pytest.approx(
+            view.ocr("DRd", "cxl_dram")
+        )
+
+
+def test_counters_never_negative(cxl_session, local_session):
+    for session in (cxl_session, local_session):
+        _m, _p, result = session
+        for e in result.epochs:
+            for (scope, event), value in e.snapshot.delta.items():
+                assert value >= -1e-6, (scope, event)

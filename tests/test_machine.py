@@ -1,0 +1,134 @@
+"""Integration tests: whole-machine behaviours the paper documents."""
+
+import pytest
+
+from repro.sim import Machine, emr_config, spr_config
+from repro.workloads import RandomAccess, SequentialStream
+
+
+def run(machine, workload, node_id, core=0, max_events=10_000_000):
+    workload.install(machine, node_id)
+    machine.pin(core, iter(workload))
+    machine.run(max_events=max_events)
+    assert machine.all_idle
+    return machine.snapshot_counters()
+
+
+def sumk(snap, event):
+    return sum(v for (s, e), v in snap.items() if e == event)
+
+
+def test_cxl_run_is_slower_than_local():
+    results = {}
+    for label in ("local", "cxl"):
+        m = Machine(spr_config(num_cores=2))
+        w = SequentialStream(num_ops=2000, working_set_bytes=1 << 21,
+                             read_ratio=0.8, seed=3)
+        node = m.local_node if label == "local" else m.cxl_node
+        run(m, w, node.node_id)
+        results[label] = m.now
+    assert results["cxl"] > 1.5 * results["local"]
+
+
+def test_cxl_traffic_bypasses_imc():
+    """Figure 4-a: little to no IMC queueing for CXL-bound streams."""
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(num_ops=2000, working_set_bytes=1 << 22, seed=5)
+    snap = run(m, w, m.cxl_node.node_id)
+    # CAS commands happen only for (rare) local writebacks, not reads.
+    assert sumk(snap, "unc_m_cas_count.rd") == 0
+    assert sumk(snap, "unc_m2p_rxc_inserts.all") > 1000
+
+
+def test_local_traffic_never_touches_flexbus():
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(num_ops=2000, working_set_bytes=1 << 22, seed=5)
+    snap = run(m, w, m.local_node.node_id)
+    assert sumk(snap, "unc_m2p_rxc_inserts.all") == 0
+    assert sumk(snap, "unc_m_cas_count.rd") > 0
+
+
+def test_cha_classifies_cxl_misses():
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(num_ops=1500, working_set_bytes=1 << 22, seed=7)
+    snap = run(m, w, m.cxl_node.node_id)
+    miss_cxl = snap.get(("cha0", "unc_cha_tor_inserts.ia_drd.miss_cxl"), 0.0)
+    miss_local = snap.get(
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss_local_ddr"), 0.0
+    )
+    assert miss_cxl > 0
+    assert miss_local == 0
+
+
+def test_device_counters_match_m2pcie_counters():
+    """Loads observed at the root port equal DRS responses at the device."""
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(num_ops=1500, working_set_bytes=1 << 22,
+                     read_ratio=1.0, seed=9)
+    snap = run(m, w, m.cxl_node.node_id)
+    bl = sumk(snap, "unc_m2p_txc_inserts.bl")
+    drs = sumk(snap, "unc_cxlcm_txc_pack_buf_inserts.mem_data")
+    assert bl == drs
+    assert bl > 0
+
+
+def test_load_store_conservation_at_device():
+    """Every request the device received was answered."""
+    m = Machine(spr_config(num_cores=2))
+    w = SequentialStream(num_ops=3000, working_set_bytes=1 << 21,
+                         read_ratio=0.6, seed=13)
+    snap = run(m, w, m.cxl_node.node_id)
+    req_in = sumk(snap, "unc_cxlcm_rxc_pack_buf_inserts.mem_req")
+    data_in = sumk(snap, "unc_cxlcm_rxc_pack_buf_inserts.mem_data")
+    drs_out = sumk(snap, "unc_cxlcm_txc_pack_buf_inserts.mem_data")
+    ndr_out = sumk(snap, "unc_cxlcm_txc_pack_buf_inserts.mem_req")
+    assert req_in == drs_out
+    assert data_in == ndr_out
+
+
+def test_multi_core_workloads_share_the_uncore():
+    m = Machine(spr_config(num_cores=4))
+    snaps = []
+    for core in range(3):
+        w = RandomAccess(
+            name=f"w{core}", num_ops=800, working_set_bytes=1 << 21,
+            seed=20 + core,
+        )
+        w.install(m, m.cxl_node.node_id)
+        m.pin(core, iter(w))
+    m.run(max_events=20_000_000)
+    assert m.all_idle
+    snap = m.snapshot_counters()
+    for core in range(3):
+        assert snap.get((f"core{core}", "app.ops_completed"), 0.0) == 800
+    assert sumk(snap, "unc_m2p_rxc_inserts.all") > 1000
+
+
+def test_emr_config_larger_llc_reduces_misses():
+    miss_counts = {}
+    for name, cfg in (("spr", spr_config()), ("emr", emr_config())):
+        m = Machine(cfg)
+        # Working set larger than SPR slice capacity but closer to EMR's.
+        w = SequentialStream(num_ops=6000, working_set_bytes=1 << 23,
+                             read_ratio=1.0, seed=31)
+        snap = run(m, w, m.cxl_node.node_id)
+        miss_counts[name] = snap.get(
+            ("cha0", "unc_cha_tor_inserts.ia_drd.miss"), 0.0
+        ) + snap.get(("cha0", "unc_cha_tor_inserts.ia_drd_pref.miss"), 0.0)
+    assert miss_counts["emr"] <= miss_counts["spr"]
+
+
+def test_snapshot_counters_is_pure_read():
+    m = Machine(spr_config(num_cores=2))
+    w = RandomAccess(num_ops=500, working_set_bytes=1 << 20, seed=1)
+    run(m, w, m.cxl_node.node_id)
+    a = m.snapshot_counters()
+    b = m.snapshot_counters()
+    assert a == b
+
+
+def test_machine_exposes_both_nodes():
+    m = Machine(spr_config())
+    assert m.local_node.kind.value == "local_ddr"
+    assert m.cxl_node.kind.value == "cxl"
+    assert m.cxl_node.node_id != m.local_node.node_id

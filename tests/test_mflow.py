@@ -1,0 +1,85 @@
+"""Unit tests for the mFlow registry and snapshot taker."""
+
+import pytest
+
+from repro.core.mflow import MFlow, MFlowRegistry
+from repro.core.snapshot import Snapshot, SnapshotTaker
+from repro.pmu.registry import CounterRegistry
+
+
+def test_mflow_identity_and_kind():
+    flow = MFlow(pid=1, core_id=2, node_id=3, node_kind="cxl")
+    assert flow.is_cxl
+    assert flow.alive
+    assert "pid1.core2.node3" == flow.key
+    flow.end(100.0)
+    assert not flow.alive
+    assert flow.ended_at == 100.0
+
+
+def test_registry_reuses_live_flow():
+    reg = MFlowRegistry()
+    a = reg.get_or_create(1, 0, 2, "cxl")
+    b = reg.get_or_create(1, 0, 2, "cxl")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_registry_new_flow_after_end():
+    """Location sensitivity: a restarted (pid, core, node) is a new flow."""
+    reg = MFlowRegistry()
+    a = reg.get_or_create(1, 0, 2, "cxl")
+    reg.end_all(1, now=50.0)
+    b = reg.get_or_create(1, 0, 2, "cxl", now=60.0)
+    assert a is not b
+    assert not a.alive and b.alive
+
+
+def test_registry_distinct_nodes_distinct_flows():
+    """One thread touching two DIMMs owns two flows (section 4.2)."""
+    reg = MFlowRegistry()
+    a = reg.get_or_create(1, 0, 0, "local_ddr")
+    b = reg.get_or_create(1, 0, 2, "cxl")
+    assert a is not b
+    assert len(reg.flows_of(1)) == 2
+    assert reg.cxl_flows() == [b]
+
+
+def test_flows_of_filters_by_pid():
+    reg = MFlowRegistry()
+    reg.get_or_create(1, 0, 0, "local_ddr")
+    reg.get_or_create(2, 1, 0, "local_ddr")
+    assert len(reg.flows_of()) == 2
+    assert len(reg.flows_of(1)) == 1
+
+
+def test_snapshot_taker_produces_deltas():
+    registry = CounterRegistry()
+    taker = SnapshotTaker(registry)
+    registry.add("core0", "e", 10.0)
+    s1 = taker.take(100.0)
+    assert s1.get("core0", "e") == 10.0
+    assert s1.t_start == 0.0 and s1.t_end == 100.0
+    registry.add("core0", "e", 5.0)
+    s2 = taker.take(250.0)
+    assert s2.get("core0", "e") == 5.0
+    assert s2.t_start == 100.0
+    assert s2.duration == 150.0
+
+
+def test_snapshot_attaches_to_flows():
+    registry = CounterRegistry()
+    taker = SnapshotTaker(registry)
+    flow = MFlow(pid=1, core_id=0, node_id=1, node_kind="cxl")
+    snap = taker.take(10.0, flows=[flow])
+    assert flow.snapshot_ids == [snap.snapshot_id]
+    assert snap.flow_for_core(0) == [flow]
+    assert snap.flow_for_core(5) == []
+
+
+def test_snapshot_ids_increase():
+    registry = CounterRegistry()
+    taker = SnapshotTaker(registry)
+    a = taker.take(1.0)
+    b = taker.take(2.0)
+    assert b.snapshot_id > a.snapshot_id

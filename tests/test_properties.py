@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache, MESIF
+from repro.sim.coherence import Directory
+from repro.sim.engine import Engine
+from repro.sim.queues import MonitoredQueue
+from repro.sim.request import CACHELINE, line_address
+from repro.tsdb import cluster_windows, holt_winters, moving_average, pearsonr
+
+lines = st.integers(min_value=0, max_value=1 << 20)
+addresses = st.integers(min_value=0, max_value=1 << 30)
+
+
+@given(addresses)
+def test_line_address_idempotent_and_aligned(address):
+    aligned = line_address(address)
+    assert aligned % CACHELINE == 0
+    assert line_address(aligned) == aligned
+    assert 0 <= address - aligned < CACHELINE
+
+
+@given(st.lists(lines, min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_capacity_invariant(access_lines):
+    cache = Cache(8 * 4 * CACHELINE, ways=4, name="prop")
+    for line in access_lines:
+        address = line * CACHELINE
+        if cache.lookup(address) is None:
+            cache.fill(address)
+    assert cache.occupancy() <= 8 * 4
+    # Everything recently filled without conflict must be probe-able.
+    assert cache.hits + cache.misses == len(access_lines)
+
+
+@given(st.lists(lines, min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_fill_then_probe_holds(access_lines):
+    cache = Cache(64 * 8 * CACHELINE, ways=8, name="prop2")
+    for line in access_lines:
+        cache.fill(line * CACHELINE)
+        assert cache.probe(line * CACHELINE) is not None
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["read", "rfo", "drop"]),
+                  st.integers(0, 3), st.integers(0, 5)),
+        min_size=1, max_size=300,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_directory_single_dirty_owner_invariant(operations):
+    directory = Directory()
+    for op, core, line in operations:
+        if op == "read":
+            directory.read(line, core)
+        elif op == "rfo":
+            directory.read_for_ownership(line, core)
+            directory.mark_modified(line, core)
+        else:
+            directory.drop(line, core)
+    # Invariant: a modified line has exactly one owner.
+    for line in range(6):
+        entry = directory.entry(line)
+        if entry is None:
+            continue
+        if entry.state is MESIF.MODIFIED:
+            assert len(entry.owners) == 1
+            assert entry.dirty_owner in entry.owners
+        if not entry.owners:
+            assert entry.state is MESIF.INVALID
+
+
+@given(
+    st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=200),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_queue_depth_never_exceeds_capacity(ops, capacity):
+    engine = Engine()
+    queue = MonitoredQueue(engine, capacity=capacity)
+    pushed = popped = 0
+    for op in ops:
+        if op == "push":
+            if queue.try_push(pushed):
+                pushed += 1
+        elif not queue.empty:
+            assert queue.pop() == popped
+            popped += 1
+    assert len(queue) == pushed - popped
+    assert len(queue) <= capacity
+    assert queue.stats.inserts == pushed
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+       st.integers(1, 10))
+@settings(max_examples=100, deadline=None)
+def test_moving_average_bounded_by_series(values, window):
+    out = moving_average(values, window)
+    assert len(out) == len(values)
+    lo, hi = min(values), max(values)
+    for v in out:
+        assert lo - 1e-6 <= v <= hi + 1e-6
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_pearsonr_bounds_and_self_correlation(values):
+    r = pearsonr(values, values)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+    # Self-correlation is 1 unless variance is (numerically) degenerate,
+    # where the implementation's guard returns exactly 0.
+    if len(set(values)) > 1:
+        assert abs(r - 1.0) < 1e-6 or r == 0.0
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_cluster_windows_partition_the_series(values):
+    windows = cluster_windows(values)
+    assert windows[0].start == 0
+    assert windows[-1].stop == len(values)
+    for a, b in zip(windows, windows[1:]):
+        assert a.stop == b.start
+    assert sum(w.length for w in windows) == len(values)
+
+
+@given(st.lists(st.floats(-1e4, 1e4), min_size=1, max_size=60),
+       st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_holt_winters_horizon_length(values, horizon):
+    out = holt_winters(values, horizon=horizon)
+    assert len(out) == horizon
+    assert all(isinstance(v, float) for v in out)

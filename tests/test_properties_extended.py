@@ -1,0 +1,138 @@
+"""Additional property-based tests: trace roundtrip, TSDB roundtrip,
+registry arithmetic, and occupancy-integral consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmu.registry import CounterRegistry, delta
+from repro.sim.engine import Engine
+from repro.sim.queues import QueueStats
+from repro.sim.request import CACHELINE, MemOp
+from repro.tsdb import TimeSeriesDB
+from repro.workloads import TraceWorkload, record_trace
+
+mem_ops = st.builds(
+    MemOp,
+    address=st.integers(0, 1 << 24),
+    is_store=st.booleans(),
+    gap=st.floats(0.0, 100.0, allow_nan=False),
+    dependent=st.booleans(),
+    software_prefetch=st.just(False),
+)
+
+
+@given(st.lists(mem_ops, min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_trace_roundtrip_property(ops):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.txt"
+        record_trace(ops, path, working_set_bytes=(1 << 24) + CACHELINE)
+        workload = TraceWorkload(path)
+        replay = list(workload.ops())
+        base = workload.base_address
+    assert len(replay) == len(ops)
+    for original, replayed in zip(ops, replay):
+        assert replayed.address - base == original.address
+        assert replayed.is_store == original.is_store
+        assert replayed.dependent == original.dependent
+        assert abs(replayed.gap - original.gap) < 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.sampled_from(["x", "y"]),
+                  st.floats(-1e6, 1e6, allow_nan=False)),
+        min_size=1, max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_registry_add_is_summation(updates):
+    registry = CounterRegistry()
+    expected = {}
+    for scope, event, value in updates:
+        registry.add(scope, event, value)
+        expected[(scope, event)] = expected.get((scope, event), 0.0) + value
+    for (scope, event), total in expected.items():
+        assert abs(registry.get(scope, event) - total) < 1e-6
+
+
+@given(
+    st.lists(st.floats(0.0, 1e5, allow_nan=False), min_size=2, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_delta_of_snapshots_is_difference(values):
+    registry = CounterRegistry()
+    before = registry.snapshot(0.0)
+    for i, value in enumerate(values):
+        registry.add("s", f"e{i % 3}", value)
+    after = registry.snapshot(1.0)
+    d = delta(after, before)
+    assert abs(sum(d.values()) - sum(values)) < 1e-3
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 100.0, allow_nan=False), st.booleans()),
+        min_size=1, max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_integral_monotone_and_bounded(steps):
+    """Occupancy integral grows monotonically and is bounded by
+    depth_max * elapsed."""
+    stats = QueueStats()
+    now = 0.0
+    depth = 0
+    max_depth = 0
+    previous_integral = 0.0
+    for dt, push in sorted_steps(steps):
+        now += dt
+        if push:
+            stats.on_insert(now)
+            depth += 1
+        elif depth > 0:
+            stats.on_remove(now)
+            depth -= 1
+        max_depth = max(max_depth, depth)
+        stats.sync(now)
+        assert stats.occupancy_integral >= previous_integral - 1e-9
+        previous_integral = stats.occupancy_integral
+    if now > 0:
+        assert stats.occupancy_integral <= (max_depth + 1) * now + 1e-6
+
+
+def sorted_steps(steps):
+    return [(abs(dt), push) for dt, push in steps]
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1e6, allow_nan=False),
+                  st.floats(-1e3, 1e3, allow_nan=False)),
+        min_size=1, max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_tsdb_insert_preserves_every_record(points):
+    db = TimeSeriesDB()
+    for t, v in points:
+        db.insert("m", t, fields={"v": v})
+    q = db.from_("m")
+    assert len(q) == len(points)
+    timestamps = q.timestamps()
+    assert timestamps == sorted(timestamps)
+    assert abs(q.sum("v") - sum(v for _t, v in points)) < 1e-3
+
+
+@given(st.integers(0, 1 << 30), st.integers(0, 1 << 30))
+@settings(max_examples=200, deadline=None)
+def test_engine_event_causality(t1, t2):
+    engine = Engine()
+    seen = []
+    engine.at(float(t1), lambda: seen.append(t1))
+    engine.at(float(t2), lambda: seen.append(t2))
+    engine.run()
+    assert seen == sorted([t1, t2]) or (t1 == t2 and seen == [t1, t2])

@@ -1,0 +1,102 @@
+"""Unit tests for the DevLoad control law (no simulation required)."""
+
+import pytest
+
+from repro.pmu.registry import CounterRegistry
+from repro.sim import Machine, QoSConfig, spr_config
+from repro.sim.cxl_device import QoSLoadClass
+from repro.sim.qos import DevLoadThrottler
+
+
+def make_throttler(enabled=True, **config):
+    """Build a throttler in manual mode: no self-scheduled windows, so the
+    tests drive :meth:`control` explicitly."""
+    machine = Machine(spr_config(num_cores=2))
+    throttler = DevLoadThrottler.attach(
+        machine, config=QoSConfig(**config), enabled=False
+    )
+    throttler.enabled = enabled
+    throttler.port.arbitration_cycles = throttler.config.base_arbitration
+    return machine, throttler
+
+
+def force_queue(machine, depth, cycles):
+    """Put ``depth`` synthetic entries in the device MC queue for
+    ``cycles`` simulated cycles."""
+    device = machine.cxl_devices[machine.cxl_node.node_id]
+    start = machine.engine.now
+    for i in range(depth):
+        device.mc_queue.stats.on_insert(start)
+    machine.engine.at(start + cycles, lambda: None)
+    machine.engine.run()
+    device.mc_queue.stats.sync(machine.engine.now)
+    for i in range(depth):
+        device.mc_queue.stats.on_remove(machine.engine.now)
+
+
+def test_light_load_keeps_base_arbitration():
+    machine, throttler = make_throttler(window_cycles=100.0)
+    machine.engine.at(100.0, lambda: None)
+    machine.engine.run()
+    load = throttler.control()
+    assert load is QoSLoadClass.LIGHT
+    assert throttler.current_arbitration == throttler.config.base_arbitration
+
+
+def test_severe_overload_backs_off_multiplicatively():
+    machine, throttler = make_throttler(
+        window_cycles=100.0, backoff_severe=2.0, max_arbitration=64.0
+    )
+    capacity = machine.cxl_devices[machine.cxl_node.node_id].mc_queue.capacity
+    force_queue(machine, capacity, 100.0)
+    load = throttler.control()
+    assert load is QoSLoadClass.SEVERE_OVERLOAD
+    assert throttler.current_arbitration == pytest.approx(8.0)  # 4 * 2
+
+
+def test_backoff_saturates_at_max():
+    machine, throttler = make_throttler(
+        window_cycles=10.0, backoff_severe=100.0, max_arbitration=32.0
+    )
+    capacity = machine.cxl_devices[machine.cxl_node.node_id].mc_queue.capacity
+    force_queue(machine, capacity, 10.0)
+    throttler.control()
+    assert throttler.current_arbitration == 32.0
+
+
+def test_recovery_is_additive_toward_base():
+    machine, throttler = make_throttler(
+        window_cycles=10.0, recovery_step=3.0, base_arbitration=4.0
+    )
+    throttler.port.arbitration_cycles = 10.0
+    machine.engine.at(10.0, lambda: None)
+    machine.engine.run()
+    throttler.control()
+    assert throttler.current_arbitration == pytest.approx(7.0)
+    machine.engine.at(20.0, lambda: None)
+    machine.engine.run()
+    throttler.control()
+    throttler.control()
+    assert throttler.current_arbitration == pytest.approx(4.0)  # clamped
+
+
+def test_disabled_controller_reports_but_does_not_act():
+    machine, throttler = make_throttler(enabled=False, window_cycles=10.0)
+    before = throttler.port.arbitration_cycles
+    capacity = machine.cxl_devices[machine.cxl_node.node_id].mc_queue.capacity
+    force_queue(machine, capacity, 10.0)
+    load = throttler.control()
+    assert load is not QoSLoadClass.LIGHT
+    assert throttler.port.arbitration_cycles == before
+    assert throttler.history == []
+
+
+def test_window_load_is_windowed_not_cumulative():
+    machine, throttler = make_throttler(window_cycles=100.0)
+    capacity = machine.cxl_devices[machine.cxl_node.node_id].mc_queue.capacity
+    force_queue(machine, capacity, 100.0)
+    assert throttler.window_load_class() is QoSLoadClass.SEVERE_OVERLOAD
+    # Next window is quiet: the class must drop back to light.
+    machine.engine.at(machine.engine.now + 100.0, lambda: None)
+    machine.engine.run()
+    assert throttler.window_load_class() is QoSLoadClass.LIGHT

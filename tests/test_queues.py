@@ -1,0 +1,155 @@
+"""Unit tests for monitored queues and servers."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.queues import MonitoredQueue, QueueStats, Server
+
+
+def test_queue_push_pop_fifo():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=3)
+    assert q.try_push("a") and q.try_push("b")
+    assert q.pop() == "a"
+    assert q.pop() == "b"
+    assert q.empty
+
+
+def test_queue_capacity_enforced():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=2)
+    assert q.try_push(1) and q.try_push(2)
+    assert q.full
+    assert not q.try_push(3)
+    with pytest.raises(OverflowError):
+        q.push(3)
+
+
+def test_queue_pop_empty_raises():
+    q = MonitoredQueue(Engine(), capacity=1)
+    with pytest.raises(IndexError):
+        q.pop()
+    with pytest.raises(IndexError):
+        q.peek()
+
+
+def test_queue_insert_counter():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    for i in range(5):
+        q.push(i)
+    assert q.stats.inserts == 5
+
+
+def test_occupancy_integral_over_time():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    q.push("x")                      # depth 1 at t=0
+    engine.at(10.0, lambda: q.push("y"))      # depth 2 at t=10
+    engine.at(20.0, lambda: q.pop())          # depth 1 at t=20
+    engine.run()
+    q.stats.sync(30.0)
+    # 1*10 + 2*10 + 1*10 = 40
+    assert q.stats.occupancy_integral == pytest.approx(40.0)
+    assert q.stats.cycles_not_empty == pytest.approx(30.0)
+
+
+def test_cycles_full_tracked():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=1)
+    q.push("x")
+    engine.at(5.0, lambda: q.pop())
+    engine.run()
+    q.stats.sync(8.0)
+    assert q.stats.cycles_full == pytest.approx(5.0)
+
+
+def test_stats_mean_occupancy():
+    stats = QueueStats()
+    stats.on_insert(0.0)
+    stats.sync(10.0)
+    assert stats.mean_occupancy(10.0) == pytest.approx(1.0)
+    assert stats.mean_occupancy(0.0) == 0.0
+
+
+def test_stats_time_backwards_raises():
+    stats = QueueStats()
+    stats.on_insert(10.0)
+    with pytest.raises(ValueError):
+        stats.sync(5.0)
+
+
+def test_space_waiter_wakes_on_pop():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=1)
+    q.push("x")
+    woken = []
+    q.space_waiter.wait(lambda: woken.append(True))
+    engine.at(3.0, lambda: q.pop())
+    engine.run()
+    assert woken == [True]
+
+
+def test_server_serialises_by_service_time():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    done = []
+    server = Server(
+        engine, q, service_time=lambda _: 10.0,
+        on_done=lambda item: done.append((item, engine.now)),
+    )
+    server.submit("a")
+    server.submit("b")
+    engine.run()
+    assert done == [("a", 10.0), ("b", 20.0)]
+    assert server.completed == 2
+
+
+def test_multi_server_parallelism():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    done = []
+    server = Server(
+        engine, q, service_time=lambda _: 10.0,
+        on_done=lambda item: done.append(engine.now), servers=2,
+    )
+    for i in range(4):
+        server.submit(i)
+    engine.run()
+    # Two at a time: completions at 10, 10, 20, 20.
+    assert done == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_server_rejects_when_queue_full():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=1)
+    server = Server(engine, q, lambda _: 1000.0, on_done=lambda _i: None)
+    assert server.submit("a")        # immediately dispatched (queue drains)
+    assert server.submit("b")        # sits in the queue
+    assert not server.submit("c")    # queue full
+
+
+def test_server_utilization():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    server = Server(engine, q, lambda _: 10.0, on_done=lambda _i: None)
+    server.submit("a")
+    engine.run()
+    assert server.utilization(20.0) == pytest.approx(0.5)
+
+
+def test_negative_service_time_raises():
+    engine = Engine()
+    q = MonitoredQueue(engine, capacity=10)
+    server = Server(engine, q, lambda _: -1.0, on_done=lambda _i: None)
+    with pytest.raises(ValueError):
+        server.submit("a")
+
+
+def test_invalid_construction():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        MonitoredQueue(engine, capacity=0)
+    q = MonitoredQueue(engine, capacity=1)
+    with pytest.raises(ValueError):
+        Server(engine, q, lambda _: 1.0, on_done=lambda _i: None, servers=0)

@@ -1,0 +1,74 @@
+"""Edge-case tests for the report renderers."""
+
+import pytest
+
+from repro.core import (
+    PFBuilder,
+    PFEstimator,
+    PFAnalyzer,
+    render_path_map,
+    render_queues,
+    render_stall_breakdown,
+)
+from repro.core.snapshot import Snapshot
+
+
+def empty_snapshot():
+    return Snapshot(t_start=0.0, t_end=1000.0, delta={})
+
+
+def test_render_empty_path_map():
+    path_map = PFBuilder().build(empty_snapshot())
+    text = render_path_map(path_map, core_id=0)
+    assert "Path map" in text
+    assert "hot path" in text
+
+
+def test_render_empty_stall_breakdown():
+    stalls = PFEstimator().breakdown(empty_snapshot())
+    text = render_stall_breakdown(stalls)
+    assert "stall breakdown" in text
+    # All-zero shares render as 0.0% without crashing.
+    assert "0.0%" in text
+
+
+def test_render_empty_queue_report():
+    report = PFAnalyzer().analyze(empty_snapshot())
+    text = render_queues(report)
+    assert "Queue analysis" in text
+    assert report.culprit() is None
+
+
+def test_builder_handles_partial_delta():
+    snapshot = Snapshot(
+        t_start=0.0, t_end=100.0,
+        delta={("core0", "mem_load_retired.l1_hit"): 5.0},
+    )
+    path_map = PFBuilder().build(snapshot)
+    assert path_map.core_hits(0, "DRd", "L1D") == 5.0
+    assert path_map.cxl_hits() == 0.0
+    text = render_path_map(path_map, core_id=0)
+    assert "5" in text
+
+
+def test_estimator_handles_core_without_cxl():
+    snapshot = Snapshot(
+        t_start=0.0, t_end=100.0,
+        delta={
+            ("core0", "memory_activity.stalls_l1d_miss"): 50.0,
+            ("core0", "ocr.demand_data_rd.any_response"): 10.0,
+            ("core0", "ocr.demand_data_rd.local_dram"): 10.0,
+        },
+    )
+    stalls = PFEstimator().breakdown(snapshot)
+    # No CXL traffic -> nothing attributed anywhere.
+    for family in ("DRd", "RFO", "HWPF", "DWr"):
+        assert sum(stalls.aggregate(family).values()) == 0.0
+
+
+def test_analyzer_zero_duration_snapshot():
+    snapshot = Snapshot(t_start=5.0, t_end=5.0, delta={})
+    report = PFAnalyzer().analyze(snapshot)
+    assert report.estimates == [] or all(
+        e.queue_length >= 0 for e in report.estimates
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for the memory-request model."""
+
+import pytest
+
+from repro.sim.request import (
+    CACHELINE,
+    CXLOpcode,
+    MemOp,
+    MemRequest,
+    PATH_FAMILIES,
+    Path,
+    ServeLocation,
+    line_address,
+)
+
+
+def test_line_address_alignment():
+    assert line_address(0) == 0
+    assert line_address(63) == 0
+    assert line_address(64) == 64
+    assert line_address(130) == 128
+
+
+def test_line_address_rejects_negative():
+    with pytest.raises(ValueError):
+        line_address(-1)
+
+
+def test_request_address_is_line_aligned():
+    req = MemRequest(address=100, path=Path.DRD, core_id=0, issue_time=0.0)
+    assert req.address == 64
+    assert req.line == 1
+
+
+def test_request_ids_are_unique():
+    a = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=0.0)
+    b = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=0.0)
+    assert a.req_id != b.req_id
+
+
+def test_path_families():
+    assert Path.DRD.family == "DRd"
+    assert Path.RFO.family == "RFO"
+    assert Path.DWR.family == "DWr"
+    for p in (Path.L1_HWPF, Path.L2_HWPF_DRD, Path.L2_HWPF_RFO, Path.SWPF):
+        assert p.family == "HWPF"
+    assert set(PATH_FAMILIES) == {"DRd", "RFO", "HWPF", "DWr"}
+
+
+def test_prefetch_and_demand_classification():
+    assert Path.L1_HWPF.is_prefetch
+    assert Path.SWPF.is_prefetch
+    assert not Path.DRD.is_prefetch
+    assert Path.DRD.is_demand
+    assert not Path.L2_HWPF_DRD.is_demand
+
+
+def test_latency_requires_completion():
+    req = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=5.0)
+    with pytest.raises(ValueError):
+        _ = req.latency
+    req.complete(ServeLocation.L2, 25.0)
+    assert req.latency == 20.0
+    assert req.serve_location is ServeLocation.L2
+
+
+def test_serve_location_memory_flag():
+    assert ServeLocation.CXL_DRAM.is_memory
+    assert ServeLocation.LOCAL_DRAM.is_memory
+    assert not ServeLocation.L2.is_memory
+    assert not ServeLocation.SNC_LLC.is_memory
+
+
+def test_is_cxl_via_opcode_or_location():
+    req = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=0.0)
+    assert not req.is_cxl
+    req.cxl_opcode = CXLOpcode.M2S_REQ
+    assert req.is_cxl
+    other = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=0.0)
+    other.complete(ServeLocation.CXL_DRAM, 1.0)
+    assert other.is_cxl
+
+
+def test_hop_stamps_accumulate():
+    req = MemRequest(address=0, path=Path.DRD, core_id=0, issue_time=0.0)
+    req.stamp("l2", 10.0)
+    req.stamp("cha3", 20.0)
+    assert req.hops == [("l2", 10.0), ("cha3", 20.0)]
+
+
+def test_memop_validation():
+    with pytest.raises(ValueError):
+        MemOp(address=0, gap=-1.0)
+    with pytest.raises(ValueError):
+        MemOp(address=0, is_store=True, software_prefetch=True)
+    op = MemOp(address=128, is_store=True, gap=3.0)
+    assert op.address == 128 and op.is_store and op.gap == 3.0

@@ -1,0 +1,210 @@
+"""Tests for the rich workload models: parallel shards, KV store, graphs."""
+
+import pytest
+
+from repro.sim import CACHELINE, Machine, spr_config
+from repro.workloads import (
+    BFSWorkload,
+    CSRGraph,
+    KVClient,
+    KVConfig,
+    KVWorkload,
+    PageRankWorkload,
+    split_workload,
+)
+
+
+# -- parallel shards -----------------------------------------------------------
+
+
+def test_split_workload_shares_region():
+    shards = split_workload("par", 4, working_set_bytes=1 << 20)
+    assert len(shards) == 4
+    assert len({s.vpn_base for s in shards}) == 1
+    assert [s.thread_id for s in shards] == [0, 1, 2, 3]
+
+
+def test_split_workload_validation():
+    with pytest.raises(ValueError):
+        split_workload("x", 0, working_set_bytes=1 << 20)
+    with pytest.raises(ValueError):
+        split_workload("x", 2, working_set_bytes=1 << 20, shared_fraction=2.0)
+
+
+def test_private_slices_do_not_overlap():
+    shards = split_workload(
+        "par", 4, working_set_bytes=1 << 20, shared_fraction=0.0,
+        num_ops_per_thread=500, seed=3,
+    )
+    footprints = []
+    for shard in shards:
+        addresses = {op.address for op in shard.ops()}
+        footprints.append(addresses)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (footprints[i] & footprints[j])
+
+
+def test_shared_lines_produce_snoop_traffic():
+    """Threads writing shared lines trigger core-to-core forwards that the
+    CHA classifies as snoop serves (the HitM machinery)."""
+    machine = Machine(spr_config(num_cores=4))
+    shards = split_workload(
+        "par", 4, working_set_bytes=1 << 20, shared_fraction=0.5,
+        read_ratio=0.6, num_ops_per_thread=2000, seed=5,
+    )
+    shards[0].install(machine, machine.local_node.node_id)
+    for i, shard in enumerate(shards):
+        machine.pin(i, iter(shard))
+    machine.run(max_events=60_000_000)
+    assert machine.all_idle
+    snap = machine.snapshot_counters()
+    snoops = snap.get(("cha0", "unc_cha_snoop.hit"), 0.0) + snap.get(
+        ("cha0", "unc_cha_snoop.hitm"), 0.0
+    )
+    assert snoops > 0
+    # Forwards are classified by cluster distance (Table 2): same-cluster
+    # under l3_hit, cross-cluster under snc_cache.
+    forwarded = sum(
+        snap.get((f"core{c}", f"ocr.demand_data_rd.{scenario}"), 0.0)
+        for c in range(4)
+        for scenario in ("snc_cache", "l3_hit")
+    )
+    assert forwarded > 0
+
+
+def test_private_only_shards_produce_few_snoops():
+    machine = Machine(spr_config(num_cores=4))
+    shards = split_workload(
+        "par", 4, working_set_bytes=1 << 20, shared_fraction=0.0,
+        read_ratio=0.6, num_ops_per_thread=2000, seed=5,
+    )
+    shards[0].install(machine, machine.local_node.node_id)
+    for i, shard in enumerate(shards):
+        machine.pin(i, iter(shard))
+    machine.run(max_events=60_000_000)
+    snap = machine.snapshot_counters()
+    snoops = snap.get(("cha0", "unc_cha_snoop.hit"), 0.0) + snap.get(
+        ("cha0", "unc_cha_snoop.hitm"), 0.0
+    )
+    assert snoops == 0
+
+
+# -- KV store -------------------------------------------------------------------
+
+
+def test_kv_request_ops_shape():
+    from repro.workloads.kv import KVStore
+
+    store = KVStore(KVConfig(num_keys=1024, value_bytes=256), seed=3)
+    ops = store.request_ops(0, key=17, is_get=True)
+    assert ops, "empty request"
+    # First op is an index probe; value lines follow.
+    value_lines = [op for op in ops if op.address >= store.index_bytes]
+    assert len(value_lines) == 256 // CACHELINE
+    assert all(not op.is_store for op in ops)  # GET never writes
+    puts = store.request_ops(0, key=17, is_get=False)
+    assert any(op.is_store for op in puts)
+
+
+def test_kv_workload_streams_requests():
+    workload = KVWorkload(KVConfig(num_keys=512, value_bytes=128),
+                          num_requests=50, seed=3)
+    ops = list(workload.ops())
+    assert len(ops) >= 50 * 2
+    # All addresses inside the store's region.
+    for op in ops:
+        assert workload.base_address <= op.address < (
+            workload.base_address + workload.working_set_bytes
+        )
+
+
+def test_kv_client_latency_tracks_tier():
+    configs = {}
+    for node_attr in ("local_node", "cxl_node"):
+        machine = Machine(spr_config(num_cores=2))
+        client = KVClient(
+            machine, core=0, node_id=getattr(machine, node_attr).node_id,
+            config=KVConfig(num_keys=2048, value_bytes=256), seed=3,
+        )
+        client.run(150)
+        configs[node_attr] = client
+    local = configs["local_node"]
+    cxl = configs["cxl_node"]
+    assert cxl.mean_latency > 2.0 * local.mean_latency
+    p50, p95, p99 = cxl.percentiles()
+    assert p50 <= p95 <= p99
+
+
+def test_kv_client_percentiles_require_run():
+    machine = Machine(spr_config(num_cores=2))
+    client = KVClient(machine, 0, machine.local_node.node_id)
+    with pytest.raises(ValueError):
+        client.percentiles()
+
+
+# -- graphs --------------------------------------------------------------------
+
+
+def test_csr_graph_well_formed():
+    graph = CSRGraph(num_vertices=512, avg_degree=6, seed=7)
+    assert graph.row_offsets[0] == 0
+    assert graph.row_offsets[-1] == graph.num_edges
+    assert (graph.row_offsets[1:] >= graph.row_offsets[:-1]).all()
+    assert graph.column_indices.max() < graph.num_vertices
+    assert graph.total_bytes > 0
+
+
+def test_csr_graph_is_skewed():
+    graph = CSRGraph(num_vertices=2048, avg_degree=8, seed=7)
+    import numpy as np
+
+    counts = np.bincount(graph.column_indices, minlength=graph.num_vertices)
+    top_share = np.sort(counts)[-20:].sum() / graph.num_edges
+    assert top_share > 0.05  # hubs attract a disproportionate share
+
+
+def test_bfs_addresses_stay_in_region():
+    workload = BFSWorkload(
+        graph=CSRGraph(num_vertices=512, seed=3), num_ops=2000, seed=3
+    )
+    for op in workload.ops():
+        assert workload.base_address <= op.address < (
+            workload.base_address + workload.working_set_bytes
+        )
+
+
+def test_bfs_emits_software_prefetches():
+    workload = BFSWorkload(
+        graph=CSRGraph(num_vertices=512, seed=3), num_ops=2000,
+        software_prefetch=True, seed=3,
+    )
+    assert any(op.software_prefetch for op in workload.ops())
+    plain = BFSWorkload(
+        graph=CSRGraph(num_vertices=512, seed=3), num_ops=2000,
+        software_prefetch=False, seed=3,
+    )
+    assert not any(op.software_prefetch for op in plain.ops())
+
+
+def test_pagerank_mixes_streams_and_gathers():
+    workload = PageRankWorkload(
+        graph=CSRGraph(num_vertices=512, seed=3), num_ops=3000, seed=3
+    )
+    ops = list(workload.ops())
+    stores = sum(op.is_store for op in ops)
+    assert stores > 0            # rank writes
+    assert len(ops) == 3000
+
+
+def test_graph_workloads_run_on_machine():
+    graph = CSRGraph(num_vertices=1024, seed=5)
+    for cls in (BFSWorkload, PageRankWorkload):
+        machine = Machine(spr_config(num_cores=2))
+        workload = cls(graph=graph, num_ops=3000, seed=5)
+        workload.install(machine, machine.cxl_node.node_id)
+        machine.pin(0, iter(workload))
+        machine.run(max_events=30_000_000)
+        assert machine.all_idle
+        # BFS interleaves SW-prefetch hint ops on top of num_ops demand ops.
+        assert machine.cores[0].ops_completed >= 3000

@@ -1,0 +1,140 @@
+"""Tests for the tiering substrate: temperature, TPP, Colloid."""
+
+import pytest
+
+from repro.sim import Machine, spr_config
+from repro.sim.address import PAGE_SIZE, NodeKind
+from repro.tiering import TPP, Colloid, ColloidConfig, DynamicColloid, PageTemperature, TPPConfig
+from repro.workloads import HotColdAccess, RandomAccess
+
+
+def hotcold_machine(num_ops=6000, interleave=0.5, seed=3):
+    machine = Machine(spr_config(num_cores=2))
+    workload = HotColdAccess(
+        num_ops=num_ops, working_set_bytes=3 << 20, hot_probability=0.9,
+        hot_fraction=1.0 / 3.0, seed=seed,
+    )
+    workload.install_interleaved(
+        machine, machine.local_node.node_id, machine.cxl_node.node_id, interleave
+    )
+    return machine, workload
+
+
+# -- temperature --------------------------------------------------------------
+
+
+def test_temperature_tracks_hot_pages():
+    machine, workload = hotcold_machine()
+    temp = PageTemperature(machine)
+    machine.pin(0, iter(workload))
+    machine.run(max_events=20_000_000)
+    assert temp.samples > 0
+    hottest = temp.hottest(10)
+    assert hottest
+    # The hottest pages live in the hot third of the working set.
+    hot_pages = workload.num_pages // 3 + 1
+    for vpn, _heat in hottest[:3]:
+        assert vpn - workload.vpn_base <= hot_pages
+
+
+def test_temperature_decay():
+    machine, _ = hotcold_machine()
+    temp = PageTemperature(machine)
+    temp._heat = {1: 8.0, 2: 0.01}
+    temp.decay(0.5)
+    assert temp.heat(1) == pytest.approx(4.0)
+    assert temp.heat(2) == 0.0  # dropped below noise floor
+    with pytest.raises(ValueError):
+        temp.decay(2.0)
+
+
+def test_temperature_coldest():
+    machine, _ = hotcold_machine()
+    temp = PageTemperature(machine)
+    temp._heat = {1: 5.0, 2: 1.0, 3: 3.0}
+    assert [vpn for vpn, _ in temp.coldest(2, [1, 2, 3])] == [2, 3]
+
+
+def test_temperature_detach():
+    machine, _ = hotcold_machine()
+    temp = PageTemperature(machine)
+    temp.detach()
+    assert all(core.access_probe is None for core in machine.cores)
+
+
+# -- TPP --------------------------------------------------------------------
+
+
+def test_tpp_promotes_hot_cxl_pages():
+    machine, workload = hotcold_machine()
+    tpp = TPP(machine, TPPConfig(epoch_cycles=5000, promote_per_epoch=64))
+    machine.pin(0, iter(workload))
+    machine.run(max_events=30_000_000)
+    assert tpp.stats.promotions > 0
+    # Promoted pages now translate to local DDR.
+    space = machine.address_space
+    hottest = tpp.temperature.hottest(5)
+    for vpn, heat in hottest:
+        if heat >= tpp.config.hot_threshold:
+            node = space.page_node(vpn)
+            assert node.kind is NodeKind.LOCAL_DDR
+
+
+def test_tpp_speeds_up_hotcold_workload():
+    runtimes = {}
+    for enabled in (False, True):
+        machine, workload = hotcold_machine(seed=7)
+        TPP(machine, TPPConfig(epoch_cycles=5000, promote_per_epoch=128),
+            enabled=enabled)
+        machine.pin(0, iter(workload))
+        machine.run(max_events=30_000_000)
+        assert machine.all_idle
+        runtimes[enabled] = machine.now
+    assert runtimes[True] < runtimes[False]
+
+
+def test_tpp_disabled_does_nothing():
+    machine, workload = hotcold_machine()
+    tpp = TPP(machine, enabled=False)
+    machine.pin(0, iter(workload))
+    machine.run(max_events=30_000_000)
+    assert tpp.stats.promotions == 0
+    assert tpp.stats.epochs == 0
+
+
+def test_tpp_demotes_under_local_pressure():
+    machine = Machine(spr_config(num_cores=2, local_mem_bytes=256 * PAGE_SIZE))
+    workload = RandomAccess(num_ops=3000, working_set_bytes=150 * PAGE_SIZE, seed=5)
+    workload.install(machine, machine.local_node.node_id)
+    tpp = TPP(
+        machine,
+        TPPConfig(epoch_cycles=5000, local_headroom_pages=200, demote_per_epoch=16),
+    )
+    machine.pin(0, iter(workload))
+    machine.run(max_events=30_000_000)
+    assert tpp.stats.demotions > 0
+
+
+# -- Colloid ----------------------------------------------------------------
+
+
+def test_colloid_raises_promotion_budget_when_cxl_slower():
+    machine, workload = hotcold_machine()
+    tpp = TPP(machine, TPPConfig(epoch_cycles=5000, promote_per_epoch=16))
+    colloid = Colloid(machine, tpp, ColloidConfig(epoch_cycles=5000))
+    machine.pin(0, iter(workload))
+    machine.run(max_events=30_000_000)
+    assert colloid.decisions, "controller never ran with a latency signal"
+    ratios = [r for r, _budget in colloid.decisions]
+    assert max(ratios) > 1.0  # CXL observed slower than local
+    assert tpp.config.promote_per_epoch >= 16
+
+
+def test_dynamic_colloid_tracks_dominant_family():
+    machine, workload = hotcold_machine()
+    tpp = TPP(machine, TPPConfig(epoch_cycles=5000))
+    dyn = DynamicColloid(machine, tpp, ColloidConfig(epoch_cycles=5000))
+    machine.pin(0, iter(workload))
+    machine.run(max_events=30_000_000)
+    assert dyn.chosen_family
+    assert set(dyn.chosen_family) <= {"DRd", "RFO", "HWPF"}

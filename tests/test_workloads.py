@@ -1,0 +1,197 @@
+"""Unit tests for workload generators and the suite catalog."""
+
+import pytest
+
+from repro.sim import CACHELINE, Machine, spr_config
+from repro.sim.address import PAGE_SIZE
+from repro.workloads import (
+    APPLICATIONS,
+    GUPS,
+    HotColdAccess,
+    MBW,
+    PhasedWorkload,
+    PointerChase,
+    RandomAccess,
+    SequentialStream,
+    SoftwarePrefetchStream,
+    Workload,
+    ZipfAccess,
+    build_app,
+    suite_names,
+    throttled,
+)
+
+
+def addresses(workload):
+    return [op.address for op in workload.ops()]
+
+
+def test_streams_are_deterministic():
+    a = SequentialStream(num_ops=100, seed=5)
+    b = SequentialStream(num_ops=100, seed=5, vpn_base=a.vpn_base)
+    assert [
+        (op.address, op.is_store) for op in a.ops()
+    ] == [(op.address, op.is_store) for op in b.ops()]
+
+
+def test_stream_replays_identically():
+    w = RandomAccess(num_ops=50, seed=9)
+    first = addresses(w)
+    second = addresses(w)
+    assert first == second
+
+
+def test_sequential_addresses_advance_by_stride():
+    w = SequentialStream(num_ops=10, stride=128, read_ratio=1.0)
+    addrs = addresses(w)
+    for a, b in zip(addrs, addrs[1:]):
+        assert b - a == 128
+
+
+def test_addresses_stay_inside_working_set():
+    for workload in (
+        SequentialStream(num_ops=300, working_set_bytes=1 << 16),
+        RandomAccess(num_ops=300, working_set_bytes=1 << 16),
+        ZipfAccess(num_ops=300, working_set_bytes=1 << 16),
+        HotColdAccess(num_ops=300, working_set_bytes=1 << 16),
+    ):
+        base = workload.base_address
+        for address in addresses(workload):
+            assert base <= address < base + workload.working_set_bytes
+
+
+def test_read_ratio_respected():
+    w = RandomAccess(num_ops=2000, read_ratio=0.7, seed=3)
+    stores = sum(op.is_store for op in w.ops())
+    assert 0.2 < stores / 2000 < 0.4
+
+
+def test_pointer_chase_is_dependent_loads():
+    w = PointerChase(num_ops=50)
+    ops = list(w.ops())
+    assert all(op.dependent for op in ops)
+    assert not any(op.is_store for op in ops)
+
+
+def test_zipf_is_skewed():
+    w = ZipfAccess(num_ops=5000, working_set_bytes=1 << 22, theta=0.99, seed=1)
+    from collections import Counter
+    counts = Counter(op.address for op in w.ops())
+    top_share = sum(c for _a, c in counts.most_common(50)) / 5000
+    assert top_share > 0.3  # heavy head
+
+
+def test_hotcold_concentrates_on_hot_set():
+    w = HotColdAccess(
+        num_ops=4000, working_set_bytes=1 << 20, hot_fraction=0.25,
+        hot_probability=0.9, seed=2,
+    )
+    hot_limit = w.base_address + (1 << 18)
+    hot = sum(1 for a in addresses(w) if a < hot_limit)
+    assert hot / 4000 > 0.8
+
+
+def test_swpf_stream_emits_prefetches_ahead():
+    w = SoftwarePrefetchStream(num_ops=100, prefetch_distance_ops=4)
+    ops = list(w.ops())
+    prefetches = [op for op in ops if op.software_prefetch]
+    loads = [op for op in ops if not op.software_prefetch]
+    assert len(loads) == 100
+    assert len(prefetches) == 96
+    # Each prefetch address appears later as a demand load.
+    demand_addrs = {op.address for op in loads}
+    assert all(op.address in demand_addrs for op in prefetches)
+
+
+def test_phased_workload_concatenates():
+    p1 = SequentialStream(name="p1", num_ops=10)
+    p2 = RandomAccess(name="p2", num_ops=15)
+    w = PhasedWorkload("combo", [p1, p2])
+    assert w.num_ops == 25
+    assert len(list(w.ops())) == 25
+    # Phases share the parent's region.
+    assert p1.vpn_base == w.vpn_base == p2.vpn_base
+
+
+def test_throttled_stretches_gaps():
+    base = SequentialStream(num_ops=20, gap=2.0)
+    slow = throttled(base, 0.5)
+    base_gaps = [op.gap for op in base.ops()]
+    slow_gaps = [op.gap for op in slow.ops()]
+    assert all(s > b for s, b in zip(slow_gaps, base_gaps))
+    with pytest.raises(ValueError):
+        throttled(base, 0.0)
+
+
+def test_install_binds_all_pages():
+    m = Machine(spr_config())
+    w = SequentialStream(num_ops=10, working_set_bytes=3 * PAGE_SIZE)
+    w.install(m, m.cxl_node.node_id)
+    for i in range(w.num_pages):
+        node = m.address_space.page_node(w.vpn_base + i)
+        assert node is not None and node.node_id == m.cxl_node.node_id
+
+
+def test_install_interleaved_ratio():
+    m = Machine(spr_config())
+    w = SequentialStream(num_ops=10, working_set_bytes=100 * PAGE_SIZE)
+    w.install_interleaved(m, m.local_node.node_id, m.cxl_node.node_id, 0.8)
+    local = sum(
+        1
+        for i in range(w.num_pages)
+        if m.address_space.page_node(w.vpn_base + i).node_id
+        == m.local_node.node_id
+    )
+    assert local == 80
+
+
+def test_distinct_workloads_get_distinct_regions():
+    a = SequentialStream(num_ops=1)
+    b = SequentialStream(num_ops=1)
+    assert a.vpn_base != b.vpn_base
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        SequentialStream(num_ops=0)
+    with pytest.raises(ValueError):
+        RandomAccess(working_set_bytes=0)
+    with pytest.raises(ValueError):
+        SequentialStream(num_ops=1, read_ratio=1.5)
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+def test_catalog_covers_all_suites():
+    suites = {spec.suite for spec in APPLICATIONS.values()}
+    assert suites == {"SPEC CPU2017", "PARSEC", "SPLASH2X", "GAPBS", "YCSB"}
+    assert len(APPLICATIONS) >= 70
+
+
+def test_every_app_builds_and_generates():
+    for name in suite_names():
+        workload = build_app(name, num_ops=30)
+        ops = list(workload.ops())
+        # SW-prefetch apps interleave hint ops on top of the demand stream.
+        demand = [op for op in ops if not op.software_prefetch]
+        assert len(demand) == 30, name
+
+
+def test_build_app_unknown_raises():
+    with pytest.raises(KeyError):
+        build_app("999.nonexistent")
+
+
+def test_working_sets_scale_with_table6():
+    lbm = APPLICATIONS["519.lbm_r"]
+    leela = APPLICATIONS["541.leela_r"]
+    assert lbm.working_set_bytes() > leela.working_set_bytes()
+
+
+def test_gups_and_mbw_defaults():
+    g = GUPS(num_ops=100)
+    stores = sum(op.is_store for op in g.ops())
+    assert 20 <= stores <= 80  # read-modify-write mix
+    m = MBW(num_ops=100)
+    assert sum(op.is_store for op in m.ops()) > 20
