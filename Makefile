@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures docs clean
+.PHONY: install test bench figures docs campaign-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,13 @@ figures:
 
 docs:
 	$(PYTHON) scripts/gen_counter_docs.py
+
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py --workers 4
+
+sweeps:
+	$(PYTHON) scripts/sweep_local_vs_cxl.py
+	$(PYTHON) scripts/sweep_interleave.py
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

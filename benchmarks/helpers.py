@@ -6,6 +6,13 @@ workload(s) through PathFinder on the simulated machine, prints the same
 rows/series the paper reports, and asserts the paper's *shape* (who wins,
 rough factors, crossovers) - absolute numbers are simulator-scaled.
 
+Profiling goes through :mod:`repro.exec`: each run is a declarative
+:class:`~repro.exec.CampaignJob` resolved against the content-addressed
+result cache (``results/cache/`` by default; ``PATHFINDER_CACHE_DIR``
+relocates it, ``PATHFINDER_NO_CACHE=1`` disables it), so re-running a
+figure after an unrelated edit replays cached sessions instead of
+re-simulating, and multi-run sweeps fan out over the campaign runner.
+
 Benches use ``benchmark.pedantic(..., rounds=1)`` so pytest-benchmark
 records wall-clock per experiment without re-running multi-second
 simulations.
@@ -13,10 +20,19 @@ simulations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.core import AppSpec, PathFinder, ProfileResult, ProfileSpec
+from repro.exec import (
+    CampaignJob,
+    CampaignResult,
+    cxl_node_id,
+    default_cache,
+    local_node_id,
+    run_campaign,
+)
 from repro.pmu.views import CHAPMUView, CorePMUView, IMCView, M2PCIeView
 from repro.sim import Machine, MachineConfig, spr_config
 from repro.workloads import Workload, build_app
@@ -35,14 +51,20 @@ CHARACTERIZATION_APPS = (
 
 @dataclass
 class Run:
-    """One profiled execution plus its aggregate counter delta."""
+    """One profiled execution plus its aggregate counter delta.
+
+    ``machine``/``profiler`` are only populated for live in-process runs;
+    a cache-hit (or worker-pool) run carries the reconstructed result and
+    counter totals, which is all the figure assertions read.
+    """
 
     name: str
     node: str
-    machine: Machine
-    profiler: PathFinder
     result: ProfileResult
     totals: Dict[Tuple[str, str], float]
+    cxl_node: int = 2
+    machine: Optional[Machine] = None
+    profiler: Optional[PathFinder] = None
 
     def core(self, core_id: int = 0) -> CorePMUView:
         return CorePMUView(self.totals, core_id)
@@ -54,11 +76,69 @@ class Run:
         return IMCView(self.totals, 0)
 
     def m2pcie(self) -> M2PCIeView:
-        return M2PCIeView(self.totals, self.machine.cxl_node.node_id)
+        return M2PCIeView(self.totals, self.cxl_node)
 
     @property
     def cycles(self) -> float:
         return self.result.total_cycles
+
+
+def totals_of(result: ProfileResult) -> Dict[Tuple[str, str], float]:
+    """Aggregate counter deltas across a session (api.counters)."""
+    return api.counters(result)
+
+
+def node_id_for(node: str, config: MachineConfig) -> int:
+    """Declarative node id ('local'/'cxl') without building a Machine."""
+    return cxl_node_id(config) if node == "cxl" else local_node_id(config)
+
+
+def make_spec(
+    workloads: Sequence[Workload],
+    node: str,
+    config: MachineConfig,
+    epoch: float = EPOCH,
+    interleave: Optional[float] = None,
+    max_epochs: int = 10_000,
+) -> ProfileSpec:
+    """The declarative spec ``profile_apps`` runs (apps on cores 0..n)."""
+    node_id = node_id_for(node, config)
+    apps = []
+    for core, workload in enumerate(workloads):
+        if interleave is None:
+            apps.append(AppSpec(workload=workload, core=core, membind=node_id))
+        else:
+            apps.append(
+                AppSpec(
+                    workload=workload,
+                    core=core,
+                    interleave=(
+                        local_node_id(config), cxl_node_id(config), interleave
+                    ),
+                )
+            )
+    return ProfileSpec(apps=apps, epoch_cycles=epoch, max_epochs=max_epochs)
+
+
+def run_job(job: CampaignJob, node: str = "cxl", name: str = "") -> Run:
+    """Resolve one job against the bench cache and wrap it as a Run."""
+    campaign = run_campaign(
+        [job], parallel=False, cache=default_cache(), retries=0
+    )
+    record = campaign.jobs[0]
+    if not record.ok:
+        raise RuntimeError(
+            f"bench job {job.tag or name!r} failed"
+            f" ({record.failure}): {record.error}"
+        )
+    result = campaign.results[0]
+    return Run(
+        name=name or job.tag,
+        node=node,
+        result=result,
+        totals=totals_of(result),
+        cxl_node=cxl_node_id(job.config),
+    )
 
 
 def profile_apps(
@@ -70,39 +150,12 @@ def profile_apps(
     name: str = "",
 ) -> Run:
     """Profile one or more workloads pinned to consecutive cores."""
-    machine = Machine(config or spr_config(num_cores=max(2, len(workloads))))
-    node_id = (
-        machine.cxl_node.node_id if node == "cxl" else machine.local_node.node_id
-    )
-    apps = []
-    for core, workload in enumerate(workloads):
-        if interleave is None:
-            apps.append(AppSpec(workload=workload, core=core, membind=node_id))
-        else:
-            apps.append(
-                AppSpec(
-                    workload=workload,
-                    core=core,
-                    interleave=(
-                        machine.local_node.node_id,
-                        machine.cxl_node.node_id,
-                        interleave,
-                    ),
-                )
-            )
-    profiler = PathFinder(machine, ProfileSpec(apps=apps, epoch_cycles=epoch))
-    result = profiler.run()
-    totals = {}
-    for epoch_result in result.epochs:
-        for key, value in epoch_result.snapshot.delta.items():
-            totals[key] = totals.get(key, 0.0) + value
-    return Run(
-        name=name or "+".join(w.name for w in workloads),
-        node=node,
-        machine=machine,
-        profiler=profiler,
-        result=result,
-        totals=totals,
+    config = config or spr_config(num_cores=max(2, len(workloads)))
+    spec = make_spec(workloads, node, config, epoch=epoch,
+                     interleave=interleave)
+    label = name or "+".join(w.name for w in workloads)
+    return run_job(
+        CampaignJob(spec=spec, config=config, tag=label), node=node, name=label
     )
 
 
@@ -118,13 +171,36 @@ def local_vs_cxl(
     app_names: Iterable[str], ops: int = DEFAULT_OPS,
     config: Optional[MachineConfig] = None,
 ) -> Dict[str, Dict[str, Run]]:
-    """Run each app on local DDR and on CXL - the section 3 comparison."""
+    """Run each app on local DDR and on CXL - the section 3 comparison.
+
+    The grid executes as one campaign (worker-pool parallel on multi-core
+    hosts, cache-resolved on reruns) instead of serial back-to-back runs.
+    """
+    names = list(app_names)
+    jobs, index = [], []
+    for name in names:
+        for node in ("local", "cxl"):
+            job_config = config or spr_config(num_cores=2)
+            spec = make_spec(
+                [build_app(name, num_ops=ops, seed=1)], node, job_config
+            )
+            jobs.append(CampaignJob(spec=spec, config=job_config,
+                                    tag=f"{name}@{node}"))
+            index.append((name, node))
+    campaign = api.run_many(jobs, cache=default_cache() or False)
     out: Dict[str, Dict[str, Run]] = {}
-    for name in app_names:
-        out[name] = {
-            node: run_app(name, node, ops=ops, config=config)
-            for node in ("local", "cxl")
-        }
+    for (name, node), job, result in zip(index, campaign.jobs, campaign.results):
+        if result is None:
+            raise RuntimeError(
+                f"bench job {job.tag!r} failed ({job.failure}): {job.error}"
+            )
+        out.setdefault(name, {})[node] = Run(
+            name=job.tag,
+            node=node,
+            result=result,
+            totals=totals_of(result),
+            cxl_node=cxl_node_id(jobs[job.index].config),
+        )
     return out
 
 

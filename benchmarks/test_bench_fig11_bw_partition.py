@@ -13,16 +13,17 @@ CXL DIMM so the FlexBus+MC saturates.  Paper headlines:
 
 import pytest
 
-from repro.core import AppSpec, PathFinder, ProfileSpec
-from repro.sim import Machine, spr_config
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import CampaignJob, cxl_node_id
+from repro.sim import spr_config
 from repro.tsdb import pearsonr
 from repro.workloads import GUPS, MBW
 
-from .helpers import once, print_table
+from .helpers import once, print_table, run_job
 
 
 def _run_instances(kind: str):
-    machine = Machine(spr_config(num_cores=4))
+    config = spr_config(num_cores=4)
     # Different per-instance demand profiles (the paper's four MBW
     # instances run at 500/700/1000/3700 MB/s solo): instances differ in
     # cacheability, so their CXL request rates differ even at saturation.
@@ -48,11 +49,10 @@ def _run_instances(kind: str):
             workloads.append(w)
             bytes_per_op.append(64.0)
     for i, w in enumerate(workloads):
-        apps.append(AppSpec(workload=w, core=i, membind=machine.cxl_node.node_id))
-    profiler = PathFinder(
-        machine, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=80)
-    )
-    result = profiler.run()
+        apps.append(AppSpec(workload=w, core=i, membind=cxl_node_id(config)))
+    spec = ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=80)
+    run = run_job(CampaignJob(spec=spec, config=config, tag=f"bwpart@{kind}"))
+    result = run.result
     # Per-flow request frequency (PFBuilder: CXL hits per core) and
     # application bandwidth (ops completed / lifetime).
     freqs, bandwidths = [], []

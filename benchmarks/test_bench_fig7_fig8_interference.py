@@ -14,17 +14,26 @@ load sweeps 20% -> 100%.  Paper headlines:
 
 import pytest
 
-from repro.core import AppSpec, PathFinder, ProfileSpec, STALL_COMPONENTS
-from repro.sim import Machine, spr_config
+from repro.core import AppSpec, ProfileSpec, STALL_COMPONENTS
+from repro.exec import CampaignJob
+from repro.sim import spr_config
 from repro.workloads import InterleavedFlows, SequentialStream
 
-from .helpers import once, print_table
+from .helpers import once, print_table, run_job
 
 LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
 
 
+def _install_mixed_regions(machine, spec):
+    """Pre-place the mixed workload's two flows on their tiers; the spec's
+    membind only covers the (empty) wrapper region."""
+    mixed = spec.apps[0].workload
+    mixed.primary.install(machine, machine.local_node.node_id)
+    mixed.secondary.install(machine, machine.cxl_node.node_id)
+
+
 def run_mixed(cxl_load: float):
-    machine = Machine(spr_config(num_cores=2))
+    config = spr_config(num_cores=2)
     local = SequentialStream(
         name="localflow", num_ops=5000, working_set_bytes=1 << 21,
         read_ratio=0.8, gap=3.0, accesses_per_line=2, seed=3,
@@ -35,19 +44,16 @@ def run_mixed(cxl_load: float):
         read_ratio=0.8, gap=3.0, accesses_per_line=2, seed=17,
     )
     mixed = InterleavedFlows(local, cxl, secondary_fraction=cxl_load / 2.0)
-    mixed.primary.install(machine, machine.local_node.node_id)
-    mixed.secondary.install(machine, machine.cxl_node.node_id)
-    profiler = PathFinder(
-        machine,
-        ProfileSpec(
-            apps=[AppSpec(workload=mixed, core=0,
-                          membind=machine.local_node.node_id)],
-            epoch_cycles=25_000.0,
-        ),
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=mixed, core=0, membind=0)],
+        epoch_cycles=25_000.0,
     )
-    # The mixed workload pre-installed its two regions; membind above only
-    # places the (empty) wrapper region.
-    result = profiler.run()
+    run = run_job(
+        CampaignJob(spec=spec, config=config, tag=f"mixed@{cxl_load:.1f}",
+                    setup=_install_mixed_regions),
+        node="mixed",
+    )
+    result = run.result
     stalls = {c: 0.0 for c in STALL_COMPONENTS}
     queues = {"L1D": 0.0, "LFB": 0.0, "L2": 0.0, "FlexBus+MC": 0.0}
     for e in result.epochs:

@@ -15,11 +15,12 @@ the neighbours' traffic load sweeps 20% -> 100%.  Paper headlines:
 
 import pytest
 
-from repro.core import AppSpec, PathFinder, ProfileSpec, STALL_COMPONENTS
-from repro.sim import Machine, spr_config
+from repro.core import AppSpec, ProfileSpec, STALL_COMPONENTS
+from repro.exec import CampaignJob, cxl_node_id
+from repro.sim import spr_config
 from repro.workloads import SequentialStream, ZipfAccess, throttled
 
-from .helpers import once, print_table
+from .helpers import once, print_table, run_job
 
 # load 0.0 = solo YCSB baseline (the reference the paper's -77.4% uses).
 LOADS = (0.0, 0.2, 0.6, 1.0)
@@ -27,12 +28,13 @@ NEIGHBOURS = 7
 
 
 def run_contention(load: float):
-    machine = Machine(spr_config(num_cores=NEIGHBOURS + 1))
+    config = spr_config(num_cores=NEIGHBOURS + 1)
+    cxl = cxl_node_id(config)
     ycsb = ZipfAccess(
         name="ycsb", num_ops=4000, working_set_bytes=1 << 23,
         read_ratio=0.95, gap=2.0, seed=5,
     )
-    apps = [AppSpec(workload=ycsb, core=0, membind=machine.cxl_node.node_id)]
+    apps = [AppSpec(workload=ycsb, core=0, membind=cxl)]
     for i in range(NEIGHBOURS if load > 0 else 0):
         stream = SequentialStream(
             name=f"neigh{i}", num_ops=12000, working_set_bytes=1 << 22,
@@ -42,15 +44,18 @@ def run_contention(load: float):
             AppSpec(
                 workload=throttled(stream, load),
                 core=1 + i,
-                membind=machine.cxl_node.node_id,
+                membind=cxl,
             )
         )
-    profiler = PathFinder(
-        machine, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=60)
+    spec = ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=60)
+    run = run_job(
+        CampaignJob(spec=spec, config=config, tag=f"contention@{load:.1f}")
     )
-    result = profiler.run()
+    result = run.result
     # YCSB throughput: ops completed per cycle until its flow ended.
-    ycsb_flow = next(f for f in result.flows if f.pid == apps[0].pid)
+    # Flows are matched by app name, not pid - a cache-hit session
+    # replays the recording process's pids.
+    ycsb_flow = next(f for f in result.flows if f.app_name == "ycsb")
     ycsb_end = ycsb_flow.ended_at or result.total_cycles
     throughput = ycsb.num_ops / ycsb_end
     stalls = {c: 0.0 for c in STALL_COMPONENTS}
@@ -58,7 +63,7 @@ def run_contention(load: float):
     flex_delay_samples = []
     epochs_with_ycsb = 0
     for e in result.epochs:
-        if not any(f.pid == apps[0].pid for f in e.snapshot.flows):
+        if not any(f.app_name == "ycsb" for f in e.snapshot.flows):
             continue
         epochs_with_ycsb += 1
         core0 = e.stalls.per_core.get(0, {}).get("DRd", {})

@@ -11,14 +11,16 @@ measures r = 0.998).
 Run:  python examples/bandwidth_partition.py
 """
 
-from repro.core import AppSpec, PathFinder, ProfileSpec
-from repro.sim import Machine, spr_config
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import cxl_node_id
+from repro.sim import spr_config
 from repro.tsdb import pearsonr
 from repro.workloads import MBW
 
 
 def main() -> None:
-    machine = Machine(spr_config(num_cores=4))
+    config = spr_config(num_cores=4)
     tenants = []
     apps = []
     for i, (gap, accesses_per_line) in enumerate(
@@ -30,12 +32,10 @@ def main() -> None:
         )
         tenants.append(tenant)
         apps.append(
-            AppSpec(workload=tenant, core=i, membind=machine.cxl_node.node_id)
+            AppSpec(workload=tenant, core=i, membind=cxl_node_id(config))
         )
-    profiler = PathFinder(
-        machine, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=80)
-    )
-    result = profiler.run()
+    spec = ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=80)
+    result = api.run(spec, config=config)
 
     # 1. Where is the bottleneck?
     culprits = [

@@ -14,19 +14,20 @@ PageRank, and uses PathFinder to show what distinguishes them:
 Run:  python examples/graph_analytics.py
 """
 
-from repro.core import AppSpec, PathFinder, ProfileSpec
-from repro.sim import Machine, spr_config
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import cxl_node_id
+from repro.sim import spr_config
 from repro.workloads import BFSWorkload, CSRGraph, PageRankWorkload
 
 
 def profile_kernel(kernel_cls, graph, label: str):
-    machine = Machine(spr_config(num_cores=2))
+    config = spr_config(num_cores=2)
     workload = kernel_cls(graph=graph, num_ops=10000, seed=3)
-    app = AppSpec(workload=workload, core=0,
-                  membind=machine.cxl_node.node_id)
-    result = PathFinder(
-        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0)
-    ).run()
+    app = AppSpec(workload=workload, core=0, membind=cxl_node_id(config))
+    result = api.run(
+        ProfileSpec(apps=[app], epoch_cycles=25_000.0), config=config
+    )
     pm = result.final.path_map
     share = pm.family_share_at_cxl()
     stalls = result.final.stalls.shares("DRd")

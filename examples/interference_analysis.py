@@ -14,20 +14,19 @@ batch jobs.  PathFinder is used exactly the way sections 5.4-5.5 use it:
 Run:  python examples/interference_analysis.py
 """
 
-from repro.core import AppSpec, PathFinder, ProfileSpec, STALL_COMPONENTS
-from repro.sim import Machine, spr_config
+from repro import api
+from repro.core import AppSpec, ProfileSpec, STALL_COMPONENTS
+from repro.exec import cxl_node_id
+from repro.sim import spr_config
 from repro.workloads import SequentialStream, ZipfAccess, throttled
 
 
-def run(neighbour_load: float):
-    machine = Machine(spr_config(num_cores=4))
+def build_spec(neighbour_load: float, config):
     service = ZipfAccess(
         name="kv-service", num_ops=4000, working_set_bytes=1 << 22,
         read_ratio=0.95, gap=2.0, seed=5,
     )
-    apps = [
-        AppSpec(workload=service, core=0, membind=machine.cxl_node.node_id)
-    ]
+    apps = [AppSpec(workload=service, core=0, membind=cxl_node_id(config))]
     if neighbour_load > 0:
         for i in range(3):
             batch = SequentialStream(
@@ -38,23 +37,33 @@ def run(neighbour_load: float):
                 AppSpec(
                     workload=throttled(batch, neighbour_load),
                     core=1 + i,
-                    membind=machine.cxl_node.node_id,
+                    membind=cxl_node_id(config),
                 )
             )
-    profiler = PathFinder(
-        machine, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=60)
-    )
-    result = profiler.run()
-    service_flow = next(f for f in result.flows if f.pid == apps[0].pid)
-    lifetime = service_flow.ended_at or result.total_cycles
-    return profiler, result, apps[0].pid, service.num_ops / lifetime
+    return service, ProfileSpec(apps=apps, epoch_cycles=25_000.0, max_epochs=60)
 
 
 def main() -> None:
-    print("sweeping batch-job load against the kv-service...\n")
+    print("sweeping batch-job loads against the kv-service as one campaign...\n")
+    config = spr_config(num_cores=4)
+    loads = (0.0, 0.3, 1.0)
+    specs, services = [], []
+    for load in loads:
+        service, spec = build_spec(load, config)
+        services.append(service)
+        specs.append(spec)
+    # One campaign: the three load points run in parallel on multi-core
+    # hosts and resolve from the result cache on reruns.
+    campaign = api.run_many(
+        specs, config=config, tags=[f"load{int(l*100)}" for l in loads]
+    )
     baseline = None
-    for load in (0.0, 0.3, 1.0):
-        profiler, result, pid, throughput = run(load)
+    for load, service, result in zip(loads, services, campaign.results):
+        service_flow = next(
+            f for f in result.flows if f.app_name == "kv-service"
+        )
+        lifetime = service_flow.ended_at or result.total_cycles
+        throughput = service.num_ops / lifetime
         if baseline is None:
             baseline = throughput
         # Aggregate the service's DRd stall breakdown over the run.

@@ -11,37 +11,56 @@ twice the aggregate device bandwidth.
 Run:  python examples/memory_pooling.py
 """
 
-from repro.core import AppSpec, PathFinder, ProfileSpec
-from repro.sim import Machine, spr_config
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import CampaignJob, cxl_node_id
+from repro.sim import spr_config
 from repro.workloads import SequentialStream
 
 
-def run(num_devices: int) -> dict:
-    machine = Machine(spr_config(num_cores=2, num_cxl_devices=num_devices))
-    node_ids = [n.node_id for n in machine.address_space.cxl_nodes]
+def _stripe_across_pool(machine, spec):
+    """Setup hook: back the working set round-robin over every CXL DIMM
+    (numactl --interleave over the pool) before profiling starts."""
+    workload = spec.apps[0].workload
+    workload.install_striped(
+        machine, [n.node_id for n in machine.address_space.cxl_nodes]
+    )
+
+
+def make_job(num_devices: int) -> CampaignJob:
+    config = spr_config(num_cores=2, num_cxl_devices=num_devices)
+    node_ids = [cxl_node_id(config, i) for i in range(num_devices)]
     workload = SequentialStream(
         name="pooled-stream", num_ops=8000, working_set_bytes=1 << 22,
         read_ratio=0.8, gap=0.5, seed=3,
     )
-    workload.install_striped(machine, node_ids)
     app = AppSpec(workload=workload, core=0, preinstalled=node_ids)
-    profiler = PathFinder(
-        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0)
+    return CampaignJob(
+        spec=ProfileSpec(apps=[app], epoch_cycles=25_000.0),
+        config=config,
+        tag=f"pool{num_devices}",
+        setup=_stripe_across_pool,
     )
-    result = profiler.run()
-    per_dimm = result.final.path_map.cxl_traffic
+
+
+def unpack(job: CampaignJob, result) -> dict:
     return {
-        "machine": machine,
         "result": result,
-        "node_ids": node_ids,
-        "per_dimm": per_dimm,
+        "node_ids": [
+            cxl_node_id(job.config, i)
+            for i in range(job.config.num_cxl_devices)
+        ],
+        "per_dimm": result.final.path_map.cxl_traffic,
         "runtime": result.total_cycles,
     }
 
 
 def main() -> None:
-    single = run(1)
-    pooled = run(2)
+    # Both pool sizes profile as one campaign (parallel + cached).
+    jobs = [make_job(1), make_job(2)]
+    campaign = api.run_many(jobs)
+    single = unpack(jobs[0], campaign.results[0])
+    pooled = unpack(jobs[1], campaign.results[1])
     print(f"single DIMM : {single['runtime']:9.0f} cycles")
     print(f"two DIMMs   : {pooled['runtime']:9.0f} cycles "
           f"({single['runtime'] / pooled['runtime']:.2f}x)")

@@ -15,6 +15,10 @@ progression:
 Run:  python examples/tiering_optimization.py
 """
 
+# This demo drives the Machine directly (no PathFinder session): the
+# tiering controllers' live state (Colloid's chosen_family trace) is the
+# output, which a cached ProfileResult cannot carry - so the repro.api
+# facade is deliberately not used here.
 from repro.sim import Machine, spr_config
 from repro.tiering import TPP, Colloid, ColloidConfig, DynamicColloid, TPPConfig
 from repro.workloads import HotColdAccess

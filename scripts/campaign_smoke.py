@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI smoke test for the campaign runner and result cache.
+
+Runs a 4-job mini-campaign twice against a scratch cache and checks that
+
+* the cold pass computes every job (no hits, no failures);
+* the warm pass serves >=90% of jobs from the cache, markedly faster;
+* both passes produce identical counter totals per job.
+
+Exit code 0 on success; prints the campaign tables either way.
+
+Usage:  python scripts/campaign_smoke.py [--workers N] [--serial]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.core.report import render_campaign  # noqa: E402
+from repro.exec import (  # noqa: E402
+    CampaignJob,
+    ResultCache,
+    cxl_node_id,
+    local_node_id,
+)
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+SMOKE_GRID = (
+    ("541.leela_r", "local"),
+    ("541.leela_r", "cxl"),
+    ("519.lbm_r", "local"),
+    ("519.lbm_r", "cxl"),
+)
+
+
+def build_jobs():
+    config = spr_config(num_cores=2)
+    jobs = []
+    for name, node in SMOKE_GRID:
+        node_id = (
+            local_node_id(config) if node == "local"
+            else cxl_node_id(config)
+        )
+        spec = ProfileSpec(
+            apps=[AppSpec(
+                workload=build_app(name, num_ops=1500, seed=7),
+                core=0, membind=node_id,
+            )],
+            epoch_cycles=25_000.0,
+        )
+        jobs.append(
+            CampaignJob(spec=spec, config=config, tag=f"{name}@{node}")
+        )
+    return jobs
+
+
+def tag_counters(campaign):
+    return {
+        record.tag: api.counters(campaign.results[record.index])
+        for record in campaign.jobs
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="pf-smoke-") as scratch:
+        cache = ResultCache(Path(scratch) / "cache")
+        parallel = not args.serial
+
+        t0 = time.perf_counter()
+        cold = api.run_many(
+            build_jobs(), parallel=parallel, workers=args.workers,
+            cache=cache, retries=1,
+        )
+        cold_wall = time.perf_counter() - t0
+        print("cold pass:")
+        print(render_campaign(cold))
+        if cold.failed or cold.hit_rate != 0.0:
+            print("FAIL: cold pass had failures or unexpected cache hits")
+            return 1
+
+        t0 = time.perf_counter()
+        warm = api.run_many(
+            build_jobs(), parallel=parallel, workers=args.workers,
+            cache=cache, retries=1,
+        )
+        warm_wall = time.perf_counter() - t0
+        print("\nwarm pass:")
+        print(render_campaign(warm))
+        if warm.failed:
+            print("FAIL: warm pass had failures")
+            return 1
+        if warm.hit_rate < 0.9:
+            print(f"FAIL: warm hit rate {warm.hit_rate:.0%} < 90%")
+            return 1
+        if tag_counters(warm) != tag_counters(cold):
+            print("FAIL: warm counters diverge from cold counters")
+            return 1
+
+        print(
+            f"\nOK: {len(cold.jobs)} jobs, warm hit rate "
+            f"{warm.hit_rate:.0%}, wall {cold_wall:.2f}s -> {warm_wall:.2f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Sweep local:CXL page-interleave ratios for one app (section 5.8 axis).
+
+Every ratio in the sweep is one campaign job, so reruns come from the
+result cache and the sweep parallelises across workers.  Writes
+``results/sweep_interleave.csv`` with runtime and hit-split per ratio.
+
+Usage:
+    python scripts/sweep_interleave.py [--app NAME] [--ops N]
+        [--ratios 0.0,0.25,0.5,0.75,1.0] [--workers N] [--serial]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.core.report import render_campaign  # noqa: E402
+from repro.exec import (  # noqa: E402
+    CampaignJob,
+    cxl_node_id,
+    local_node_id,
+)
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+DEFAULT_RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def build_jobs(app_name, ops, ratios):
+    config = spr_config(num_cores=2)
+    jobs = []
+    for ratio in ratios:
+        # ratio = fraction of pages on the local node; the endpoints are
+        # plain membind placements.
+        workload = build_app(app_name, num_ops=ops, seed=1)
+        if ratio <= 0.0:
+            app = AppSpec(workload=workload, core=0,
+                          membind=cxl_node_id(config))
+        elif ratio >= 1.0:
+            app = AppSpec(workload=workload, core=0,
+                          membind=local_node_id(config))
+        else:
+            app = AppSpec(
+                workload=workload, core=0,
+                interleave=(
+                    local_node_id(config), cxl_node_id(config), ratio
+                ),
+            )
+        spec = ProfileSpec(apps=[app], epoch_cycles=25_000.0)
+        jobs.append(
+            CampaignJob(
+                spec=spec, config=config,
+                tag=f"{app_name}@local{int(ratio * 100):03d}",
+            )
+        )
+    return jobs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="519.lbm_r")
+    parser.add_argument("--ops", type=int, default=4000)
+    parser.add_argument(
+        "--ratios", default=",".join(str(r) for r in DEFAULT_RATIOS)
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--serial", action="store_true")
+    parser.add_argument(
+        "--out", default=str(ROOT / "results" / "sweep_interleave.csv")
+    )
+    args = parser.parse_args(argv)
+
+    ratios = [float(r) for r in args.ratios.split(",") if r]
+    jobs = build_jobs(args.app, args.ops, ratios)
+    campaign = api.run_many(
+        jobs, parallel=not args.serial, workers=args.workers
+    )
+    print(render_campaign(campaign))
+    if campaign.failed:
+        return 1
+
+    rows = []
+    for ratio, record in zip(ratios, campaign.jobs):
+        result = campaign.results[record.index]
+        counters = api.counters(result)
+        runtime = max(
+            (f.ended_at or result.total_cycles) for f in result.flows
+        )
+        local_hits = sum(
+            v for (_s, e), v in counters.items()
+            if e.endswith(".local_dram")
+        )
+        cxl_hits = sum(
+            v for (_s, e), v in counters.items() if e.endswith(".cxl_dram")
+        )
+        rows.append({
+            "local_ratio": ratio,
+            "runtime": f"{runtime:.0f}",
+            "local_dram_hits": f"{local_hits:.0f}",
+            "cxl_dram_hits": f"{cxl_hits:.0f}",
+        })
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {out} ({len(rows)} ratios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

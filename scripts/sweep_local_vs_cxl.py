@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Sweep the app catalog across local vs CXL placement (Fig. 6 axis).
+
+Builds the whole grid as one campaign — every (app, node) cell is a
+cached, parallelisable job — and writes per-app slowdown plus the core
+counter ratios to ``results/sweep_local_vs_cxl.csv``.
+
+Usage:
+    python scripts/sweep_local_vs_cxl.py [--ops N] [--workers N]
+        [--serial] [--apps name[,name...]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.core.report import render_campaign  # noqa: E402
+from repro.exec import (  # noqa: E402
+    CampaignJob,
+    cxl_node_id,
+    local_node_id,
+)
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+DEFAULT_APPS = (
+    "519.lbm_r", "503.bwaves_r", "505.mcf_r", "554.roms_r",
+    "541.leela_r", "507.cactuBSSN_r",
+)
+NODES = ("local", "cxl")
+
+
+def build_jobs(apps, ops):
+    config = spr_config(num_cores=2)
+    jobs = []
+    for name in apps:
+        for node in NODES:
+            node_id = (
+                local_node_id(config) if node == "local"
+                else cxl_node_id(config)
+            )
+            spec = ProfileSpec(
+                apps=[AppSpec(
+                    workload=build_app(name, num_ops=ops, seed=1),
+                    core=0, membind=node_id,
+                )],
+                epoch_cycles=25_000.0,
+            )
+            jobs.append(
+                CampaignJob(spec=spec, config=config, tag=f"{name}@{node}")
+            )
+    return jobs
+
+
+def runtime_of(result):
+    return max(
+        (f.ended_at or result.total_cycles) for f in result.flows
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=4000)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--serial", action="store_true")
+    parser.add_argument("--apps", default=",".join(DEFAULT_APPS))
+    parser.add_argument(
+        "--out", default=str(ROOT / "results" / "sweep_local_vs_cxl.csv")
+    )
+    args = parser.parse_args(argv)
+
+    apps = [a for a in args.apps.split(",") if a]
+    campaign = api.run_many(
+        build_jobs(apps, args.ops),
+        parallel=not args.serial,
+        workers=args.workers,
+    )
+    print(render_campaign(campaign))
+    if campaign.failed:
+        return 1
+
+    rows = []
+    for name in apps:
+        local = campaign.result_for(f"{name}@local")
+        cxl = campaign.result_for(f"{name}@cxl")
+        t_local, t_cxl = runtime_of(local), runtime_of(cxl)
+        c_local, c_cxl = api.counters(local), api.counters(cxl)
+
+        def total(counters, suffix):
+            return sum(
+                v for (_s, e), v in counters.items() if e.endswith(suffix)
+            )
+
+        rows.append({
+            "app": name,
+            "runtime_local": f"{t_local:.0f}",
+            "runtime_cxl": f"{t_cxl:.0f}",
+            "slowdown": f"{t_cxl / t_local:.3f}",
+            "local_dram_hits": f"{total(c_local, '.local_dram'):.0f}",
+            "cxl_dram_hits": f"{total(c_cxl, '.cxl_dram'):.0f}",
+        })
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {out} ({len(rows)} apps)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,12 +7,20 @@ for the paper-vs-measured record of every table and figure.
 
 __version__ = "1.0.0"
 
-from . import baselines, core, pmu, sim, tiering, tsdb, workloads  # noqa: F401
+from . import baselines, core, exec, pmu, sim, tiering, tsdb, workloads  # noqa: F401
+from . import api  # noqa: F401
+from .api import compare, counters, run, run_many  # noqa: F401
 
 __all__ = [
+    "api",
     "baselines",
+    "compare",
     "core",
+    "counters",
+    "exec",
     "pmu",
+    "run",
+    "run_many",
     "sim",
     "tiering",
     "tsdb",

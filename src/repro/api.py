@@ -1,0 +1,151 @@
+"""The unified PathFinder entry points.
+
+Four verbs cover the whole workflow the paper's evaluation needs:
+
+* :func:`run` - profile one spec on a (default or explicit) machine,
+  optionally through the content-addressed result cache;
+* :func:`run_many` - execute a whole campaign of specs/jobs with
+  worker-pool parallelism, caching, timeouts and retries;
+* :func:`compare` - line up two sessions A/B (case 7's workflow);
+* :func:`counters` - collapse a session into total counter deltas.
+
+Example::
+
+    from repro import api
+    from repro.core import AppSpec, ProfileSpec
+    from repro.workloads import SequentialWorkload
+
+    spec = ProfileSpec(apps=[AppSpec(
+        workload=SequentialWorkload("seq", 1 << 20, num_ops=4000),
+        core=0, membind=0)])
+    result = api.run(spec)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .core.diff import SessionDiff, compare_sessions
+from .core.profiler import PathFinder, ProfileResult
+from .core.spec import ProfileSpec
+from .exec.cache import ResultCache, coerce_cache
+from .exec.runner import (
+    CampaignJob,
+    CampaignResult,
+    expand_duplicates,
+    run_campaign,
+)
+from .sim.machine import Machine
+from .sim.topology import MachineConfig, spr_config
+
+__all__ = ["run", "run_many", "compare", "counters", "config_for"]
+
+
+def config_for(spec: ProfileSpec) -> MachineConfig:
+    """A default machine sized to fit the spec's pinned cores."""
+    return spr_config(num_cores=max(2, max(a.core for a in spec.apps) + 1))
+
+
+def run(
+    spec: ProfileSpec,
+    *,
+    config: Optional[MachineConfig] = None,
+    machine: Optional[Machine] = None,
+    cache: Union[None, bool, str, ResultCache] = None,
+    max_events: Optional[int] = None,
+) -> ProfileResult:
+    """Profile one spec and return its :class:`ProfileResult`.
+
+    With no ``machine``, one is built from ``config`` (default: an SPR
+    host sized to the spec's cores).  Pass ``cache=True`` (or a path /
+    :class:`ResultCache`) to reuse and populate the content-addressed
+    store; an explicit ``machine`` disables caching because its mutated
+    state is not part of the cache key.
+    """
+    if machine is not None:
+        if cache:
+            raise ValueError(
+                "cache requires a declarative config; an explicit machine's "
+                "state is not captured by the cache key"
+            )
+        profiler = PathFinder(machine, spec)
+        return profiler.run()
+    job = CampaignJob(
+        spec=spec,
+        config=config if config is not None else config_for(spec),
+        max_events=max_events,
+    )
+    campaign = run_campaign(
+        [job], parallel=False, cache=coerce_cache(cache), retries=0
+    )
+    record = campaign.jobs[0]
+    if not record.ok:
+        raise RuntimeError(f"profiling failed ({record.failure}): {record.error}")
+    return campaign.results[0]
+
+
+def run_many(
+    specs: Sequence[Union[ProfileSpec, CampaignJob]],
+    *,
+    config: Optional[MachineConfig] = None,
+    parallel: bool = True,
+    workers: Optional[int] = None,
+    cache: Union[None, bool, str, ResultCache] = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    tags: Optional[Sequence[str]] = None,
+) -> CampaignResult:
+    """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
+
+    Accepts plain :class:`ProfileSpec` items (wrapped into jobs, with
+    ``config`` or a per-spec default machine) or pre-built
+    :class:`CampaignJob` items for full control (setup hooks, per-job
+    budgets).  Caching defaults ON for campaigns - reruns and overlapping
+    sweeps resolve from ``results/cache/``.
+    """
+    jobs: List[CampaignJob] = []
+    for i, item in enumerate(specs):
+        tag = tags[i] if tags is not None else ""
+        if isinstance(item, CampaignJob):
+            if tag and not item.tag:
+                item.tag = tag
+            jobs.append(item)
+        else:
+            jobs.append(
+                CampaignJob(
+                    spec=item,
+                    config=config if config is not None else config_for(item),
+                    tag=tag,
+                )
+            )
+    campaign = run_campaign(
+        jobs,
+        workers=workers,
+        parallel=parallel,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+    )
+    expand_duplicates(campaign)
+    return campaign
+
+
+def compare(
+    baseline: ProfileResult, treatment: ProfileResult, **kwargs: Any
+) -> SessionDiff:
+    """A/B-compare two sessions (wraps :func:`repro.core.compare_sessions`)."""
+    return compare_sessions(baseline, treatment, **kwargs)
+
+
+def counters(result: ProfileResult) -> Dict[Tuple[str, str], float]:
+    """Total ``(scope, event) -> value`` deltas across the whole session.
+
+    Continuous-mode sessions sum their epoch deltas; aggregated-mode
+    sessions fall back to the final cumulative epoch.
+    """
+    epochs = result.epochs or ([result.final] if result.final else [])
+    totals: Dict[Tuple[str, str], float] = {}
+    for epoch in epochs:
+        for key, value in epoch.snapshot.delta.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals

@@ -65,6 +65,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "case", help="run a compact version of one paper case study (1-7)"
     )
     case.add_argument("--id", type=int, required=True, choices=range(1, 8))
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="profile an app x node grid over a worker pool with caching",
+    )
+    campaign.add_argument(
+        "--app", action="append", required=True,
+        help="application name from the catalog (repeatable)",
+    )
+    campaign.add_argument(
+        "--node", action="append", choices=["local", "cxl"], default=None,
+        help="memory node(s) to grid over (repeatable; default both)",
+    )
+    campaign.add_argument("--ops", type=int, default=10000, help="ops per app")
+    campaign.add_argument("--epoch", type=float, default=50000.0,
+                          help="profiling epoch length in cycles")
+    campaign.add_argument("--machine", choices=["spr", "emr"], default="spr")
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: min(4, cpus))")
+    campaign.add_argument("--serial", action="store_true",
+                          help="run in-process, no worker pool")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="result cache directory (default results/cache)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="always recompute, never touch the cache")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-job wall-clock limit in seconds")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts per failed job")
     return parser
 
 
@@ -91,6 +121,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(render_epoch(epoch_result))
     print(render_session(result))
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .. import api
+    from ..exec import CampaignJob, cxl_node_id, local_node_id
+    from .report import render_campaign
+
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    config = config_fn(num_cores=2)
+    node_ids = {"local": local_node_id(config), "cxl": cxl_node_id(config)}
+    jobs = []
+    for name in args.app:
+        for node in args.node or ["local", "cxl"]:
+            workload = build_app(name, num_ops=args.ops, seed=args.seed)
+            spec = ProfileSpec(
+                apps=[AppSpec(workload=workload, core=0,
+                              membind=node_ids[node])],
+                epoch_cycles=args.epoch,
+            )
+            jobs.append(CampaignJob(spec=spec, config=config,
+                                    tag=f"{name}@{node}"))
+    cache = False if args.no_cache else (args.cache_dir or True)
+    campaign = api.run_many(
+        jobs,
+        parallel=not args.serial,
+        workers=args.workers,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(render_campaign(campaign))
+    return 0 if not campaign.failed else 1
 
 
 def _cmd_list_apps(args: argparse.Namespace) -> int:
@@ -120,6 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "list-apps":
         return _cmd_list_apps(args)
     if args.command == "list-events":

@@ -50,11 +50,21 @@ def _flow_from_dict(data: Dict) -> MFlow:
     return flow
 
 
-def save_session(result: ProfileResult, path: Union[str, Path]) -> None:
-    """Write a profiling session digest to ``path`` (JSON)."""
+def result_to_document(result: ProfileResult) -> Dict:
+    """Digest a :class:`ProfileResult` into a JSON-able document.
+
+    Aggregated-mode sessions keep no epoch list but do carry a final
+    cumulative epoch; it is stored with ``aggregated_only`` set so
+    :func:`result_from_document` can round-trip either mode.
+    """
+    epoch_results = list(result.epochs)
+    aggregated_only = False
+    if not epoch_results and result.final is not None:
+        epoch_results = [result.final]
+        aggregated_only = True
     flows_by_id = {}
     epochs = []
-    for epoch in result.epochs:
+    for epoch in epoch_results:
         snapshot = epoch.snapshot
         delta = [
             [scope, event, value]
@@ -75,18 +85,22 @@ def save_session(result: ProfileResult, path: Union[str, Path]) -> None:
             flows_by_id[flow.flow_id] = flow
     for flow in result.flows:
         flows_by_id[flow.flow_id] = flow
-    document = {
+    return {
         "format_version": FORMAT_VERSION,
+        "aggregated_only": aggregated_only,
         "total_cycles": result.total_cycles,
         "flows": [_flow_to_dict(f) for f in flows_by_id.values()],
         "epochs": epochs,
     }
-    Path(path).write_text(json.dumps(document))
 
 
-def load_session(path: Union[str, Path]) -> "LoadedSession":
-    """Read a digest back; snapshots are fully reusable by the analyses."""
-    document = json.loads(Path(path).read_text())
+def save_session(result: ProfileResult, path: Union[str, Path]) -> None:
+    """Write a profiling session digest to ``path`` (JSON)."""
+    Path(path).write_text(json.dumps(result_to_document(result)))
+
+
+def session_from_document(document: Dict) -> "LoadedSession":
+    """Reconstitute a digest document into analysis-ready snapshots."""
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported session format version: {version}")
@@ -112,6 +126,49 @@ def load_session(path: Union[str, Path]) -> "LoadedSession":
         flows=list(flows.values()),
         total_cycles=document.get("total_cycles", 0.0),
     )
+
+
+def load_session(path: Union[str, Path]) -> "LoadedSession":
+    """Read a digest back; snapshots are fully reusable by the analyses."""
+    return session_from_document(json.loads(Path(path).read_text()))
+
+
+def result_from_document(document: Dict) -> ProfileResult:
+    """Rebuild a full :class:`ProfileResult` from a digest document.
+
+    Counter deltas, flows and total cycles are exactly the stored values;
+    the derived per-epoch analyses (path map, stall breakdown, queue
+    report) are recomputed by re-running the techniques on the stored
+    snapshots, which is what makes content-addressed cache hits
+    indistinguishable from fresh runs.
+    """
+    from .analyzer import PFAnalyzer
+    from .builder import PFBuilder
+    from .estimator import PFEstimator
+    from .profiler import EpochResult
+
+    session = session_from_document(document)
+    builder, estimator, analyzer = PFBuilder(), PFEstimator(), PFAnalyzer()
+    epoch_numbers = [e.get("epoch", i + 1)
+                     for i, e in enumerate(document["epochs"])]
+    epochs = []
+    for number, snapshot in zip(epoch_numbers, session.snapshots):
+        epochs.append(
+            EpochResult(
+                epoch=number,
+                snapshot=snapshot,
+                path_map=builder.build(snapshot),
+                stalls=estimator.breakdown(snapshot),
+                queues=analyzer.analyze(snapshot),
+            )
+        )
+    result = ProfileResult(
+        epochs=[] if document.get("aggregated_only") else epochs,
+        final=epochs[-1] if epochs else None,
+        flows=session.flows,
+        total_cycles=session.total_cycles,
+    )
+    return result
 
 
 class LoadedSession:

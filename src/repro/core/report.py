@@ -87,6 +87,31 @@ def render_epoch(result: EpochResult, core_id: int = 0) -> str:
     return "\n".join(parts)
 
 
+def render_campaign(campaign) -> str:
+    """Per-job status table plus totals for a :class:`CampaignResult`."""
+    lines = [
+        "tag                  status     attempts     wall      events"
+        "      cycles  failure",
+    ]
+    for job in campaign.jobs:
+        lines.append(
+            f"{job.tag:<20} {job.status:<10} {job.attempts:>8}"
+            f" {job.wall_time:7.2f}s {_fmt(job.events_executed):>9}"
+            f" {_fmt(job.total_cycles):>11}"
+            f"  {job.failure or '-'}"
+        )
+    summary = campaign.summary()
+    lines.append(
+        f"campaign: {summary['ok']}/{summary['jobs']} ok,"
+        f" {summary['cache_hits']} cache hits"
+        f" ({summary['hit_rate']*100:.0f}%),"
+        f" {summary['workers']} workers,"
+        f" {summary['wall_time']:.2f}s wall,"
+        f" {summary['total_events']:.0f} events"
+    )
+    return "\n".join(lines)
+
+
 def render_session(result: ProfileResult, core_id: int = 0) -> str:
     lines = [
         f"PathFinder session: {result.num_epochs} epochs,"

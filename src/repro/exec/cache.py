@@ -1,0 +1,157 @@
+"""Content-addressed result store under ``results/cache/``.
+
+Entries are one JSON file per job key holding the session digest
+(:func:`repro.core.persistence.result_to_document`) plus job metadata.
+Reads verify the recorded key and fall back to recompute on any decode
+or reconstruction error, deleting the corrupt entry; writes go through a
+temp file + rename so a killed worker can never leave a torn entry
+behind.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.persistence import result_from_document, result_to_document
+from ..core.profiler import ProfileResult
+
+logger = logging.getLogger(__name__)
+
+ENTRY_FORMAT = 1
+
+#: Environment overrides honoured by :func:`default_cache`.
+CACHE_DIR_ENV = "PATHFINDER_CACHE_DIR"
+CACHE_DISABLE_ENV = "PATHFINDER_NO_CACHE"
+
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`ProfileResult` digests."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key: {key!r}")
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    # -- read ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ProfileResult]:
+        """Return the cached result, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except (OSError, FileNotFoundError):
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry.get("entry_format") != ENTRY_FORMAT:
+                raise ValueError(
+                    f"unsupported cache entry format: {entry.get('entry_format')}"
+                )
+            if entry.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            result = result_from_document(entry["session"])
+        except Exception as exc:  # corrupt entry: recompute, don't crash
+            logger.warning("dropping corrupt cache entry %s: %s", path, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The metadata stored next to an entry (tag, timings, ...)."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text()).get("meta", {})
+        except Exception:
+            return None
+
+    # -- write -----------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        result: ProfileResult,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "entry_format": ENTRY_FORMAT,
+            "key": key,
+            "meta": meta or {},
+            "session": result_to_document(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def coerce_cache(
+    cache: Union[None, bool, str, Path, ResultCache]
+) -> Optional[ResultCache]:
+    """Normalize the many ways callers spell 'use a cache'."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-default cache, honouring the env overrides."""
+    if os.environ.get(CACHE_DISABLE_ENV, "") not in ("", "0"):
+        return None
+    return ResultCache(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))

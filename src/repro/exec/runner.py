@@ -1,0 +1,545 @@
+"""Parallel campaign runner: fan profiling jobs over a worker pool.
+
+The paper's evaluation is dozens of independent ``PathFinder`` sessions
+(figure sweeps, app x node grids, load sweeps).  A :class:`CampaignJob`
+describes one such session declaratively - spec + machine config (+ an
+optional picklable ``setup`` hook for stateful extras like tiering
+engines or pre-installed regions) - and :func:`run_campaign` executes a
+batch of them with:
+
+* **content-addressed caching** - each job's canonical hash keys a
+  ``results/cache/`` store, so reruns and overlapping sweeps are
+  near-free (see :mod:`repro.exec.hashing` / :mod:`repro.exec.cache`);
+* **process parallelism** - cache misses fan out over ``workers``
+  single-job processes; results travel back as JSON session digests, so
+  a worker crash can never poison the parent;
+* **robustness** - per-job wall-clock timeout (enforced by terminating
+  the worker), bounded retry with exponential backoff, and graceful
+  degradation: a failed job yields a structured :class:`JobRecord`
+  instead of crashing the sweep;
+* **observability** - per-job timing / event-count / cache-hit metrics
+  and a campaign summary, rendered by
+  :func:`repro.core.report.render_campaign`.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.persistence import result_from_document, result_to_document
+from ..core.profiler import PathFinder, ProfileResult
+from ..core.spec import ProfileSpec
+from ..sim.engine import SimulationBudgetExceeded
+from ..sim.machine import Machine
+from ..sim.topology import MachineConfig, spr_config
+from .cache import ResultCache, coerce_cache
+from .hashing import job_key
+
+logger = logging.getLogger(__name__)
+
+#: Poll interval of the parent scheduling loop (seconds).
+_POLL_S = 0.02
+
+
+@dataclass
+class CampaignJob:
+    """One declarative profiling job within a campaign."""
+
+    spec: ProfileSpec
+    config: MachineConfig = field(default_factory=spr_config)
+    tag: str = ""
+    #: Per-job wall-clock limit (seconds); falls back to the campaign's.
+    timeout: Optional[float] = None
+    #: Simulation event budget; exceeding it is a retryable failure.
+    max_events: Optional[int] = None
+    #: Optional picklable hook ``setup(machine, spec)`` run before the
+    #: profiler starts - attach tiering engines, pre-install regions, ...
+    setup: Optional[Callable[[Machine, ProfileSpec], None]] = None
+    #: Extra data folded into the cache key (parameters the setup hook
+    #: applies that the spec itself does not capture).
+    key_extra: Any = None
+    #: Set False to always recompute this job (e.g. non-deterministic
+    #: setup hooks).
+    cacheable: bool = True
+
+    def key(self) -> str:
+        # The setup hook is part of the job's content: a partial's bound
+        # arguments (e.g. tiering on/off) must key distinct entries.
+        extra = self.key_extra if self.setup is None else [self.setup,
+                                                           self.key_extra]
+        return job_key(
+            self.spec, self.config, max_events=self.max_events, extra=extra
+        )
+
+
+@dataclass
+class JobRecord:
+    """Structured per-job outcome: status, metrics, and error context."""
+
+    index: int
+    tag: str
+    key: str
+    status: str = "pending"          # ok | cache_hit | failed
+    failure: Optional[str] = None    # timeout | budget_exceeded | error | crashed
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_time: float = 0.0
+    events_executed: int = 0
+    total_cycles: float = 0.0
+    num_epochs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cache_hit")
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.status == "cache_hit"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "tag": self.tag,
+            "key": self.key,
+            "status": self.status,
+            "failure": self.failure,
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_time": self.wall_time,
+            "events_executed": self.events_executed,
+            "total_cycles": self.total_cycles,
+            "num_epochs": self.num_epochs,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, in input order."""
+
+    jobs: List[JobRecord]
+    results: List[Optional[ProfileResult]]
+    wall_time: float = 0.0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(zip(self.jobs, self.results))
+
+    @property
+    def ok(self) -> List[JobRecord]:
+        return [j for j in self.jobs if j.ok]
+
+    @property
+    def failed(self) -> List[JobRecord]:
+        return [j for j in self.jobs if not j.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for j in self.jobs if j.cache_hit)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / len(self.jobs) if self.jobs else 0.0
+
+    def result_for(self, tag: str) -> ProfileResult:
+        for job, result in zip(self.jobs, self.results):
+            if job.tag == tag:
+                if result is None:
+                    raise KeyError(f"job {tag!r} failed: {job.failure}")
+                return result
+        raise KeyError(f"no job tagged {tag!r}")
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "jobs": len(self.jobs),
+            "ok": len(self.ok),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "total_events": sum(j.events_executed for j in self.jobs),
+            "total_sim_cycles": sum(j.total_cycles for j in self.jobs),
+        }
+
+
+# -- job execution (runs in the worker, and in-process when serial) ---------
+
+
+def _execute_job(
+    spec: ProfileSpec,
+    config: MachineConfig,
+    max_events: Optional[int],
+    setup: Optional[Callable[[Machine, ProfileSpec], None]],
+) -> Dict[str, Any]:
+    """Run one profiling session; returns a transportable outcome dict."""
+    machine = Machine(config)
+    for app in spec.apps:
+        reseed = getattr(app.workload, "reseed", None)
+        if reseed is not None:
+            reseed()
+    if setup is not None:
+        setup(machine, spec)
+    profiler = PathFinder(machine, spec)
+    if max_events is not None:
+        # Bound the whole session, not each epoch: budget the engine
+        # directly and let the typed exception surface as a job failure.
+        original_run = machine.engine.run
+        budget = {"left": max_events}
+
+        def bounded_run(until=None, max_events=None):  # noqa: A002
+            before = machine.engine.events_executed
+            try:
+                return original_run(until=until, max_events=budget["left"])
+            finally:
+                budget["left"] -= machine.engine.events_executed - before
+        machine.engine.run = bounded_run  # type: ignore[method-assign]
+    result = profiler.run()
+    return {
+        "ok": True,
+        "document": result_to_document(result),
+        "events_executed": machine.engine.events_executed,
+        "total_cycles": result.total_cycles,
+        "num_epochs": result.num_epochs,
+    }
+
+
+def _worker_main(conn, spec, config, max_events, setup) -> None:
+    """Entry point of a single-job worker process."""
+    try:
+        try:
+            outcome = _execute_job(spec, config, max_events, setup)
+        except SimulationBudgetExceeded as exc:
+            outcome = {
+                "ok": False,
+                "kind": "budget_exceeded",
+                "error": str(exc),
+                "events_executed": exc.events_executed,
+                "total_cycles": exc.now,
+            }
+        except Exception:
+            outcome = {
+                "ok": False,
+                "kind": "error",
+                "error": traceback.format_exc(limit=20),
+            }
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+# -- the campaign scheduler -------------------------------------------------
+
+
+def run_campaign(
+    jobs: Sequence[CampaignJob],
+    *,
+    workers: Optional[int] = None,
+    parallel: bool = True,
+    cache: Union[None, bool, str, ResultCache] = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+) -> CampaignResult:
+    """Execute ``jobs``, returning per-job results and records.
+
+    ``workers`` defaults to ``min(4, cpu_count)``.  ``retries`` is the
+    number of *additional* attempts granted to a job that times out,
+    exceeds its event budget, raises, or crashes its worker; attempts are
+    spaced by ``backoff * 2**(attempt-1)`` seconds.  A job that exhausts
+    its attempts contributes a failed :class:`JobRecord` (with the last
+    failure kind and message) while every other job still completes.
+    """
+    jobs = list(jobs)
+    cache_obj = coerce_cache(cache)
+    started = time.monotonic()
+    if workers is None:
+        workers = min(4, multiprocessing.cpu_count() or 1)
+    workers = max(1, workers)
+
+    records = [
+        JobRecord(index=i, tag=job.tag or f"job{i}", key=job.key())
+        for i, job in enumerate(jobs)
+    ]
+    results: List[Optional[ProfileResult]] = [None] * len(jobs)
+
+    # Cache probe first: hits never enter the pool.
+    pending: deque = deque()
+    resolved_keys: Dict[str, int] = {}
+    for i, (job, record) in enumerate(zip(jobs, records)):
+        cached = (
+            cache_obj.get(record.key)
+            if cache_obj is not None and job.cacheable
+            else None
+        )
+        if cached is not None:
+            results[i] = cached
+            record.status = "cache_hit"
+            meta = cache_obj.meta(record.key) or {}
+            record.events_executed = int(meta.get("events_executed", 0))
+            record.total_cycles = float(meta.get("total_cycles",
+                                                 cached.total_cycles))
+            record.num_epochs = cached.num_epochs
+            logger.debug("campaign job %s: cache hit (%s)", record.tag,
+                         record.key[:12])
+        elif record.key in resolved_keys and job.cacheable:
+            # Duplicate spec within one campaign: compute once, share.
+            pending.append(("dup", i, resolved_keys[record.key]))
+        else:
+            resolved_keys[record.key] = i
+            pending.append(("run", i, 0))
+
+    def finalize_ok(i: int, outcome: Dict[str, Any], wall: float) -> None:
+        job, record = jobs[i], records[i]
+        results[i] = result_from_document(outcome["document"])
+        record.status = "ok"
+        record.failure = record.error = None
+        record.wall_time += wall
+        record.events_executed = int(outcome.get("events_executed", 0))
+        record.total_cycles = float(outcome.get("total_cycles", 0.0))
+        record.num_epochs = int(outcome.get("num_epochs", 0))
+        if cache_obj is not None and job.cacheable:
+            try:
+                cache_obj.put(
+                    record.key,
+                    results[i],
+                    meta={
+                        "tag": record.tag,
+                        "wall_time": record.wall_time,
+                        "events_executed": record.events_executed,
+                        "total_cycles": record.total_cycles,
+                    },
+                )
+            except OSError as exc:
+                logger.warning("could not persist %s: %s", record.key, exc)
+
+    def note_failure(i: int, kind: str, message: Optional[str],
+                     outcome: Optional[Dict[str, Any]], wall: float) -> bool:
+        """Record one failed attempt; True if the job may retry."""
+        record = records[i]
+        record.wall_time += wall
+        record.failure = kind
+        record.error = message
+        if outcome:
+            record.events_executed = int(outcome.get("events_executed", 0))
+            record.total_cycles = float(outcome.get("total_cycles", 0.0))
+        retryable = record.attempts <= retries
+        logger.warning(
+            "campaign job %s attempt %d failed (%s)%s",
+            record.tag, record.attempts, kind,
+            ": retrying" if retryable else ": giving up",
+        )
+        if not retryable:
+            record.status = "failed"
+        return retryable
+
+    # Timeout enforcement needs a worker process to terminate, so any
+    # requested wall-clock budget forces the pool path even for a single
+    # job or a single-core pool.
+    wants_timeout = timeout is not None or any(
+        job.timeout is not None for job in jobs
+    )
+    run_parallel = parallel and len(pending) > 0 and (
+        (workers > 1 and len(pending) > 1) or wants_timeout
+    )
+    if run_parallel:
+        _drain_parallel(jobs, records, pending, workers, timeout,
+                        finalize_ok, note_failure, backoff)
+    else:
+        _drain_serial(jobs, records, pending, finalize_ok, note_failure,
+                      backoff)
+
+    # Resolve intra-campaign duplicates against their computed twin.
+    for record, result in zip(records, results):
+        if record.status == "pending":
+            record.status = "failed"
+            record.failure = record.failure or "error"
+            record.error = record.error or "job was never scheduled"
+    campaign = CampaignResult(
+        jobs=records,
+        results=results,
+        wall_time=time.monotonic() - started,
+        workers=workers if run_parallel else 1,
+    )
+    return campaign
+
+
+def _drain_serial(jobs, records, pending, finalize_ok, note_failure,
+                  backoff) -> None:
+    """In-process execution path (``parallel=False`` or a single job).
+
+    Timeouts are not enforced here: there is no worker to terminate.
+    """
+    while pending:
+        kind, i, extra = pending.popleft()
+        if kind == "dup":
+            _resolve_duplicate(jobs, records, pending, i, extra)
+            continue
+        job, record = jobs[i], records[i]
+        record.attempts += 1
+        began = time.monotonic()
+        try:
+            outcome = _execute_job(job.spec, job.config, job.max_events,
+                                   job.setup)
+        except SimulationBudgetExceeded as exc:
+            failed = {"events_executed": exc.events_executed,
+                      "total_cycles": exc.now}
+            if note_failure(i, "budget_exceeded", str(exc), failed,
+                            time.monotonic() - began):
+                time.sleep(backoff * (2 ** (record.attempts - 1)))
+                pending.append(("run", i, 0))
+            continue
+        except Exception:
+            if note_failure(i, "error", traceback.format_exc(limit=20), None,
+                            time.monotonic() - began):
+                time.sleep(backoff * (2 ** (record.attempts - 1)))
+                pending.append(("run", i, 0))
+            continue
+        finalize_ok(i, outcome, time.monotonic() - began)
+
+
+def _drain_parallel(jobs, records, pending, workers, timeout, finalize_ok,
+                    note_failure, backoff) -> None:
+    """Fan pending jobs over single-job worker processes."""
+    ctx = multiprocessing.get_context()
+    running: Dict[int, Dict[str, Any]] = {}
+    not_before: Dict[int, float] = {}
+
+    def launch(i: int) -> None:
+        job, record = jobs[i], records[i]
+        record.attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, job.spec, job.config, job.max_events, job.setup),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        limit = job.timeout if job.timeout is not None else timeout
+        running[i] = {
+            "proc": proc,
+            "conn": parent_conn,
+            "began": time.monotonic(),
+            "deadline": (time.monotonic() + limit) if limit else None,
+        }
+
+    def reap(i: int, state: Dict[str, Any]) -> None:
+        state["conn"].close()
+        state["proc"].join(timeout=5.0)
+        if state["proc"].is_alive():
+            state["proc"].kill()
+            state["proc"].join(timeout=5.0)
+
+    def retry_or_fail(i: int, kind: str, message, outcome, wall) -> None:
+        if note_failure(i, kind, message, outcome, wall):
+            not_before[i] = time.monotonic() + backoff * (
+                2 ** (records[i].attempts - 1)
+            )
+            pending.append(("run", i, 0))
+
+    while pending or running:
+        # Launch as many ready jobs as there are free workers.
+        deferred = []
+        while pending and len(running) < workers:
+            kind, i, extra = pending.popleft()
+            if kind == "dup":
+                if records[extra].status == "pending":
+                    deferred.append((kind, i, extra))  # twin not done yet
+                else:
+                    _resolve_duplicate(jobs, records, pending, i, extra)
+                continue
+            if not_before.get(i, 0.0) > time.monotonic():
+                deferred.append((kind, i, extra))
+                continue
+            try:
+                launch(i)
+            except OSError as exc:  # e.g. process limit: degrade to serial
+                logger.warning("worker spawn failed (%s); running %s "
+                               "in-process", exc, records[i].tag)
+                deferred.append((kind, i, extra))
+                if not running:
+                    _drain_serial(jobs, records,
+                                  deque(deferred + list(pending)),
+                                  finalize_ok, note_failure, backoff)
+                    pending.clear()
+                    deferred = []
+                break
+        pending.extendleft(reversed(deferred))
+
+        if not running:
+            if pending:
+                time.sleep(_POLL_S)
+            continue
+
+        time.sleep(_POLL_S)
+        for i, state in list(running.items()):
+            proc, conn = state["proc"], state["conn"]
+            wall = time.monotonic() - state["began"]
+            outcome = None
+            if conn.poll():
+                try:
+                    outcome = conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+            if outcome is not None:
+                del running[i]
+                reap(i, state)
+                if outcome.get("ok"):
+                    finalize_ok(i, outcome, wall)
+                else:
+                    retry_or_fail(i, outcome.get("kind", "error"),
+                                  outcome.get("error"), outcome, wall)
+            elif state["deadline"] is not None and \
+                    time.monotonic() > state["deadline"]:
+                del running[i]
+                proc.terminate()
+                reap(i, state)
+                retry_or_fail(
+                    i, "timeout",
+                    f"job exceeded its {wall:.1f}s wall-clock budget",
+                    None, wall,
+                )
+            elif not proc.is_alive():
+                del running[i]
+                reap(i, state)
+                retry_or_fail(
+                    i, "crashed",
+                    f"worker exited with code {proc.exitcode} before "
+                    "reporting a result", None, wall,
+                )
+
+
+def _resolve_duplicate(jobs, records, pending, i: int, twin: int) -> None:
+    """Share a twin job's outcome with a duplicate-spec job."""
+    twin_record = records[twin]
+    record = records[i]
+    if twin_record.status in ("ok", "cache_hit"):
+        record.status = "cache_hit"
+        record.events_executed = twin_record.events_executed
+        record.total_cycles = twin_record.total_cycles
+        record.num_epochs = twin_record.num_epochs
+        # The result object is shared via the results list by the caller.
+    else:
+        record.status = "failed"
+        record.failure = twin_record.failure
+        record.error = twin_record.error
+
+
+def expand_duplicates(campaign: CampaignResult) -> None:
+    """Fill duplicate jobs' result slots from their computed twin."""
+    by_key: Dict[str, ProfileResult] = {}
+    for record, result in zip(campaign.jobs, campaign.results):
+        if result is not None:
+            by_key.setdefault(record.key, result)
+    for idx, record in enumerate(campaign.jobs):
+        if campaign.results[idx] is None and record.ok:
+            campaign.results[idx] = by_key.get(record.key)

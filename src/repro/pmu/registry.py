@@ -60,12 +60,16 @@ class CounterRegistry:
         self._counters: Dict[CounterKey, float] = defaultdict(float)
         self._sync_hooks: List[Callable[[float], None]] = []
         self._samplers: Dict[CounterKey, List[Sampler]] = {}
+        self._last_sync: Optional[Tuple[float, int]] = None
+        self._in_sync = False
+        self._version = 0
 
     # -- update ----------------------------------------------------------
 
     def add(self, scope: str, event: str, value: float = 1.0) -> None:
         key = (scope, event)
         self._counters[key] += value
+        self._version += 1
         if self._samplers:
             for sampler in self._samplers.get(key, ()):
                 sampler.observe(self._counters[key])
@@ -80,15 +84,43 @@ class CounterRegistry:
         return sampler
 
     def set(self, scope: str, event: str, value: float) -> None:
-        self._counters[(scope, event)] = value
+        key = (scope, event)
+        self._counters[key] = value
+        self._version += 1
+        # Time-integrated counters are maintained via ``set`` from sync
+        # hooks; samplers armed on them must see the flushed value, else
+        # threshold crossings fire late (or never) on the next eager add.
+        if self._samplers:
+            for sampler in self._samplers.get(key, ()):
+                sampler.observe(value)
 
     def on_sync(self, hook: Callable[[float], None]) -> None:
         """Register a flush hook run before every read/snapshot."""
         self._sync_hooks.append(hook)
+        self._last_sync = None
 
     def sync(self, now: float) -> None:
-        for hook in self._sync_hooks:
-            hook(now)
+        """Run every flush hook once per (timestamp, counter state).
+
+        A mid-epoch reader (e.g. a tiering engine polling counters) and
+        the epoch-boundary snapshot frequently sync at the *same* cycle;
+        re-running the hooks would re-flush integrals and re-notify any
+        armed sampler for the same window, double-counting observations.
+        Hooks are skipped when nothing changed since the previous sync at
+        this timestamp; together with the monotonic ``Sampler.next_fire``
+        re-arm this makes a snapshot taken mid-epoch observation-exact.
+        """
+        if self._in_sync:
+            return
+        if self._last_sync == (now, self._version):
+            return
+        self._in_sync = True
+        try:
+            for hook in self._sync_hooks:
+                hook(now)
+        finally:
+            self._in_sync = False
+            self._last_sync = (now, self._version)
 
     # -- read --------------------------------------------------------------
 

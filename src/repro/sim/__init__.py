@@ -9,7 +9,7 @@ the PMU counters of the paper's Tables 1-4.
 
 from .address import AddressSpace, NodeKind, NumaNode, PAGE_SIZE, build_address_space
 from .cache import Cache, MESIF
-from .engine import Engine, Waiter
+from .engine import Engine, SimulationBudgetExceeded, Waiter
 from .cxl_switch import CXLSwitch, attach_switch
 from .machine import Machine
 from .qos import DevLoadThrottler, QoSConfig
@@ -46,6 +46,7 @@ __all__ = [
     "QoSConfig",
     "Path",
     "ServeLocation",
+    "SimulationBudgetExceeded",
     "Waiter",
     "attach_switch",
     "build_address_space",

@@ -18,6 +18,24 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 
+class SimulationBudgetExceeded(RuntimeError):
+    """``Engine.run(max_events=...)`` hit its budget with events pending.
+
+    Carries the number of events executed within the bounded run and the
+    simulated clock at the point the budget ran out, so callers (the
+    campaign runner treats this as a retryable job failure) can report or
+    re-dispatch with a larger budget.
+    """
+
+    def __init__(self, events_executed: int, now: float) -> None:
+        super().__init__(
+            f"simulation budget exceeded after {events_executed} events "
+            f"at cycle {now:.0f}"
+        )
+        self.events_executed = events_executed
+        self.now = now
+
+
 class Engine:
     """Event-heap discrete-event scheduler keyed on CPU cycles."""
 
@@ -61,7 +79,10 @@ class Engine:
 
         ``until`` bounds simulated time (events past it stay queued and the
         clock is advanced exactly to ``until``); ``max_events`` bounds the
-        number of executed events.  Returns the final clock value.
+        number of executed events and raises
+        :class:`SimulationBudgetExceeded` when the bound is hit with events
+        still pending (a silent return here used to hide runaway
+        simulations).  Returns the final clock value.
         """
         executed = 0
         self._stopped = False
@@ -70,7 +91,7 @@ class Engine:
                 self.now = until
                 return self.now
             if max_events is not None and executed >= max_events:
-                return self.now
+                raise SimulationBudgetExceeded(executed, self.now)
             self.step()
             executed += 1
         if until is not None and self.now < until:

@@ -85,6 +85,14 @@ class TPP:
         self._promote()
         self._demote()
         self.temperature.decay(self.config.decay)
+        # Publish migration activity as PMU counters so profiling
+        # snapshots (and therefore persisted/cached sessions) carry it.
+        promoted = self.stats.promotions - before[0]
+        demoted = self.stats.demotions - before[1]
+        if promoted:
+            self.machine.pmu.add("tpp", "pages_promoted", promoted)
+        if demoted:
+            self.machine.pmu.add("tpp", "pages_demoted", demoted)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "tpp epoch %d: +%d promotions, +%d demotions",

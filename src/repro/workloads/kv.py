@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..sim.engine import SimulationBudgetExceeded
 from ..sim.machine import Machine
 from ..sim.request import CACHELINE, MemOp
 from .base import Workload
@@ -171,7 +172,10 @@ class KVClient:
             issue_next()
 
         issue_next()
-        self.machine.run(max_events=max_events)
+        try:
+            self.machine.run(max_events=max_events)
+        except SimulationBudgetExceeded:
+            pass  # report the shortfall in request terms below
         if len(self.latencies) < num_requests:
             raise RuntimeError(
                 f"only {len(self.latencies)}/{num_requests} requests completed"

@@ -1,0 +1,218 @@
+"""Campaign runner robustness + the repro.api facade.
+
+Failure-injection focus: a misbehaving job (over budget, over its
+wall-clock timeout, crashing) must degrade into a structured per-job
+error record while the rest of the campaign completes.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.core.profiler import profile
+from repro.exec import (
+    CampaignJob,
+    cxl_node_id,
+    expand_duplicates,
+    local_node_id,
+    run_campaign,
+)
+from repro.sim import Machine, spr_config
+from repro.workloads import SequentialStream, build_app
+
+
+def make_spec(num_ops: int = 500, seed: int = 11) -> ProfileSpec:
+    workload = SequentialStream(
+        name="probe", num_ops=num_ops, working_set_bytes=1 << 20, seed=seed,
+    )
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+# -- robustness -----------------------------------------------------------
+
+
+def test_budget_exceeded_yields_structured_record_and_retries():
+    jobs = [
+        CampaignJob(spec=make_spec(), config=spr_config(), tag="fine"),
+        CampaignJob(
+            spec=make_spec(num_ops=50_000, seed=12), config=spr_config(),
+            tag="runaway", max_events=200,
+        ),
+    ]
+    campaign = run_campaign(
+        jobs, parallel=False, cache=False, retries=1, backoff=0.0
+    )
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["fine"].status == "ok"
+    assert campaign.result_for("fine") is not None
+    runaway = by_tag["runaway"]
+    assert runaway.status == "failed"
+    assert runaway.failure == "budget_exceeded"
+    assert runaway.attempts == 2          # retried once: budget is retryable
+    assert runaway.events_executed == 200
+    assert "budget" in runaway.error
+    assert campaign.results[runaway.index] is None
+    assert len(campaign.failed) == 1 and len(campaign.ok) == 1
+
+
+def test_timeout_yields_structured_record_while_others_succeed():
+    jobs = [
+        CampaignJob(spec=make_spec(), config=spr_config(), tag="fine"),
+        CampaignJob(
+            spec=make_spec(num_ops=5_000_000, seed=13), config=spr_config(),
+            tag="slow", timeout=0.4,
+        ),
+    ]
+    campaign = run_campaign(
+        jobs, parallel=True, workers=2, cache=False, retries=0
+    )
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["fine"].status == "ok"
+    slow = by_tag["slow"]
+    assert slow.status == "failed"
+    assert slow.failure == "timeout"
+    assert slow.attempts == 1
+    assert "wall-clock" in slow.error
+
+
+def test_worker_exception_is_reported_not_raised():
+    # core 5 does not exist on a 2-core machine: the worker raises during
+    # installation and the campaign reports it instead of crashing.
+    bad_app = AppSpec(
+        workload=SequentialStream(name="bad", num_ops=100,
+                                  working_set_bytes=1 << 18, seed=1),
+        core=5, membind=local_node_id(spr_config()),
+    )
+    jobs = [
+        CampaignJob(
+            spec=ProfileSpec(apps=[bad_app], epoch_cycles=20_000.0),
+            config=spr_config(), tag="bad",
+        ),
+        CampaignJob(spec=make_spec(), config=spr_config(), tag="fine"),
+    ]
+    campaign = run_campaign(
+        jobs, parallel=False, cache=False, retries=0
+    )
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["bad"].status == "failed"
+    assert by_tag["bad"].failure == "error"
+    assert by_tag["fine"].status == "ok"
+
+
+def test_duplicate_jobs_share_one_execution(tmp_path):
+    jobs = [
+        CampaignJob(spec=make_spec(), config=spr_config(), tag="a"),
+        CampaignJob(spec=make_spec(), config=spr_config(), tag="b"),
+    ]
+    assert jobs[0].key() == jobs[1].key()
+    campaign = run_campaign(
+        jobs, parallel=False, cache=tmp_path / "cache", retries=0
+    )
+    expand_duplicates(campaign)
+    assert all(record.ok for record in campaign.jobs)
+    assert campaign.results[0] is not None
+    assert campaign.results[1] is not None
+    # Only one entry was computed and stored.
+    assert len(list((tmp_path / "cache").glob("*.json"))) == 1
+
+
+def test_campaign_summary_shape():
+    campaign = run_campaign(
+        [CampaignJob(spec=make_spec(), config=spr_config(), tag="one")],
+        parallel=False, cache=False, retries=0,
+    )
+    summary = campaign.summary()
+    assert summary["jobs"] == 1
+    assert summary["ok"] == 1
+    assert summary["cache_hits"] == 0
+    assert summary["wall_time"] > 0
+    assert summary["total_events"] > 0
+
+
+# -- the api facade -------------------------------------------------------
+
+
+def test_api_run_returns_profile_result():
+    result = api.run(make_spec(), cache=False)
+    assert result.num_epochs >= 1
+    totals = api.counters(result)
+    assert totals and all(isinstance(k, tuple) for k in totals)
+
+
+def test_api_run_rejects_machine_plus_cache():
+    config = spr_config()
+    with pytest.raises(ValueError):
+        api.run(make_spec(), machine=Machine(config), cache=True)
+
+
+def test_api_run_raises_on_failure():
+    with pytest.raises(RuntimeError):
+        api.run(make_spec(num_ops=50_000), cache=False, max_events=100)
+
+
+def test_api_run_many_maps_results_to_specs(tmp_path, monkeypatch):
+    monkeypatch.setenv("PATHFINDER_CACHE_DIR", str(tmp_path / "cache"))
+    # The middle spec does different work (more ops), the outer two are
+    # byte-identical duplicates.
+    specs = [make_spec(), make_spec(num_ops=700), make_spec()]
+    campaign = api.run_many(
+        specs, parallel=False, tags=["a", "b", "a-again"]
+    )
+    assert [record.tag for record in campaign.jobs] == ["a", "b", "a-again"]
+    assert all(record.ok for record in campaign.jobs)
+    # Duplicate specs share one execution but both get a result.
+    assert campaign.results[0] is not None
+    assert campaign.results[2] is not None
+    assert api.counters(campaign.results[0]) == api.counters(
+        campaign.results[2]
+    )
+    assert api.counters(campaign.results[0]) != api.counters(
+        campaign.results[1]
+    )
+
+
+def test_api_compare_smoke():
+    local_spec = ProfileSpec(
+        apps=[AppSpec(
+            workload=build_app("541.leela_r", num_ops=500, seed=3),
+            core=0, membind=local_node_id(spr_config()),
+        )],
+        epoch_cycles=20_000.0,
+    )
+    cxl_spec = ProfileSpec(
+        apps=[AppSpec(
+            workload=build_app("541.leela_r", num_ops=500, seed=3),
+            core=0, membind=cxl_node_id(spr_config()),
+        )],
+        epoch_cycles=20_000.0,
+    )
+    baseline = api.run(local_spec, cache=False)
+    treatment = api.run(cxl_spec, cache=False)
+    diff = api.compare(baseline, treatment)
+    assert diff is not None
+
+
+def test_facade_is_reexported_from_package_root():
+    for name in ("run", "run_many", "compare", "counters"):
+        assert getattr(repro, name) is getattr(api, name)
+
+
+def test_core_profile_shim_warns_deprecation():
+    config = spr_config()
+    machine = Machine(config)
+    spec = make_spec()
+    for app in spec.apps:
+        app.workload.reseed()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = profile(machine, spec)
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
+    assert result.num_epochs >= 1

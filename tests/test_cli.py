@@ -66,3 +66,44 @@ def test_run_two_apps_local(capsys):
 def test_run_requires_app():
     with pytest.raises(SystemExit):
         main(["run"])
+
+
+def test_campaign_grid(capsys, tmp_path):
+    args = [
+        "campaign", "--app", "541.leela_r", "--ops", "400",
+        "--epoch", "20000", "--serial",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    # One job per node in the default local+cxl grid.
+    assert "541.leela_r@local" in out
+    assert "541.leela_r@cxl" in out
+    assert "campaign: 2/2 ok" in out
+
+
+def test_campaign_second_run_hits_cache(capsys, tmp_path):
+    args = [
+        "campaign", "--app", "541.leela_r", "--node", "cxl",
+        "--ops", "400", "--epoch", "20000", "--serial",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "cache_hit" in out
+    assert "1 cache hits (100%)" in out
+
+
+def test_campaign_no_cache(capsys, tmp_path):
+    args = [
+        "campaign", "--app", "541.leela_r", "--node", "local",
+        "--ops", "400", "--epoch", "20000", "--serial", "--no-cache",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits" in out

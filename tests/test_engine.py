@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, Waiter
+from repro.sim.engine import Engine, SimulationBudgetExceeded, Waiter
 
 
 def test_events_run_in_time_order():
@@ -71,8 +71,13 @@ def test_max_events_bound():
     count = []
     for i in range(10):
         engine.at(float(i), lambda: count.append(1))
-    engine.run(max_events=3)
+    with pytest.raises(SimulationBudgetExceeded) as exc_info:
+        engine.run(max_events=3)
     assert len(count) == 3
+    assert exc_info.value.events_executed == 3
+    # State stays consistent: the remaining events run on an unbounded call.
+    engine.run()
+    assert len(count) == 10
 
 
 def test_stop_aborts_run():

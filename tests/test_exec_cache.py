@@ -1,0 +1,206 @@
+"""Content-addressed result cache: key stability, invalidation, recovery.
+
+The cache key must be a pure function of the *task* (spec + machine
+config + code version), not of per-process identity such as pids, page
+bases or RNG state — otherwise two processes describing the same job
+would never share an entry.
+"""
+
+import dataclasses
+import functools
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import (
+    CampaignJob,
+    ResultCache,
+    code_fingerprint,
+    cxl_node_id,
+    job_key,
+    run_campaign,
+)
+from repro.sim import emr_config, spr_config
+from repro.workloads import build_app
+
+
+def make_spec(seed: int = 3, num_ops: int = 600) -> ProfileSpec:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+# -- key stability --------------------------------------------------------
+
+
+def test_job_key_ignores_process_identity():
+    # Two independently built specs describe the same job even though
+    # AppSpec assigns fresh pids and Workload fresh page bases.
+    a, b = make_spec(), make_spec()
+    assert a.apps[0].pid != b.apps[0].pid
+    assert job_key(a, spr_config()) == job_key(b, spr_config())
+
+
+def test_job_key_is_stable_across_processes(tmp_path):
+    script = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from tests.test_exec_cache import make_spec\n"
+        "from repro.exec import job_key\n"
+        "from repro.sim import spr_config\n"
+        "print(job_key(make_spec(), spr_config()))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=str(Path(__file__).resolve().parent.parent),
+    )
+    assert out.stdout.strip() == job_key(make_spec(), spr_config())
+
+
+def test_job_key_changes_with_machine_config():
+    spec = make_spec()
+    base = job_key(spec, spr_config())
+    assert base != job_key(spec, emr_config())
+    tweaked = dataclasses.replace(spr_config(), cxl_controller_latency=999.0)
+    assert base != job_key(spec, tweaked)
+
+
+def test_job_key_changes_with_workload_and_budget():
+    base = job_key(make_spec(), spr_config())
+    assert base != job_key(make_spec(num_ops=601), spr_config())
+    assert base != job_key(make_spec(seed=4), spr_config())
+    assert base != job_key(make_spec(), spr_config(), max_events=10)
+
+
+def test_job_key_changes_with_code_version():
+    spec = make_spec()
+    assert job_key(spec, spr_config(), code_version="aaaa") != job_key(
+        spec, spr_config(), code_version="bbbb"
+    )
+    # The implicit version is the fingerprint of the repro sources.
+    assert job_key(spec, spr_config()) == job_key(
+        spec, spr_config(), code_version=code_fingerprint()
+    )
+
+
+def _setup_hook(machine, spec, strength=1):
+    pass
+
+
+def test_campaign_job_key_includes_setup_hook_arguments():
+    spec, config = make_spec(), spr_config()
+    plain = CampaignJob(spec=spec, config=config)
+    weak = CampaignJob(
+        spec=spec, config=config,
+        setup=functools.partial(_setup_hook, strength=1),
+    )
+    strong = CampaignJob(
+        spec=spec, config=config,
+        setup=functools.partial(_setup_hook, strength=2),
+    )
+    keys = {plain.key(), weak.key(), strong.key()}
+    assert len(keys) == 3
+
+
+# -- storage round-trip and corruption recovery ---------------------------
+
+
+def _totals(result):
+    totals = {}
+    for epoch in result.epochs:
+        for key, value in epoch.snapshot.delta.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def _run_one(tmp_path, **job_kwargs):
+    cache = ResultCache(tmp_path / "cache")
+    job = CampaignJob(spec=make_spec(), config=spr_config(), **job_kwargs)
+    campaign = run_campaign(
+        [job], parallel=False, cache=cache, retries=0
+    )
+    return cache, job, campaign
+
+
+def test_cache_round_trip_preserves_counters(tmp_path):
+    cache, job, campaign = _run_one(tmp_path)
+    assert campaign.jobs[0].status == "ok"
+    assert len(cache) == 1
+    cached = cache.get(job.key())
+    assert cached is not None
+    assert _totals(cached) == _totals(campaign.results[0])
+    assert cached.num_epochs == campaign.results[0].num_epochs
+
+
+def test_corrupted_entry_falls_back_to_recompute(tmp_path):
+    cache, job, campaign = _run_one(tmp_path)
+    path = cache.root / f"{job.key()}.json"
+    path.write_text("{not json at all")
+    assert cache.get(job.key()) is None
+    # The corrupt file was dropped so the next run can re-populate it.
+    assert not path.exists()
+    rerun = run_campaign(
+        [CampaignJob(spec=make_spec(), config=spr_config())],
+        parallel=False, cache=cache, retries=0,
+    )
+    assert rerun.jobs[0].status == "ok"
+    assert _totals(rerun.results[0]) == _totals(campaign.results[0])
+    assert path.exists()
+
+
+def test_wrong_format_or_mismatched_key_entry_is_rejected(tmp_path):
+    cache, job, _campaign = _run_one(tmp_path)
+    path = cache.root / f"{job.key()}.json"
+    entry = json.loads(path.read_text())
+    entry["entry_format"] = "pathfinder-cache-v999"
+    path.write_text(json.dumps(entry))
+    assert cache.get(job.key()) is None
+
+    cache2, job2, _ = _run_one(tmp_path / "b")
+    path2 = cache2.root / f"{job2.key()}.json"
+    entry = json.loads(path2.read_text())
+    entry["key"] = "0" * 40
+    path2.write_text(json.dumps(entry))
+    assert cache2.get(job2.key()) is None
+
+
+def test_cache_rejects_malformed_keys(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    with pytest.raises(ValueError):
+        cache.get("../../etc/passwd")
+    with pytest.raises(ValueError):
+        cache.get("")
+
+
+def test_cache_meta_records_job_stats(tmp_path):
+    cache, job, campaign = _run_one(tmp_path, tag="meta-probe")
+    meta = cache.meta(job.key())
+    assert meta["tag"] == "meta-probe"
+    assert meta["events_executed"] == campaign.jobs[0].events_executed
+    assert meta["total_cycles"] == campaign.jobs[0].total_cycles
+
+
+def test_second_campaign_hits_cache_with_identical_counters(tmp_path):
+    cache, _job, first = _run_one(tmp_path)
+    rerun = run_campaign(
+        [CampaignJob(spec=make_spec(), config=spr_config())],
+        parallel=False, cache=cache, retries=0,
+    )
+    assert rerun.jobs[0].status == "cache_hit"
+    assert rerun.hit_rate == 1.0
+    assert _totals(rerun.results[0]) == _totals(first.results[0])
+    # Hit records still report the recorded execution stats.
+    assert rerun.jobs[0].events_executed == first.jobs[0].events_executed
+
+
+def test_non_cacheable_job_skips_the_cache(tmp_path):
+    cache, _job, _campaign = _run_one(tmp_path, cacheable=False)
+    assert len(cache) == 0

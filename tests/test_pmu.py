@@ -251,3 +251,46 @@ def test_sampler_rejects_bad_threshold():
     reg = CounterRegistry()
     with _pytest.raises(ValueError):
         reg.arm_sampler("s", "e", 0.0, lambda v: None)
+
+
+def test_sync_hooks_run_once_per_timestamp_and_state():
+    """A mid-epoch reader syncing at the same cycle as the epoch-boundary
+    snapshot must not re-run the flush hooks: a non-idempotent integral
+    flush would be added twice and any armed sampler would observe the
+    inflated value (regression for the snapshot/sync ordering bug)."""
+    reg = CounterRegistry()
+    calls = []
+
+    def flush(now):
+        calls.append(now)
+        # Deliberately non-idempotent: re-running at the same timestamp
+        # visibly double-counts.
+        reg.add("m2p", "occupancy_integral", 7.0)
+
+    reg.on_sync(flush)
+    fired = []
+    reg.arm_sampler("m2p", "occupancy_integral", 10.0,
+                    lambda v: fired.append(v))
+
+    reg.sync(100.0)              # mid-epoch reader (e.g. tiering engine)
+    snap = reg.snapshot(100.0)   # epoch-boundary snapshot, same cycle
+    reg.sync(100.0)              # second reader at the same cycle
+    assert calls == [100.0]
+    assert snap[("m2p", "occupancy_integral")] == 7.0
+    assert fired == []           # below threshold; nothing fired early
+
+    # Counter activity at the same timestamp changes state, so the next
+    # sync flushes again - and the threshold crossing fires exactly once
+    # even though two more readers sync afterwards.
+    reg.add("m2p", "occupancy_integral", 1.0)
+    reg.snapshot(100.0)
+    reg.snapshot(100.0)
+    assert calls == [100.0, 100.0]
+    assert len(fired) == 1
+
+    # A later epoch flushes once more; still exactly one fire per crossing.
+    reg.snapshot(200.0)
+    reg.sync(200.0)
+    assert calls == [100.0, 100.0, 200.0]
+    assert reg.get("m2p", "occupancy_integral") == 22.0
+    assert len(fired) == 2

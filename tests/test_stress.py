@@ -5,7 +5,7 @@ import dataclasses
 
 import pytest
 
-from repro.sim import Machine, MemOp, spr_config
+from repro.sim import Machine, MemOp, SimulationBudgetExceeded, spr_config
 from repro.sim.dram import DRAMTiming
 from repro.workloads import RandomAccess, SequentialStream
 
@@ -122,9 +122,11 @@ def test_max_events_bound_is_respected():
     )
     workload.install(machine, machine.cxl_node.node_id)
     machine.pin(0, iter(workload))
-    machine.run(max_events=10_000)
+    with pytest.raises(SimulationBudgetExceeded) as exc_info:
+        machine.run(max_events=10_000)
     # Ran out of budget mid-flight: not idle, but state is consistent.
     assert not machine.all_idle
+    assert exc_info.value.events_executed == 10_000
     assert machine.engine.events_executed >= 10_000
 
 
