@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures docs campaign-smoke sweeps clean
+.PHONY: install test bench figures docs campaign-smoke trace-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ docs:
 
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py --workers 4
+
+trace-smoke:
+	$(PYTHON) scripts/trace_smoke.py
 
 sweeps:
 	$(PYTHON) scripts/sweep_local_vs_cxl.py

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI smoke test for the request-path flight recorder.
+
+Runs one traced session on the CXL node and checks that
+
+* the canonical Clos stages all collected residency samples;
+* per-request hop timestamps are monotone;
+* the Chrome trace export passes schema validation and lands on disk;
+* a second identical run reproduces the exact same hop sequences;
+* the ground-truth validation report's top-1 component agrees with
+  PFAnalyzer's Little's-law estimate.
+
+Exit code 0 on success; prints the stage table either way.
+
+Usage:  python scripts/trace_smoke.py [--sample-every N] [--ops N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import PathFinder, ProfileSpec, TraceSpec  # noqa: E402
+from repro.core.report import render_trace  # noqa: E402
+from repro.core.spec import AppSpec  # noqa: E402
+from repro.obs import (  # noqa: E402
+    export_chrome_trace,
+    validate_against_analyzer,
+)
+from repro.sim import Machine, spr_config  # noqa: E402
+from repro.workloads import RandomAccess  # noqa: E402
+
+REQUIRED_STAGES = ("LFB", "LLC", "FlexBus+MC", "CXL_MC")
+
+
+def traced_session(sample_every: int, num_ops: int):
+    machine = Machine(spr_config(num_cores=2))
+    node = machine.cxl_node.node_id
+    apps = [
+        AppSpec(
+            workload=RandomAccess(
+                num_ops=num_ops, working_set_bytes=1 << 20,
+                read_ratio=0.9, seed=31 + i,
+            ),
+            core=i,
+            membind=node,
+        )
+        for i in range(2)
+    ]
+    spec = ProfileSpec(
+        apps=apps,
+        epoch_cycles=50_000.0,
+        trace=TraceSpec(sample_every=sample_every),
+    )
+    return PathFinder(machine, spec).run()
+
+
+def hop_sequences(report):
+    return [
+        [(h.component, h.kind, h.t) for h in trace.events]
+        for trace in report.traces
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sample-every", type=int, default=16)
+    parser.add_argument("--ops", type=int, default=4000)
+    args = parser.parse_args(argv)
+
+    result = traced_session(args.sample_every, args.ops)
+    report = result.trace
+    print(render_trace(report))
+
+    missing = [s for s in REQUIRED_STAGES
+               if not report.stage_histograms.get(s)
+               or not report.stage_histograms[s].count]
+    if missing:
+        print(f"FAIL: stages without samples: {missing}")
+        return 1
+
+    for trace in report.traces:
+        times = [h.t for h in trace.events]
+        if times != sorted(times):
+            print(f"FAIL: non-monotone hops on request {trace.req_id:#x}")
+            return 1
+
+    with tempfile.TemporaryDirectory(prefix="pf-trace-") as scratch:
+        out = Path(scratch) / "trace.json"
+        document = export_chrome_trace(report, out)
+        on_disk = json.loads(out.read_text())
+        if len(on_disk["traceEvents"]) != len(document["traceEvents"]):
+            print("FAIL: chrome trace on disk diverges from export")
+            return 1
+
+    rerun = traced_session(args.sample_every, args.ops).trace
+    if hop_sequences(rerun) != hop_sequences(report):
+        print("FAIL: identical runs produced different hop sequences")
+        return 1
+
+    reports = [e.queues for e in result.epochs]
+    if not reports and result.final is not None:
+        reports = [result.final.queues]
+    validation = validate_against_analyzer(report, reports)
+    print()
+    print(validation.render())
+    if not validation.agrees:
+        print("FAIL: measured top-1 component disagrees with PFAnalyzer")
+        return 1
+
+    print(
+        f"\nOK: {report.requests_traced}/{report.requests_seen} requests "
+        f"traced, {len(document['traceEvents'])} chrome events, "
+        f"validation agrees"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,9 +17,9 @@ from .materializer import LocalityReport, PFMaterializer
 from .mflow import MFlow, MFlowRegistry
 from .persistence import LoadedSession, load_session, save_session
 from .profiler import EpochResult, PathFinder, ProfileResult, profile
-from .report import render_epoch, render_path_map, render_queues, render_session, render_stall_breakdown
+from .report import render_epoch, render_path_map, render_queues, render_session, render_stall_breakdown, render_trace
 from .snapshot import Snapshot, SnapshotTaker
-from .spec import AppSpec, ProfileSpec, ProfilingMode, ReportSpec
+from .spec import AppSpec, ProfileSpec, ProfilingMode, ReportSpec, TraceSpec
 
 __all__ = [
     "ANALYZER_COMPONENTS",
@@ -46,6 +46,8 @@ __all__ = [
     "ReportSpec",
     "STALL_COMPONENTS",
     "SessionDiff",
+    "TraceSpec",
+    "render_trace",
     "Snapshot",
     "SnapshotTaker",
     "StallBreakdown",

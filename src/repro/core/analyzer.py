@@ -22,6 +22,7 @@ is the snapshot's culprit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -148,6 +149,13 @@ class PFAnalyzer:
         out: List[QueueEstimate] = []
 
         def add(component: str, rate: float, delay: float) -> None:
+            # A path with no arrivals (or no latency samples backing the
+            # delay) contributes no queue: emit nothing rather than a
+            # zero/NaN estimate that could tie-break into a culprit.
+            if not (rate > 0.0) or not math.isfinite(rate):
+                return
+            if not math.isfinite(delay) or delay < 0.0:
+                return
             out.append(
                 QueueEstimate(
                     component=component,
@@ -215,9 +223,13 @@ class PFAnalyzer:
                 + device.mc_occupancy
             )
             w_hit = queue_cycles / served
+            if not math.isfinite(w_hit) or w_hit < 0.0:
+                continue
             for path, weight in read_weights.items():
                 share = weight / total_reads if total_reads > 0 else 0.0
                 rate = served * share / clocks
+                if not (rate > 0.0) or not math.isfinite(rate):
+                    continue
                 out.append(
                     QueueEstimate(
                         component="FlexBus+MC",

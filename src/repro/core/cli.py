@@ -95,6 +95,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="per-job wall-clock limit in seconds")
     campaign.add_argument("--retries", type=int, default=1,
                           help="extra attempts per failed job")
+
+    trace = sub.add_parser(
+        "trace",
+        help="profile with the flight recorder on and report per-stage "
+             "latencies",
+    )
+    trace.add_argument(
+        "--app", action="append", required=True,
+        help="application name from the catalog (repeatable)",
+    )
+    trace.add_argument(
+        "--node", choices=["local", "cxl"], default="cxl",
+        help="memory node to bind the working sets to",
+    )
+    trace.add_argument("--ops", type=int, default=10000, help="ops per app")
+    trace.add_argument("--epoch", type=float, default=50000.0,
+                       help="profiling epoch length in cycles")
+    trace.add_argument("--machine", choices=["spr", "emr"], default="spr")
+    trace.add_argument("--cores", type=int, default=None,
+                       help="number of simulated cores")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--sample-every", type=int, default=64,
+                       help="trace 1 in N requests (default 64)")
+    trace.add_argument("--out", default=None,
+                       help="write a Chrome trace_event JSON here "
+                            "(open in Perfetto / chrome://tracing)")
+    trace.add_argument("--validate", action="store_true",
+                       help="compare measured per-stage queueing against "
+                            "PFAnalyzer's Little's-law estimates")
     return parser
 
 
@@ -156,7 +185,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
     )
     print(render_campaign(campaign))
-    return 0 if not campaign.failed else 1
+    if not campaign.jobs or campaign.failed:
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs import export_chrome_trace, validate_against_analyzer
+    from .report import render_trace
+    from .spec import TraceSpec
+
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    cores = args.cores or max(2, len(args.app))
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    machine = Machine(config_fn(num_cores=cores))
+    node = (
+        machine.cxl_node.node_id if args.node == "cxl"
+        else machine.local_node.node_id
+    )
+    specs: List[AppSpec] = []
+    for i, name in enumerate(args.app):
+        workload = build_app(name, num_ops=args.ops, seed=args.seed + i)
+        specs.append(AppSpec(workload=workload, core=i, membind=node))
+    spec = ProfileSpec(
+        apps=specs,
+        epoch_cycles=args.epoch,
+        trace=TraceSpec(sample_every=args.sample_every),
+    )
+    profiler = PathFinder(machine, spec)
+    result = profiler.run()
+    print(render_session(result))
+    print()
+    print(render_trace(result.trace))
+    if args.out:
+        document = export_chrome_trace(result.trace, args.out)
+        print(f"chrome trace: {args.out}"
+              f" ({len(document['traceEvents'])} events)")
+    if args.validate:
+        reports = [e.queues for e in result.epochs]
+        if not reports and result.final is not None:
+            reports = [result.final.queues]
+        print()
+        print(validate_against_analyzer(result.trace, reports).render())
+    return 0
 
 
 def _cmd_list_apps(args: argparse.Namespace) -> int:
@@ -188,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "list-apps":
         return _cmd_list_apps(args)
     if args.command == "list-events":

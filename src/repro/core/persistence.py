@@ -85,13 +85,16 @@ def result_to_document(result: ProfileResult) -> Dict:
             flows_by_id[flow.flow_id] = flow
     for flow in result.flows:
         flows_by_id[flow.flow_id] = flow
-    return {
+    document = {
         "format_version": FORMAT_VERSION,
         "aggregated_only": aggregated_only,
         "total_cycles": result.total_cycles,
         "flows": [_flow_to_dict(f) for f in flows_by_id.values()],
         "epochs": epochs,
     }
+    if result.trace is not None:
+        document["trace"] = result.trace.to_dict()
+    return document
 
 
 def save_session(result: ProfileResult, path: Union[str, Path]) -> None:
@@ -168,6 +171,10 @@ def result_from_document(document: Dict) -> ProfileResult:
         flows=session.flows,
         total_cycles=session.total_cycles,
     )
+    if document.get("trace") is not None:
+        from ..obs import TraceReport
+
+        result.trace = TraceReport.from_dict(document["trace"])
     return result
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 logger = logging.getLogger(__name__)
 
+from ..obs import FlightRecorder, TraceReport, persist_trace
 from ..sim.machine import Machine
 from .analyzer import AnalyzerReport, PFAnalyzer
 from .builder import PFBuilder, PathMap
@@ -50,6 +51,8 @@ class ProfileResult:
     final: Optional[EpochResult] = None
     flows: List[MFlow] = field(default_factory=list)
     total_cycles: float = 0.0
+    # Flight-recorder output; None unless the spec carried a TraceSpec.
+    trace: Optional[TraceReport] = None
 
     @property
     def num_epochs(self) -> int:
@@ -71,6 +74,14 @@ class PathFinder:
         self.analyzer = PFAnalyzer()
         self.materializer = PFMaterializer()
         self.flows = MFlowRegistry()
+        self.recorder: Optional[FlightRecorder] = None
+        if spec.trace is not None:
+            self.recorder = FlightRecorder(
+                machine.engine,
+                sample_every=spec.trace.sample_every,
+                max_requests=spec.trace.max_requests,
+            )
+            machine.attach_recorder(self.recorder)
         self._taker = SnapshotTaker(machine.pmu)
         self._running_apps: Dict[int, AppSpec] = {}
         self._pending_starts = 0
@@ -175,6 +186,8 @@ class PathFinder:
                 for f in self.flows.flows_of()
                 if f.alive or (f.ended_at is not None and f.ended_at > epoch_start)
             ]
+            if self.recorder is not None:
+                self.recorder.epoch_mark(self.machine.now)
             snapshot = self._taker.take(self.machine.now, flows=live)
             epoch_result = self._process(epoch, snapshot)
             if self.spec.mode is ProfilingMode.CONTINUOUS:
@@ -182,6 +195,11 @@ class PathFinder:
             result.final = epoch_result
         result.flows = self.flows.flows_of()
         result.total_cycles = self.machine.now
+        if self.recorder is not None:
+            result.trace = self.recorder.report()
+            persist_trace(
+                self.materializer.db, result.trace, timestamp=self.machine.now
+            )
         return result
 
     def _process(self, epoch: int, snapshot: Snapshot) -> EpochResult:

@@ -88,7 +88,31 @@ def render_epoch(result: EpochResult, core_id: int = 0) -> str:
 
 
 def render_campaign(campaign) -> str:
-    """Per-job status table plus totals for a :class:`CampaignResult`."""
+    """Per-job status table plus totals for a :class:`CampaignResult`.
+
+    Degenerate campaigns get an honest summary instead of the usual
+    table: an empty job list says so outright, and a campaign where
+    every job failed renders a failure-only summary (tag, failure kind,
+    first error line) so the table cannot read as a successful run.
+    """
+    if not campaign.jobs:
+        return "campaign: no jobs to report"
+    if not campaign.ok:
+        lines = [f"campaign FAILED: 0/{len(campaign.jobs)} jobs succeeded"]
+        for job in campaign.jobs:
+            detail = job.failure or "unknown"
+            if job.error:
+                first_line = job.error.strip().splitlines()[-1]
+                detail += f": {first_line}"
+            lines.append(
+                f"  {job.tag:<20} attempts={job.attempts}"
+                f" wall={job.wall_time:.2f}s  {detail}"
+            )
+        lines.append(
+            f"campaign: 0/{len(campaign.jobs)} ok,"
+            f" {campaign.wall_time:.2f}s wall"
+        )
+        return "\n".join(lines)
     lines = [
         "tag                  status     attempts     wall      events"
         "      cycles  failure",
@@ -109,6 +133,48 @@ def render_campaign(campaign) -> str:
         f" {summary['wall_time']:.2f}s wall,"
         f" {summary['total_events']:.0f} events"
     )
+    return "\n".join(lines)
+
+
+def render_trace(trace, top_queues: int = 6) -> str:
+    """Per-stage latency table for a :class:`repro.obs.TraceReport`.
+
+    Canonical Clos stages first (request-path order), then any recorded
+    fine-grained queue stages, then the busiest queue-occupancy series.
+    """
+    from ..obs import CANONICAL_STAGES
+
+    lines = [
+        f"Flight recorder: 1-in-{trace.sample_every} sampling,"
+        f" {trace.requests_traced}/{trace.requests_seen} requests traced,"
+        f" {trace.duration:.0f} cycles",
+        "stage            samples     mean      p50      p95      max"
+        "   est. L",
+    ]
+    ordered = [s for s in CANONICAL_STAGES if s in trace.stage_histograms]
+    ordered += sorted(
+        s for s in trace.stage_histograms if s not in CANONICAL_STAGES
+    )
+    for stage in ordered:
+        hist = trace.stage_histograms[stage]
+        if not hist.count:
+            continue
+        lines.append(
+            f"{stage:<16} {hist.count:7d} {hist.mean:8.1f}"
+            f" {hist.percentile(50.0):8.1f} {hist.percentile(95.0):8.1f}"
+            f" {hist.max:8.1f}"
+            f" {trace.measured_queue_length(stage):8.3f}"
+        )
+    if trace.queue_occupancy:
+        busiest = sorted(
+            trace.queue_occupancy.items(),
+            key=lambda kv: -max(v for _, v in kv[1]),
+        )[:top_queues]
+        lines.append("queue occupancy (mean depth, busiest epoch):")
+        for name, series in busiest:
+            peak = max(v for _, v in series)
+            mean = sum(v for _, v in series) / len(series)
+            lines.append(f"  {name:<24} mean={mean:7.3f}  peak={peak:7.3f}")
     return "\n".join(lines)
 
 

@@ -58,6 +58,25 @@ class AppSpec:
 
 
 @dataclass
+class TraceSpec:
+    """Flight-recorder configuration (off unless attached to the spec).
+
+    ``sample_every`` traces 1-in-N memory requests (the overhead knob);
+    ``max_requests`` caps the retained traces so a long session cannot
+    grow without bound.
+    """
+
+    sample_every: int = 64
+    max_requests: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every <= 0:
+            raise ValueError("trace sample_every must be positive")
+        if self.max_requests <= 0:
+            raise ValueError("trace max_requests must be positive")
+
+
+@dataclass
 class ReportSpec:
     """Which statistics to include in the epoch reports."""
 
@@ -77,6 +96,8 @@ class ProfileSpec:
     mode: ProfilingMode = ProfilingMode.CONTINUOUS
     max_epochs: int = 10_000
     report: ReportSpec = field(default_factory=ReportSpec)
+    # Request-path tracing; None (the default) records nothing.
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

@@ -127,6 +127,9 @@ def canonical_spec(spec: ProfileSpec) -> Dict[str, Any]:
         "mode": spec.mode.value,
         "max_epochs": spec.max_epochs,
         "report": _canon(spec.report),
+        # Tracing changes what a session records (trace artifacts live in
+        # the cached document), so traced and untraced runs cache apart.
+        "trace": _canon(spec.trace),
     }
 
 

@@ -1,0 +1,55 @@
+"""Observability layer: request-path flight recorder and its consumers.
+
+The simulator threads every :class:`~repro.sim.request.MemRequest`
+through the Clos stages (core -> SB/LFB -> L1D -> L2 -> CHA/LLC -> mesh
+-> IMC, or FlexBus -> CXL MC).  The :class:`FlightRecorder` samples
+1-in-N of those requests and records a hop event (component, enq/deq
+timestamp) at every stage, giving the repo the ground truth that real
+hardware could not give the paper's authors.
+
+Three consumers sit on top of the recorder:
+
+* per-stage log-bucketed latency histograms and queue-occupancy time
+  series (persisted through :mod:`repro.tsdb` via :func:`persist_trace`);
+* a Chrome ``trace_event`` JSON exporter (:mod:`repro.obs.chrome_trace`)
+  so any traced run opens in Perfetto;
+* a ground-truth validation report (:mod:`repro.obs.validation`) that
+  compares measured per-stage residency against PFAnalyzer's
+  Little's-law queue estimates for the same run.
+
+The package deliberately imports nothing from ``repro.sim`` or
+``repro.core`` - components hand it duck-typed objects - so it can sit
+below both without import cycles.
+"""
+
+from .histogram import LogHistogram
+from .recorder import (
+    CANONICAL_STAGES,
+    FlightRecorder,
+    HopEvent,
+    RequestTrace,
+    TraceReport,
+    persist_trace,
+)
+from .chrome_trace import (
+    export_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from .validation import StageComparison, ValidationReport, validate_against_analyzer
+
+__all__ = [
+    "LogHistogram",
+    "CANONICAL_STAGES",
+    "FlightRecorder",
+    "HopEvent",
+    "RequestTrace",
+    "TraceReport",
+    "persist_trace",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "StageComparison",
+    "ValidationReport",
+    "validate_against_analyzer",
+]

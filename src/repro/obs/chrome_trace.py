@@ -1,0 +1,119 @@
+"""Chrome ``trace_event`` exporter.
+
+Emits the JSON object format Perfetto and ``chrome://tracing`` both load:
+one complete ("X") event per matched stage interval, one per whole
+request, and metadata ("M") events naming each core's track.  Rows are
+keyed pid=core, tid=trace-local request id, so a core's sampled requests
+stack as parallel tracks and each request reads left-to-right through
+LFB -> L2 -> LLC -> IMC / FlexBus+MC -> CXL_MC.
+
+Timestamps are simulated CPU cycles exported 1:1 into the format's
+microsecond field; only relative spacing matters for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .recorder import TraceReport
+
+_REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def to_chrome_trace(report: TraceReport) -> Dict:
+    """Convert a :class:`TraceReport` into a Chrome trace document."""
+    events: List[Dict] = []
+    seen_cores = set()
+    for trace in report.traces:
+        if trace.core_id not in seen_cores:
+            seen_cores.add(trace.core_id)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0.0,
+                    "pid": trace.core_id,
+                    "tid": 0,
+                    "args": {"name": f"core{trace.core_id}"},
+                }
+            )
+        end = trace.completion_time
+        if end is not None and end >= trace.issue_time:
+            events.append(
+                {
+                    "name": f"{trace.path} req {trace.req_id:#x}",
+                    "cat": trace.path,
+                    "ph": "X",
+                    "ts": trace.issue_time,
+                    "dur": end - trace.issue_time,
+                    "pid": trace.core_id,
+                    "tid": trace.local_id,
+                    "args": {
+                        "address": f"{trace.address:#x}",
+                        "serve_location": trace.serve_location or "?",
+                    },
+                }
+            )
+        for component, t_enq, t_deq in trace.intervals():
+            events.append(
+                {
+                    "name": component,
+                    "cat": trace.path,
+                    "ph": "X",
+                    "ts": t_enq,
+                    "dur": t_deq - t_enq,
+                    "pid": trace.core_id,
+                    "tid": trace.local_id,
+                    "args": {"req_id": trace.req_id},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "sample_every": report.sample_every,
+            "requests_seen": report.requests_seen,
+            "requests_traced": report.requests_traced,
+            "duration_cycles": report.duration,
+        },
+    }
+
+
+def validate_chrome_trace(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` is a well-formed trace.
+
+    Checks the envelope, per-event required keys/types, non-negative
+    durations, and - via each (pid, tid) track - that complete events do
+    not run backwards in time.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        missing = _REQUIRED_EVENT_KEYS - set(event)
+        if missing:
+            raise ValueError(f"event {i} missing keys: {sorted(missing)}")
+        if event["ph"] not in ("X", "M", "B", "E", "i"):
+            raise ValueError(f"event {i} has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"event {i} has bad ts {event['ts']!r}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} has bad dur {dur!r}")
+
+
+def export_chrome_trace(
+    report: TraceReport, path: Union[str, Path]
+) -> Dict:
+    """Write the Chrome trace JSON for ``report`` to ``path``."""
+    document = to_chrome_trace(report)
+    validate_chrome_trace(document)
+    Path(path).write_text(json.dumps(document))
+    return document

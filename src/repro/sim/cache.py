@@ -147,6 +147,9 @@ class Cache:
         self._policy_name = policy
         self.hits = 0
         self.misses = 0
+        # Optional flight-recorder hook (``on_cache_lookup(name, hit)``);
+        # None unless a traced profiling session attached a recorder.
+        self.observer = None
 
     # -- indexing ----------------------------------------------------------
 
@@ -170,10 +173,14 @@ class Cache:
         for way, line in cache_set.lines.items():
             if line.tag == tag and line.state is not MESIF.INVALID:
                 self.hits += 1
+                if self.observer is not None:
+                    self.observer.on_cache_lookup(self.name, True)
                 if touch:
                     self.policy.touch(cache_set, way)
                 return line
         self.misses += 1
+        if self.observer is not None:
+            self.observer.on_cache_lookup(self.name, False)
         return None
 
     def probe(self, address: int) -> Optional[CacheLine]:

@@ -151,6 +151,8 @@ class CHA:
             for s in range(num_slices)
         ]
         self._occupancy = _CategoryOccupancy()
+        # Flight recorder; None unless the profiling spec asked for tracing.
+        self.recorder = None
         self.scope = f"cha{socket}"
         pmu.on_sync(self._sync)
         # Dirty LLC evictions become memory write-backs; the machine wires
@@ -231,6 +233,8 @@ class CHA:
     ) -> None:
         now = self.engine.now
         request.stamp(f"cha{cha_slice.slice_id}", now)
+        if self.recorder is not None:
+            self.recorder.hop(request, "LLC", "enq")
         node = self.address_space.node_of(request.address)
         request.dest_node = node.node_id
         line = self.llc_lookup(request.address, cha_slice)
@@ -258,6 +262,9 @@ class CHA:
                 self._occupancy.exit(key, end)
             cha_slice.tor_inflight -= 1
             req.complete(location, end)
+            if self.recorder is not None:
+                self.recorder.hop(req, "LLC", "deq")
+                self.recorder.complete(req)
             self._emit_ocr(req, location)
             on_response(req)
 
@@ -392,9 +399,13 @@ class CHA:
         event = TOR_EVENT_BY_PATH[Path.DWR]
         self.pmu.add(self.scope, f"{event}.total")
         self.directory.drop(request.line, core_id)
+        if self.recorder is not None:
+            self.recorder.maybe_trace(request)
 
         def done(req: MemRequest) -> None:
             req.complete(self._memory_location(node.kind), self.engine.now)
+            if self.recorder is not None:
+                self.recorder.complete(req)
             self._emit_ocr(req, req.serve_location)
             if on_done is not None:
                 on_done(req)

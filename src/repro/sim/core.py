@@ -109,6 +109,8 @@ class Core:
         self.l2_latency = l2_latency
         self.max_outstanding_loads = max_outstanding_loads
 
+        # Flight recorder; None unless the profiling spec asked for tracing.
+        self.recorder = None
         self._workload: Optional[Iterator[MemOp]] = None
         self._l2_pf_pending: set = set()
         self._rfo_pending: Dict[int, List] = {}
@@ -277,6 +279,8 @@ class Core:
             issue_time=self.engine.now,
         )
         request.missed_l1 = True
+        if self.recorder is not None:
+            self.recorder.maybe_trace(request)
         self.pmu.add(self.scope, "l2_rqsts.all_rfo")
 
         def rfo_done(req: MemRequest) -> None:
@@ -327,6 +331,8 @@ class Core:
             issue_time=self.engine.now,
         )
         request.missed_l1 = True
+        if self.recorder is not None:
+            self.recorder.maybe_trace(request)
         self._outstanding_demand[request.req_id] = request
         self._l1_miss_out.inc(self.engine.now)
         self._last_load = request
@@ -350,6 +356,8 @@ class Core:
                 )
             )
             return
+        if self.recorder is not None:
+            self.recorder.hop(request, "LFB", "enq")
         self._oro_demand_rd.inc(self.engine.now)
         self._oro_all_rd.inc(self.engine.now)
 
@@ -359,6 +367,8 @@ class Core:
             self._oro_demand_rd.dec(self.engine.now)
             self._oro_all_rd.dec(self.engine.now)
             self.lfb.fill(req.line)
+            if self.recorder is not None:
+                self.recorder.hop(req, "LFB", "deq")
             self._demand_filled(req)
 
         self._access_l2(request, load_done)
@@ -369,6 +379,8 @@ class Core:
         now = self.engine.now
         if request.completion_time is None:
             request.completion_time = now
+        if self.recorder is not None:
+            self.recorder.complete(request)
         self._outstanding_demand.pop(request.req_id, None)
         self._l1_miss_out.dec(now)
         if request.missed_l2 and request.path is Path.DRD:
@@ -403,6 +415,8 @@ class Core:
 
         def at_l2() -> None:
             request.stamp("l2", self.engine.now)
+            if self.recorder is not None:
+                self.recorder.hop(request, "L2", "enq")
             self._count_l2(request, hit=None)
             line = self.l2.lookup(request.address)
             # Prefetchers train on demand traffic only; letting prefetches
@@ -420,6 +434,8 @@ class Core:
                 ):
                     # Upgrade needed despite L2 presence: go to CHA.
                     self._count_l2(request, hit=False, silent=True)
+                    if self.recorder is not None:
+                        self.recorder.hop(request, "L2", "deq")
                     self._go_uncore(request, on_done)
                     return
                 self.engine.after(
@@ -428,6 +444,8 @@ class Core:
                 return
             self._count_l2(request, hit=False)
             request.missed_l2 = True
+            if self.recorder is not None:
+                self.recorder.hop(request, "L2", "deq")
             if request.path is Path.DRD:
                 self._l2_miss_out.inc(self.engine.now)
             self._go_uncore(request, on_done)
@@ -436,6 +454,9 @@ class Core:
 
     def _l2_served(self, request: MemRequest, on_done) -> None:
         request.complete(ServeLocation.L2, self.engine.now)
+        if self.recorder is not None:
+            self.recorder.hop(request, "L2", "deq")
+            self.recorder.complete(request)
         on_done(request)
         self._notify_completion(request)
 
@@ -527,6 +548,8 @@ class Core:
             issue_time=self.engine.now,
         )
         request.missed_l1 = True
+        if self.recorder is not None:
+            self.recorder.maybe_trace(request)
         if path is Path.L1_HWPF:
             if self.lfb.full or self.lfb.outstanding(request.line) is not None:
                 return  # hardware drops prefetches under pressure
@@ -562,6 +585,8 @@ class Core:
             issue_time=self.engine.now,
         )
         request.missed_l1 = True
+        if self.recorder is not None:
+            self.recorder.maybe_trace(request)
         if self.lfb.full or self.lfb.outstanding(request.line) is not None:
             return
 

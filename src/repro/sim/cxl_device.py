@@ -68,6 +68,8 @@ class CXLDevice:
             servers=timing.channels,
             name=f"{scope}.media",
         )
+        # Flight recorder; None unless the profiling spec asked for tracing.
+        self.recorder = None
         self.tx_inserts_mem_req = 0   # NDR completions
         self.tx_inserts_mem_data = 0  # DRS data responses
         self.reads_served = 0
@@ -88,6 +90,8 @@ class CXLDevice:
         )
         if buffer.try_push((request, respond)):
             self.pmu.add(self.scope, event)
+            if self.recorder is not None:
+                self.recorder.hop(request, "CXL_MC", "enq")
             self.engine.after(self.unpack_latency, lambda: self._drain(buffer))
         else:
             # Packing buffer full: link-level credits would throttle the
@@ -111,6 +115,8 @@ class CXLDevice:
 
     def _media_done(self, item) -> None:
         request, respond = item
+        if self.recorder is not None:
+            self.recorder.hop(request, "CXL_MC", "deq")
         if request.is_store:
             self.writes_served += 1
             self.tx_inserts_mem_req += 1  # NDR goes out the Mem Req egress

@@ -18,6 +18,12 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 
+#: Relative tolerance for scheduling "in the past": drift within this
+#: fraction of ``now`` (floored at the same absolute amount near zero) is
+#: treated as float round-off, not a logic error.
+_PAST_TOLERANCE = 1e-9
+
+
 class SimulationBudgetExceeded(RuntimeError):
     """``Engine.run(max_events=...)`` hit its budget with events pending.
 
@@ -49,11 +55,21 @@ class Engine:
     # -- scheduling ---------------------------------------------------
 
     def at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run at absolute cycle ``time``."""
+        """Schedule ``callback`` to run at absolute cycle ``time``.
+
+        Long chains of fractional :meth:`after` delays accumulate float
+        error, so ``time`` can legitimately land a few ULPs below
+        ``self.now``; such sub-epsilon drift is clamped to ``now`` rather
+        than aborting the run.  A genuinely past time still raises.
+        """
         if time < self.now:
-            raise ValueError(
-                f"cannot schedule event in the past: {time} < {self.now}"
-            )
+            drift = self.now - time
+            if drift <= _PAST_TOLERANCE * max(1.0, abs(self.now)):
+                time = self.now
+            else:
+                raise ValueError(
+                    f"cannot schedule event in the past: {time} < {self.now}"
+                )
         heapq.heappush(self._heap, (time, next(self._seq), callback))
 
     def after(self, delay: float, callback: Callable[[], None]) -> None:

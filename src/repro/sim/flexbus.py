@@ -97,6 +97,8 @@ class M2PCIe:
             engine, link_bytes_per_cycle, link_propagation, f"{scope}.up"
         )
         self.device = None  # wired by Machine
+        # Flight recorder; None unless the profiling spec asked for tracing.
+        self.recorder = None
         # Port arbitration cost per request; QoS throttling (CXL 3.x
         # DevLoad feedback) raises this to pace injection.
         self.arbitration_cycles = 4.0
@@ -121,6 +123,8 @@ class M2PCIe:
         ok = self._ingress_server.submit((request, on_response))
         if ok:
             self.pmu.add(self.scope, "unc_m2p_rxc_inserts.all")
+            if self.recorder is not None:
+                self.recorder.hop(request, "FlexBus+MC", "enq")
         return ok
 
     def wait_for_slot(self, retry: Callable[[], None]) -> None:
@@ -156,6 +160,8 @@ class M2PCIe:
         self.egress.try_push(request)  # metering only; drained immediately
         if not self.egress.empty:
             self.egress.pop()
+        if self.recorder is not None:
+            self.recorder.hop(request, "FlexBus+MC", "deq")
         on_response(request)
 
     def _sync(self, now: float) -> None:

@@ -37,6 +37,8 @@ class _Channel:
         self.pmu = pmu
         self.rpq = MonitoredQueue(engine, queue_depth, name=f"{scope}.rpq")
         self.wpq = MonitoredQueue(engine, queue_depth, name=f"{scope}.wpq")
+        # Flight recorder; None unless the profiling spec asked for tracing.
+        self.recorder = None
         self._rd_server = Server(
             engine,
             self.rpq,
@@ -59,6 +61,8 @@ class _Channel:
         ok = self._rd_server.submit((request, on_done))
         if ok:
             self.pmu.add(self.scope, "unc_m_rpq_inserts")
+            if self.recorder is not None:
+                self.recorder.hop(request, "IMC", "enq")
         return ok
 
     def submit_write(
@@ -67,12 +71,16 @@ class _Channel:
         ok = self._wr_server.submit((request, on_done))
         if ok:
             self.pmu.add(self.scope, "unc_m_wpq_inserts")
+            if self.recorder is not None:
+                self.recorder.hop(request, "IMC", "enq")
         return ok
 
     def _read_done(self, item) -> None:
         request, on_done = item
         self.pmu.add(self.scope, "unc_m_cas_count.rd")
         self.pmu.add(self.scope, "unc_m_cas_count.all")
+        if self.recorder is not None:
+            self.recorder.hop(request, "IMC", "deq")
         # Media latency beyond the bandwidth-limited channel occupancy.
         self.engine.after(self.timing.trailing_latency, lambda: on_done(request))
 
@@ -80,6 +88,8 @@ class _Channel:
         request, on_done = item
         self.pmu.add(self.scope, "unc_m_cas_count.wr")
         self.pmu.add(self.scope, "unc_m_cas_count.all")
+        if self.recorder is not None:
+            self.recorder.hop(request, "IMC", "deq")
         self.engine.after(self.timing.trailing_latency, lambda: on_done(request))
 
     def _sync(self, now: float) -> None:

@@ -125,6 +125,43 @@ class Machine:
         ]
         self._active = 0
 
+    # -- observability -------------------------------------------------------
+
+    def attach_recorder(self, recorder) -> None:
+        """Wire a :class:`repro.obs.FlightRecorder` into every stage.
+
+        Components get their ``recorder`` attribute (hop/sampling sites),
+        hardware FIFOs get the recorder as queue observer (fine-grained
+        queue events) and register their ``QueueStats`` for the
+        occupancy time series.  With no recorder attached (the default)
+        all of these stay ``None`` and the hot path is untouched.
+        """
+        for core in self.cores:
+            core.recorder = recorder
+            core.l1d.observer = recorder
+            core.l2.observer = recorder
+            recorder.watch_queue(f"core{core.core_id}.lfb", core.lfb.stats)
+            recorder.watch_queue(f"core{core.core_id}.sb", core.sb.stats)
+        self.cha.recorder = recorder
+        for cha_slice in self.cha.slices:
+            cha_slice.llc.observer = recorder
+        recorder.watch_queue("mesh", self.mesh._queue.stats)
+        for channel in self.imc.channels:
+            channel.recorder = recorder
+            for queue in (channel.rpq, channel.wpq):
+                queue.observer = recorder
+                recorder.watch_queue(queue.name, queue.stats)
+        for port in self.m2pcie.values():
+            port.recorder = recorder
+            for queue in (port.ingress, port.down_link.queue, port.up_link.queue):
+                queue.observer = recorder
+                recorder.watch_queue(queue.name, queue.stats)
+        for device in self.cxl_devices.values():
+            device.recorder = recorder
+            for queue in (device.rx_req, device.rx_data, device.mc_queue):
+                queue.observer = recorder
+                recorder.watch_queue(queue.name, queue.stats)
+
     # -- memory management helpers -------------------------------------------
 
     def _llc_writeback(self, address: int) -> None:

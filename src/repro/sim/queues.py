@@ -93,6 +93,9 @@ class MonitoredQueue:
         self.stats._capacity = capacity
         self._items: Deque[Any] = deque()
         self.space_waiter = Waiter(engine)
+        # Optional flight-recorder hook (``on_queue_push``/``on_queue_pop``);
+        # None unless a traced profiling session attached a recorder.
+        self.observer: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -110,6 +113,8 @@ class MonitoredQueue:
             return False
         self._items.append(item)
         self.stats.on_insert(self.engine.now)
+        if self.observer is not None:
+            self.observer.on_queue_push(self, item)
         return True
 
     def push(self, item: Any) -> None:
@@ -122,6 +127,8 @@ class MonitoredQueue:
             raise IndexError(f"{self.name} is empty")
         item = self._items.popleft()
         self.stats.on_remove(self.engine.now)
+        if self.observer is not None:
+            self.observer.on_queue_pop(self, item)
         self.space_waiter.wake_one()
         return item
 

@@ -113,6 +113,9 @@ class MemRequest:
     # Optional hook the issuing core installs; the CHA fires it the moment
     # the LLC lookup resolves as a miss (feeds the L3-miss-outstanding meter).
     on_llc_miss: Optional[Callable[[], None]] = None
+    # Flight-recorder slot: the FlightRecorder attaches a RequestTrace to
+    # sampled requests; every hop site checks it via the recorder.
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.address = line_address(self.address)

@@ -108,3 +108,37 @@ def test_flexbus_estimates_require_cxl_scope():
     flexbus = report.queue("FlexBus+MC", "DRd")
     # W = (3000+1500+600+900)/30 = 200; lambda = 30/10000.
     assert flexbus == pytest.approx(30.0 / 10_000.0 * 200.0, rel=1e-6)
+
+
+def test_idle_core_zero_arrivals_yields_no_estimates():
+    # An idle core can publish occupancy/latency-sum counters with zero
+    # matching inserts or completions; Little's law must not divide by the
+    # zero rate (NaN/ZeroDivisionError) and the snapshot has no culprit.
+    delta = {
+        ("core0", "lfb.occupancy"): 5_000.0,
+        ("core0", "lfb.inserts"): 0.0,
+        ("core0", "mem_load_retired.l1_hit"): 0.0,
+        ("core0", "mem_load_retired.l1_miss"): 0.0,
+        ("core0", "lat_sample.L2.sum"): 120.0,
+        ("core0", "lat_sample.L2.count"): 0.0,
+        ("cha0", "unc_cha_tor_occupancy.ia_drd.miss"): 900.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss"): 0.0,
+        ("m2pcie1", "unc_m2p_rxc_occupancy.all"): 700.0,
+        ("cxl1", "unc_cxlcm_mc_occupancy"): 400.0,
+        ("cha0", "unc_cha_tor_inserts.ia_drd.miss_cxl"): 0.0,
+    }
+    report = PFAnalyzer().analyze(snapshot(delta))
+    for est in report.estimates:
+        assert est.queue_length == est.queue_length  # not NaN
+        assert est.queue_length >= 0.0
+    assert report.culprit() is None
+
+
+def test_zero_count_latency_samples_do_not_nan():
+    delta = drd_delta()
+    # Latency sums present but counts zero: delay would be sum/0.
+    delta[("core0", "lat_sample.CXL_DRAM.count")] = 0.0
+    report = PFAnalyzer().analyze(snapshot(delta))
+    for est in report.estimates:
+        assert est.queue_length == est.queue_length
+        assert est.delay == est.delay

@@ -107,3 +107,44 @@ def test_campaign_no_cache(capsys, tmp_path):
     assert main(args) == 0
     out = capsys.readouterr().out
     assert "0 cache hits" in out
+
+
+def test_campaign_all_failed_exits_nonzero(capsys, monkeypatch):
+    from repro import api
+    from repro.exec.runner import CampaignResult, JobRecord
+
+    def fake_run_many(jobs, **kwargs):
+        records = [
+            JobRecord(index=i, tag=f"job{i}", key=str(i), status="failed",
+                      failure="error", error="boom", attempts=1)
+            for i in range(len(jobs))
+        ]
+        return CampaignResult(jobs=records, results=[None] * len(jobs))
+
+    monkeypatch.setattr(api, "run_many", fake_run_many)
+    rc = main([
+        "campaign", "--app", "541.leela_r", "--node", "local",
+        "--ops", "100", "--serial", "--no-cache",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "campaign FAILED" in out
+
+
+def test_trace_verb_prints_stage_table(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    rc = main([
+        "trace", "--app", "fft", "--ops", "1500", "--node", "cxl",
+        "--sample-every", "4", "--out", str(out_path), "--validate",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Flight recorder: 1-in-4 sampling" in out
+    assert "stage" in out
+    assert out_path.exists()
+    assert "Ground-truth validation" in out
+
+
+def test_trace_unknown_app(capsys):
+    rc = main(["trace", "--app", "nope"])
+    assert rc == 2

@@ -137,3 +137,34 @@ def test_wake_on_empty_waiter_is_noop():
     waiter.wake_one()
     waiter.wake_all()
     assert engine.pending_events == 0
+
+
+def test_sub_epsilon_past_drift_is_clamped():
+    # Chains of fractional after() delays accumulate float error; a target
+    # a few ULPs below now must be clamped to now, not rejected.
+    engine = Engine()
+    seen = []
+    engine.at(0.1 + 0.1 + 0.1, lambda: None)  # 0.30000000000000004
+    engine.run()
+    engine.at(0.3, lambda: seen.append(engine.now))  # a hair in the past
+    engine.run()
+    assert seen == [pytest.approx(0.3)]
+    assert engine.now >= 0.3
+
+
+def test_sub_epsilon_clamp_scales_with_magnitude():
+    engine = Engine()
+    engine.at(1e12, lambda: None)
+    engine.run()
+    # One ULP below now at 1e12 is ~1.2e-4 absolute: still drift, clamped.
+    import math
+    engine.at(math.nextafter(1e12, 0.0), lambda: None)
+    engine.run()
+
+
+def test_genuinely_past_times_still_raise():
+    engine = Engine()
+    engine.at(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.at(9.9, lambda: None)

@@ -72,3 +72,53 @@ def test_analyzer_zero_duration_snapshot():
     assert report.estimates == [] or all(
         e.queue_length >= 0 for e in report.estimates
     )
+
+
+def _job(index, tag, status="failed", failure="error", error=None):
+    from repro.exec.runner import JobRecord
+
+    return JobRecord(index=index, tag=tag, key=f"k{index}", status=status,
+                     failure=None if status in ("ok", "cache_hit") else failure,
+                     error=error, attempts=1, wall_time=0.5)
+
+
+def test_render_campaign_empty_says_so():
+    from repro.core.report import render_campaign
+    from repro.exec.runner import CampaignResult
+
+    campaign = CampaignResult(jobs=[], results=[])
+    assert render_campaign(campaign) == "campaign: no jobs to report"
+
+
+def test_render_campaign_all_failed_is_failure_summary():
+    from repro.core.report import render_campaign
+    from repro.exec.runner import CampaignResult
+
+    campaign = CampaignResult(
+        jobs=[
+            _job(0, "a@cxl", failure="timeout"),
+            _job(1, "b@cxl", failure="error",
+                 error="Traceback...\nValueError: boom"),
+        ],
+        results=[None, None],
+        wall_time=1.25,
+    )
+    text = render_campaign(campaign)
+    assert "campaign FAILED: 0/2 jobs succeeded" in text
+    assert "timeout" in text
+    assert "ValueError: boom" in text
+    assert "campaign: 0/2 ok" in text
+    # Must not render the success-style table header.
+    assert "status     attempts" not in text
+
+
+def test_render_campaign_mixed_keeps_table():
+    from repro.core.report import render_campaign
+    from repro.exec.runner import CampaignResult
+
+    campaign = CampaignResult(
+        jobs=[_job(0, "a@cxl", status="ok"), _job(1, "b@cxl")],
+        results=[None, None],
+    )
+    text = render_campaign(campaign)
+    assert "1/2 ok" in text
