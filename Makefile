@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures docs campaign-smoke trace-smoke sweeps clean
+.PHONY: install test bench figures docs campaign-smoke trace-smoke serve-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ campaign-smoke:
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
+
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 sweeps:
 	$(PYTHON) scripts/sweep_local_vs_cxl.py

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""CI smoke test for the repro.serve profiling daemon.
+
+Boots the real daemon as a subprocess (``pathfinder serve``), then over
+plain HTTP:
+
+* submits one ProfileSpec and streams its NDJSON events;
+* checks the served counters are identical to an in-process
+  ``repro.api.run`` of the same spec;
+* resubmits the spec and checks it resolves as a born-done cache hit,
+  and that ``/metricsz`` reports the hit;
+* submits one more job and immediately sends SIGTERM, checking the
+  daemon drains it (the cache entry appears) and exits cleanly.
+
+Exit code 0 on success.
+
+Usage:  python scripts/serve_smoke.py [--ops N] [--timeout S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.exec import CampaignJob, cxl_node_id  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+
+def make_spec(seed: int, num_ops: int) -> ProfileSpec:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+def reference_counters(spec: ProfileSpec, config) -> list:
+    result = api.run(spec, config=config)
+    return sorted(
+        ([scope, event, value]
+         for (scope, event), value in api.counters(result).items()),
+        key=lambda row: (row[0], row[1]),
+    )
+
+
+def boot_daemon(cache_dir: str, timeout: float) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.cli", "serve",
+         "--port", "0", "--workers", "1", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(ROOT),
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon exited before listening")
+        print(f"  [daemon] {line.rstrip()}")
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return proc, port
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon did not start in time")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=600)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+
+    spec = make_spec(seed=3, num_ops=args.ops)
+    config = api.config_for(spec)
+    print("computing in-process reference counters ...")
+    reference = reference_counters(make_spec(3, args.ops), config)
+
+    with tempfile.TemporaryDirectory(prefix="pf-serve-") as cache_dir:
+        print("booting daemon ...")
+        proc, port = boot_daemon(cache_dir, args.timeout)
+        try:
+            client = ServeClient(port=port, timeout=args.timeout)
+            if client.health()["status"] != "ok":
+                print("FAIL: /healthz not ok")
+                return 1
+
+            print("submitting run and streaming events ...")
+            job = client.submit_run(make_spec(3, args.ops), config,
+                                    tag="smoke")
+            events = list(client.events(job["job_id"],
+                                        timeout=args.timeout))
+            names = [event["event"] for event in events]
+            print(f"  events: {names}")
+            if [e["seq"] for e in events] != list(range(len(events))):
+                print("FAIL: NDJSON stream seq numbers not contiguous")
+                return 1
+            if not events or events[-1]["event"] != "done":
+                print(f"FAIL: job did not finish: {names}")
+                return 1
+            served = events[-1]["counters"]
+            if served != reference:
+                print("FAIL: served counters diverge from api.run")
+                return 1
+            print(f"  {len(served)} counters match api.run exactly")
+
+            print("resubmitting for the idempotent cache hit ...")
+            again = client.submit_run(make_spec(3, args.ops), config)
+            if not (again["state"] == "done" and again["cache_hit"]):
+                print(f"FAIL: expected born-done cache hit, got {again}")
+                return 1
+            if again["counters"] != reference:
+                print("FAIL: cache-hit counters diverge")
+                return 1
+            metrics = client.metrics()
+            if metrics["counters"].get("jobs_cache_hit", 0) < 1:
+                print("FAIL: /metricsz does not report the cache hit")
+                return 1
+            if metrics["cache"]["hits"] < 1:
+                print("FAIL: cache stats report no hits")
+                return 1
+            print(f"  metricsz: {metrics['counters']}")
+
+            print("submitting one more job, then SIGTERM mid-queue ...")
+            drain_spec = make_spec(seed=7, num_ops=args.ops)
+            drain_key = CampaignJob(spec=drain_spec, config=config).key()
+            client.submit_run(make_spec(seed=7, num_ops=args.ops), config)
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=args.timeout)
+            if returncode != 0:
+                print(f"FAIL: daemon exited {returncode}")
+                return 1
+            if not (Path(cache_dir) / f"{drain_key}.json").exists():
+                print("FAIL: SIGTERM did not drain the queued job")
+                return 1
+            print("  drained the in-flight job and exited 0")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            if proc.stdout:
+                proc.stdout.close()
+
+    print("\nOK: e2e counters match, cache hit served, drain on SIGTERM")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

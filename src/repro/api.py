@@ -42,8 +42,29 @@ __all__ = ["run", "run_many", "compare", "counters", "config_for"]
 
 
 def config_for(spec: ProfileSpec) -> MachineConfig:
-    """A default machine sized to fit the spec's pinned cores."""
-    return spr_config(num_cores=max(2, max(a.core for a in spec.apps) + 1))
+    """A default machine sized to fit the spec's pinned cores *and* nodes.
+
+    Node ids follow the machine layout (local DDR first, an optional
+    remote-socket DDR node, then one node per CXL device), so a spec
+    bound - via ``membind``, ``interleave`` or ``preinstalled`` - to CXL
+    node ``n`` gets a machine with enough CXL devices for node ``n`` to
+    exist.
+    """
+    overrides = {"num_cores": max(2, max(a.core for a in spec.apps) + 1)}
+    nodes = set()
+    for app in spec.apps:
+        if app.membind is not None:
+            nodes.add(app.membind)
+        if app.interleave is not None:
+            nodes.update(app.interleave[:2])
+        if app.preinstalled is not None:
+            nodes.update(app.preinstalled)
+    base = spr_config()
+    first_cxl = 1 + (1 if base.remote_mem_bytes else 0)
+    needed_devices = max(nodes, default=0) - first_cxl + 1
+    if needed_devices > base.num_cxl_devices:
+        overrides["num_cxl_devices"] = needed_devices
+    return spr_config(**overrides)
 
 
 def run(

@@ -15,7 +15,15 @@ from .diff import MetricDelta, SessionDiff, compare_sessions, render_diff
 from .estimator import PFEstimator, StallBreakdown
 from .materializer import LocalityReport, PFMaterializer
 from .mflow import MFlow, MFlowRegistry
-from .persistence import LoadedSession, load_session, save_session
+from .persistence import (
+    LoadedSession,
+    config_from_document,
+    config_to_document,
+    load_session,
+    save_session,
+    spec_from_document,
+    spec_to_document,
+)
 from .profiler import EpochResult, PathFinder, ProfileResult, profile
 from .report import render_epoch, render_path_map, render_queues, render_session, render_stall_breakdown, render_trace
 from .snapshot import Snapshot, SnapshotTaker
@@ -52,7 +60,11 @@ __all__ = [
     "SnapshotTaker",
     "StallBreakdown",
     "compare_sessions",
+    "config_from_document",
+    "config_to_document",
     "load_session",
+    "spec_from_document",
+    "spec_to_document",
     "render_diff",
     "save_session",
     "UNCORE_COMPONENTS",

@@ -124,6 +124,69 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--validate", action="store_true",
                        help="compare measured per-stage queueing against "
                             "PFAnalyzer's Little's-law estimates")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the profiling-as-a-service daemon (see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="listen port (0 = let the OS pick)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job worker processes")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before submissions get 429")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default results/cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without a result cache")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-job wall-clock limit in seconds")
+    serve.add_argument("--max-events", type=int, default=None,
+                       help="default per-job simulation event budget")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per failed job")
+
+    submit = sub.add_parser(
+        "submit", help="submit a profiling job to a running daemon"
+    )
+    submit.add_argument(
+        "--app", action="append", required=True,
+        help="application name from the catalog (repeatable)",
+    )
+    submit.add_argument(
+        "--node", choices=["local", "cxl"], default="cxl",
+        help="memory node to bind the working sets to",
+    )
+    submit.add_argument("--ops", type=int, default=10000, help="ops per app")
+    submit.add_argument("--epoch", type=float, default=50000.0,
+                        help="profiling epoch length in cycles")
+    submit.add_argument("--machine", choices=["spr", "emr"], default="spr")
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8023)
+    submit.add_argument("--tag", default="")
+    submit.add_argument("--priority", type=int, default=10,
+                        help="queue priority (lower runs first)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock limit in seconds")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream the job's NDJSON events while waiting")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the content-addressed result cache"
+    )
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default results/cache)")
+    cache.add_argument("--stats", action="store_true",
+                       help="print entry count, bytes and hit counters")
+    cache.add_argument("--prune", type=int, default=None, metavar="BYTES",
+                       help="evict least-recently-used entries down to "
+                            "BYTES total")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
     return parser
 
 
@@ -233,6 +296,116 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from ..serve import ServeDaemon
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    cache = False if args.no_cache else (args.cache_dir or True)
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache=cache,
+        retries=args.retries,
+        timeout=args.timeout,
+        max_events=args.max_events,
+    )
+
+    async def _main() -> None:
+        await daemon.start()
+        # Machine-readable (smoke scripts resolve --port 0 from this).
+        print(f"listening on http://{daemon.host}:{daemon.port}",
+              flush=True)
+        await daemon.serve_forever()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from ..serve import ServeClient, ServeError
+
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    config = config_fn(num_cores=max(2, len(args.app)))
+    machine = Machine(config)
+    node = (
+        machine.cxl_node.node_id if args.node == "cxl"
+        else machine.local_node.node_id
+    )
+    specs: List[AppSpec] = []
+    for i, name in enumerate(args.app):
+        workload = build_app(name, num_ops=args.ops, seed=args.seed + i)
+        specs.append(AppSpec(workload=workload, core=i, membind=node))
+    spec = ProfileSpec(apps=specs, epoch_cycles=args.epoch)
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        job = client.submit_run(
+            spec, config, tag=args.tag, priority=args.priority,
+            timeout=args.timeout, retry_on_busy=True,
+        )
+        print(f"job {job['job_id']} {job['state']}"
+              + (" (cache hit)" if job.get("cache_hit") else ""))
+        if args.no_wait:
+            return 0
+        if args.stream:
+            for event in client.events(job["job_id"]):
+                print(json.dumps(event))
+        final = client.wait(job["job_id"])
+    except ServeError as exc:
+        print(f"daemon refused: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"cannot reach daemon at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if final["state"] != "done":
+        print(f"job failed ({final['failure']}): {final['error']}",
+              file=sys.stderr)
+        return 1
+    print(f"done in {final['wall_time']:.2f}s"
+          f" ({final['events_executed']} events,"
+          f" {final['num_epochs']} epochs"
+          + (", cache hit)" if final["cache_hit"] else ")"))
+    for scope, event, value in final["counters"] or []:
+        print(f"{scope:<28} {event:<52} {value:14.0f}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from ..exec.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    store = ResultCache(args.dir or DEFAULT_CACHE_DIR)
+    did_anything = False
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} entries")
+        did_anything = True
+    if args.prune is not None:
+        report = store.prune(args.prune)
+        print(f"pruned {report['removed']} entries"
+              f" ({report['freed_bytes']} bytes freed,"
+              f" {report['remaining_bytes']} bytes remain)")
+        did_anything = True
+    if args.stats or not did_anything:
+        print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
 def _cmd_list_apps(args: argparse.Namespace) -> int:
     names = suite_names(args.suite)
     if not names:
@@ -264,6 +437,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "list-apps":
         return _cmd_list_apps(args)
     if args.command == "list-events":

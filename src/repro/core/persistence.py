@@ -10,15 +10,21 @@ PFEstimator, PFAnalyzer, PFMaterializer) can re-run on saved data.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from .mflow import MFlow
 from .profiler import ProfileResult
 from .snapshot import Snapshot
+from .spec import AppSpec, ProfileSpec, ProfilingMode, ReportSpec, TraceSpec
 
 FORMAT_VERSION = 1
+
+#: Version of the declarative ProfileSpec / MachineConfig wire format
+#: (what ``repro.serve`` accepts over HTTP).
+SPEC_FORMAT_VERSION = 1
 
 
 def _flow_to_dict(flow: MFlow) -> Dict:
@@ -176,6 +182,103 @@ def result_from_document(document: Dict) -> ProfileResult:
 
         result.trace = TraceReport.from_dict(document["trace"])
     return result
+
+
+# -- declarative specs (the repro.serve wire format) ------------------------
+
+
+def spec_to_document(spec: ProfileSpec) -> Dict:
+    """Digest a :class:`ProfileSpec` into a JSON-able document.
+
+    The inverse of :func:`spec_from_document`; workloads are captured
+    declaratively via :mod:`repro.workloads.serde`, so the round trip
+    preserves the content-addressed job key (only per-process identity -
+    pids, page bases, RNG state - differs).
+    """
+    from ..workloads.serde import workload_to_document
+
+    return {
+        "spec_format": SPEC_FORMAT_VERSION,
+        "apps": [
+            {
+                "workload": workload_to_document(app.workload),
+                "core": app.core,
+                "membind": app.membind,
+                "interleave": list(app.interleave) if app.interleave else None,
+                "preinstalled": (
+                    list(app.preinstalled)
+                    if app.preinstalled is not None else None
+                ),
+                "start_at": app.start_at,
+            }
+            for app in spec.apps
+        ],
+        "epoch_cycles": spec.epoch_cycles,
+        "mode": spec.mode.value,
+        "max_epochs": spec.max_epochs,
+        "report": dataclasses.asdict(spec.report),
+        "trace": dataclasses.asdict(spec.trace) if spec.trace else None,
+    }
+
+
+def spec_from_document(document: Dict) -> ProfileSpec:
+    """Rebuild a :class:`ProfileSpec` from its declarative document."""
+    from ..workloads.serde import workload_from_document
+
+    version = document.get("spec_format", SPEC_FORMAT_VERSION)
+    if version != SPEC_FORMAT_VERSION:
+        raise ValueError(f"unsupported spec format version: {version}")
+    apps = []
+    for app in document["apps"]:
+        interleave = app.get("interleave")
+        preinstalled = app.get("preinstalled")
+        apps.append(
+            AppSpec(
+                workload=workload_from_document(app["workload"]),
+                core=int(app["core"]),
+                membind=app.get("membind"),
+                interleave=tuple(interleave) if interleave else None,
+                preinstalled=(
+                    list(preinstalled) if preinstalled is not None else None
+                ),
+                start_at=float(app.get("start_at", 0.0)),
+            )
+        )
+    report = document.get("report")
+    trace = document.get("trace")
+    return ProfileSpec(
+        apps=apps,
+        epoch_cycles=float(document.get("epoch_cycles", 50_000.0)),
+        mode=ProfilingMode(document.get("mode", "continuous")),
+        max_epochs=int(document.get("max_epochs", 10_000)),
+        report=ReportSpec(**report) if report else ReportSpec(),
+        trace=TraceSpec(**trace) if trace else None,
+    )
+
+
+def config_to_document(config) -> Dict:
+    """JSON-able form of a :class:`~repro.sim.topology.MachineConfig`."""
+    return dataclasses.asdict(config)
+
+
+def config_from_document(document: Optional[Dict]):
+    """Rebuild a MachineConfig; ``None`` passes through (server default)."""
+    from ..sim.dram import DRAMTiming
+    from ..sim.topology import MachineConfig
+
+    if document is None:
+        return None
+    fields = {f.name for f in dataclasses.fields(MachineConfig)}
+    unknown = set(document) - fields
+    if unknown:
+        raise ValueError(
+            f"unknown machine config fields: {sorted(unknown)}"
+        )
+    data = dict(document)
+    for timing in ("local_dram", "cxl_dram"):
+        if isinstance(data.get(timing), dict):
+            data[timing] = DRAMTiming(**data[timing])
+    return MachineConfig(**data)
 
 
 class LoadedSession:

@@ -34,6 +34,7 @@ from .runner import (
     JobRecord,
     expand_duplicates,
     run_campaign,
+    run_single_job,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "job_key",
     "local_node_id",
     "run_campaign",
+    "run_single_job",
 ]

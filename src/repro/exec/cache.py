@@ -4,8 +4,15 @@ Entries are one JSON file per job key holding the session digest
 (:func:`repro.core.persistence.result_to_document`) plus job metadata.
 Reads verify the recorded key and fall back to recompute on any decode
 or reconstruction error, deleting the corrupt entry; writes go through a
-temp file + rename so a killed worker can never leave a torn entry
-behind.
+temp file + hard link so a killed worker can never leave a torn entry
+behind and concurrent writers racing on one key resolve deterministically
+(first writer wins; the losers' recomputed-but-identical entries are
+discarded, so a ``get`` after any ``put`` always reads one stable entry).
+
+Long-lived daemons (``repro.serve``) keep a cache open indefinitely:
+:meth:`ResultCache.stats` sizes it and :meth:`ResultCache.prune` evicts
+least-recently-used entries (reads touch the entry mtime) down to a byte
+budget.
 """
 
 from __future__ import annotations
@@ -58,6 +65,31 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[ProfileResult]:
         """Return the cached result, or None on miss/corruption."""
+        entry = self.get_entry(key)
+        if entry is None:
+            return None
+        try:
+            return result_from_document(entry["session"])
+        except Exception as exc:  # corrupt entry: recompute, don't crash
+            path = self._path(key)
+            logger.warning("dropping corrupt cache entry %s: %s", path, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The verified raw entry (``session`` digest + ``meta``) or None.
+
+        What a long-lived server wants on the idempotent-resubmission
+        path: hit detection and counter totals straight off the stored
+        document, without paying :func:`result_from_document`'s analysis
+        replay.  Counts a hit/miss and refreshes LRU recency exactly like
+        :meth:`get`.
+        """
         path = self._path(key)
         try:
             raw = path.read_text()
@@ -72,7 +104,6 @@ class ResultCache:
                 )
             if entry.get("key") != key:
                 raise ValueError("cache entry key mismatch")
-            result = result_from_document(entry["session"])
         except Exception as exc:  # corrupt entry: recompute, don't crash
             logger.warning("dropping corrupt cache entry %s: %s", path, exc)
             try:
@@ -82,7 +113,8 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        self._touch(path)
+        return entry
 
     def meta(self, key: str) -> Optional[Dict[str, Any]]:
         """The metadata stored next to an entry (tag, timings, ...)."""
@@ -92,6 +124,14 @@ class ResultCache:
         except Exception:
             return None
 
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime (LRU recency for :meth:`prune`)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     # -- write -----------------------------------------------------------
 
     def put(
@@ -100,14 +140,31 @@ class ResultCache:
         result: ProfileResult,
         meta: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically; first writer wins."""
+        return self.put_document(key, result_to_document(result), meta)
+
+    def put_document(
+        self,
+        key: str,
+        session_document: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Store an already-digested session (what workers ship back).
+
+        Writes go to a temp file that is hard-linked into place, which is
+        atomic *and* exclusive: when two writers race on one key, exactly
+        one entry survives and later ``get`` calls deterministically read
+        that entry (instead of whichever loser renamed last).  Entries
+        for one key are content-equal by construction - the key hashes
+        the whole job - so losing the race costs nothing.
+        """
         path = self._path(key)
         self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "entry_format": ENTRY_FORMAT,
             "key": key,
             "meta": meta or {},
-            "session": result_to_document(result),
+            "session": session_document,
         }
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
@@ -115,14 +172,89 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                pass  # a concurrent writer won; keep its entry
+            except OSError:
+                # Filesystem without hard links: fall back to the (last-
+                # writer-wins, still atomic) rename.
+                os.replace(tmp_name, path)
+                return path
+        finally:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
         return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Size and traffic counters for this store."""
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries += 1
+                total_bytes += stat.st_size
+                mtime = stat.st_mtime
+                oldest = mtime if oldest is None else min(oldest, mtime)
+                newest = mtime if newest is None else max(newest, mtime)
+        lookups = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hits / lookups if lookups else 0.0,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, max_bytes: int) -> Dict[str, Any]:
+        """Evict least-recently-used entries until <= ``max_bytes`` remain.
+
+        Recency is entry mtime, which :meth:`get` refreshes on every hit,
+        so a long-lived daemon keeps its warm entries and sheds the cold
+        tail.  Returns ``{"removed": n, "freed_bytes": b,
+        "remaining_bytes": r}``.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": total - freed,
+        }
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -236,6 +236,100 @@ def _worker_main(conn, spec, config, max_events, setup) -> None:
         conn.close()
 
 
+def run_single_job(
+    spec: ProfileSpec,
+    config: MachineConfig,
+    *,
+    max_events: Optional[int] = None,
+    setup: Optional[Callable[[Machine, ProfileSpec], None]] = None,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Execute one job in a dedicated worker process; returns its outcome.
+
+    The single-job building block ``repro.serve`` drains its queue with:
+    same worker entry point as the campaign pool, same transportable
+    outcome dicts (``{"ok": True, "document": ...}`` on success,
+    ``{"ok": False, "kind": "timeout" | "budget_exceeded" | "error" |
+    "crashed", ...}`` otherwise), with the wall-clock ``timeout``
+    enforced by terminating the worker.  Always adds ``wall_time``.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_worker_main,
+        args=(child_conn, spec, config, max_events, setup),
+        daemon=True,
+    )
+    began = time.monotonic()
+    try:
+        proc.start()
+    except OSError:
+        # Process limit or similar: degrade to in-process execution
+        # (no wall-clock enforcement, as in the campaign pool).
+        parent_conn.close()
+        child_conn.close()
+        try:
+            outcome = _execute_job(spec, config, max_events, setup)
+        except SimulationBudgetExceeded as exc:
+            outcome = {
+                "ok": False, "kind": "budget_exceeded", "error": str(exc),
+                "events_executed": exc.events_executed, "total_cycles": exc.now,
+            }
+        except Exception:
+            outcome = {
+                "ok": False, "kind": "error",
+                "error": traceback.format_exc(limit=20),
+            }
+        outcome["wall_time"] = time.monotonic() - began
+        return outcome
+    child_conn.close()
+    deadline = began + timeout if timeout is not None else None
+    outcome: Optional[Dict[str, Any]] = None
+    try:
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                proc.terminate()
+                outcome = {
+                    "ok": False,
+                    "kind": "timeout",
+                    "error": (
+                        f"job exceeded its {timeout:.1f}s wall-clock budget"
+                    ),
+                }
+                break
+            if parent_conn.poll(min(_POLL_S * 5, remaining)
+                                if remaining is not None else _POLL_S * 5):
+                try:
+                    outcome = parent_conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+                break
+            if not proc.is_alive():
+                # Drain a result that landed between poll() and exit.
+                if parent_conn.poll(0):
+                    try:
+                        outcome = parent_conn.recv()
+                    except (EOFError, OSError):
+                        outcome = None
+                break
+    finally:
+        parent_conn.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+    if outcome is None:
+        outcome = {
+            "ok": False,
+            "kind": "crashed",
+            "error": f"worker exited with code {proc.exitcode} before "
+                     "reporting a result",
+        }
+    outcome["wall_time"] = time.monotonic() - began
+    return outcome
+
+
 # -- the campaign scheduler -------------------------------------------------
 
 

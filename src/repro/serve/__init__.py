@@ -1,0 +1,36 @@
+"""repro.serve - profiling-as-a-service on top of :mod:`repro.api`.
+
+A single long-lived daemon owns the warm result cache and a bounded
+priority queue of profiling jobs; clients submit
+:class:`~repro.core.spec.ProfileSpec` documents over HTTP/JSON and
+stream progress back as NDJSON.  See ``docs/SERVING.md`` for the API
+reference and ops runbook.
+
+    from repro.serve import BackgroundServer, ServeClient
+
+    with BackgroundServer(workers=2, cache="results/cache") as server:
+        client = ServeClient(port=server.port)
+        job = client.submit_run(spec)
+        final = client.wait(job["job_id"])
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import BackgroundServer, ServeDaemon
+from .executor import JobExecutor
+from .jobs import DONE, FAILED, QUEUED, RUNNING, JobStore, ServeJob
+from .metrics import ServeMetrics
+
+__all__ = [
+    "BackgroundServer",
+    "DONE",
+    "FAILED",
+    "JobExecutor",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeJob",
+    "ServeMetrics",
+]

@@ -1,0 +1,222 @@
+"""Blocking HTTP client for the ``repro.serve`` daemon.
+
+Stdlib-only (``http.client``); covers the whole API surface::
+
+    client = ServeClient(port=8023)
+    job = client.submit_run(spec)                    # 202/200 -> job dict
+    job = client.wait(job["job_id"], timeout=120)    # poll to terminal
+    for event in client.events(job["job_id"]):       # or stream NDJSON
+        print(event["event"])
+
+Methods raise :class:`ServeError` on any non-2xx answer; a 429 carries
+``retry_after`` so callers can implement polite backoff
+(:meth:`ServeClient.submit_run` can do it for them via
+``retry_on_busy=True``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.persistence import config_to_document, spec_to_document
+from ..core.spec import ProfileSpec
+from ..sim.topology import MachineConfig
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[int] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One daemon endpoint; connections are per-request (server closes)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023, *,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
+        *, timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"}
+                         if payload else {})
+            response = conn.getresponse()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            raw = response.read()
+            document = json.loads(raw) if raw else None
+            return response.status, headers, document
+        finally:
+            conn.close()
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Any:
+        status, headers, document = self._request(method, path, body)
+        if status >= 400:
+            message = (document or {}).get("error", "") \
+                if isinstance(document, dict) else str(document)
+            retry_after = headers.get("retry-after")
+            raise ServeError(status, message,
+                             int(retry_after) if retry_after else None)
+        return document
+
+    @staticmethod
+    def _submission(
+        spec: ProfileSpec,
+        config: Optional[MachineConfig],
+        *,
+        tag: str = "",
+        priority: int = 10,
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = None,
+        cacheable: bool = True,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "spec": spec_to_document(spec),
+            "tag": tag,
+            "priority": priority,
+            "cacheable": cacheable,
+        }
+        if config is not None:
+            body["config"] = config_to_document(config)
+        if timeout is not None:
+            body["timeout"] = timeout
+        if max_events is not None:
+            body["max_events"] = max_events
+        return body
+
+    # -- submission ------------------------------------------------------
+
+    def submit_run(
+        self,
+        spec: ProfileSpec,
+        config: Optional[MachineConfig] = None,
+        *,
+        tag: str = "",
+        priority: int = 10,
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = None,
+        cacheable: bool = True,
+        retry_on_busy: bool = False,
+        max_wait: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns its status dict (may be born done)."""
+        body = self._submission(spec, config, tag=tag, priority=priority,
+                                timeout=timeout, max_events=max_events,
+                                cacheable=cacheable)
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self._call("POST", "/v1/run", body)["job"]
+            except ServeError as exc:
+                if not (retry_on_busy and exc.status == 429):
+                    raise
+                delay = exc.retry_after or 1
+                if time.monotonic() + delay > deadline:
+                    raise
+                time.sleep(delay)
+
+    def submit_campaign(
+        self, submissions: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Submit a batch; each item is a dict as built by ``submission``.
+
+        Admission is all-or-nothing: either every job is accepted or the
+        call raises a 429 :class:`ServeError`.
+        """
+        return self._call("POST", "/v1/campaign", {"jobs": submissions})
+
+    def submission(self, spec: ProfileSpec,
+                   config: Optional[MachineConfig] = None,
+                   **options: Any) -> Dict[str, Any]:
+        """Build one campaign item (see :meth:`submit_campaign`)."""
+        return self._submission(spec, config, **options)
+
+    # -- status ----------------------------------------------------------
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, *,
+               timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON events until it reaches a terminal state.
+
+        ``http.client`` undoes the chunked transfer encoding, so each
+        ``readline`` yields exactly one JSON event line.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                message = ""
+                try:
+                    message = json.loads(raw).get("error", "")
+                except Exception:  # noqa: BLE001
+                    message = raw.decode(errors="replace")
+                raise ServeError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # -- ops -------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metricsz")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self._call("POST", "/v1/shutdown")

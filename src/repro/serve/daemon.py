@@ -1,0 +1,618 @@
+"""The profiling-as-a-service daemon: asyncio HTTP front, process workers.
+
+One long-lived process owns the warm :class:`~repro.exec.cache.ResultCache`
+and a bounded priority queue; any number of clients submit
+:class:`~repro.core.spec.ProfileSpec` documents over HTTP/JSON and stream
+progress back as NDJSON.  The HTTP layer is a deliberately small
+hand-rolled HTTP/1.1 server on ``asyncio`` streams (stdlib only, one
+request per connection) - the API surface is five JSON routes and one
+chunked stream, not a web framework's worth of ambiguity.
+
+Endpoints::
+
+    POST /v1/run             submit one job        -> 202 {job}, 200 on
+                                                      cache hit / dedupe
+    POST /v1/campaign        submit a batch        -> 202 {jobs: [...]}
+    GET  /v1/jobs            list jobs             -> 200 {jobs: [...]}
+    GET  /v1/jobs/<id>       job status            -> 200 {job}
+    GET  /v1/jobs/<id>/events  NDJSON event stream (chunked; ends when
+                               the job reaches a terminal state)
+    POST /v1/shutdown        begin drain-then-exit -> 202
+    GET  /healthz | /readyz | /metricsz
+
+Operational behaviour:
+
+* **admission control** - a full queue rejects submissions with ``429``
+  and a ``Retry-After`` estimated from recent job durations;
+* **idempotency** - the exec-layer cache key is the job identity: a spec
+  already in the cache resolves instantly (born-done job), a spec
+  already queued/running dedupes onto the existing job;
+* **budgets** - per-job wall-clock timeouts terminate the worker
+  process; event budgets ride the existing
+  :class:`~repro.sim.engine.SimulationBudgetExceeded` machinery;
+* **graceful shutdown** - SIGTERM/SIGINT (or ``POST /v1/shutdown``)
+  stops admission, drains queued and in-flight jobs, then exits; status
+  and metrics endpoints keep answering while the drain runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+import math
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.persistence import config_from_document, spec_from_document
+from ..exec.cache import ResultCache, coerce_cache
+from ..exec.runner import CampaignJob
+from .executor import JobExecutor
+from .jobs import DONE, JobStore, ServeJob, counters_from_session
+from .metrics import ServeMetrics
+
+logger = logging.getLogger(__name__)
+
+#: Streamers poll the job event log at this cadence (seconds).
+STREAM_POLL_S = 0.05
+#: Reading a request (line, headers, body) must finish within this.
+REQUEST_READ_TIMEOUT_S = 30.0
+_MAX_BODY_BYTES = 64 * (1 << 20)
+
+
+class BadRequest(Exception):
+    """Client error carrying the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeDaemon:
+    """The daemon: queue, workers, metrics and the HTTP front-end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8023,
+        *,
+        workers: int = 2,
+        queue_depth: int = 64,
+        cache: Union[None, bool, str, ResultCache] = True,
+        retries: int = 0,
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.default_timeout = timeout
+        self.default_max_events = max_events
+        self.cache = coerce_cache(cache)
+        self.store = JobStore()
+        self.metrics = ServeMetrics()
+        self.executor = JobExecutor(self.cache, self.metrics, retries=retries)
+        self._seq = itertools.count()
+        self._campaigns = itertools.count(1)
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._in_flight = 0
+        self._draining = False
+        self._shutdown_requested = False
+        self._finished = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the worker tasks."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.workers),
+            thread_name_prefix="serve-worker",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            family=socket.AF_INET,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.workers)
+        ]
+        logger.info("pathfinder-serve listening on http://%s:%d",
+                    self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Run until a shutdown request has fully drained; returns then."""
+        if self._server is None:
+            await self.start()
+        try:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(sig, self.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+        await self._finished.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin drain-then-exit; callable from signal handlers."""
+        if self._shutdown_requested:
+            return
+        self._shutdown_requested = True
+        self._draining = True
+        logger.info("shutdown requested: draining %d queued, %d in flight",
+                    self._queue.qsize() if self._queue else 0,
+                    self._in_flight)
+        asyncio.ensure_future(self._drain_and_exit())
+
+    async def _drain_and_exit(self) -> None:
+        # Sentinels sort after every real priority, so workers finish the
+        # whole backlog before exiting.
+        for _ in range(max(1, self.workers)):
+            await self._queue.put((math.inf, next(self._seq), None))
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks)
+        else:
+            # No workers (admission-test configs): nothing can drain.
+            while not self._queue.empty():
+                self._queue.get_nowait()
+        self._server.close()
+        await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+        logger.info("drained; exiting")
+        self._finished.set()
+
+    async def _worker(self) -> None:
+        while True:
+            _, _, record = await self._queue.get()
+            if record is None:
+                break
+            self._in_flight += 1
+            try:
+                await self._loop.run_in_executor(
+                    self._pool, self.executor.execute, record
+                )
+            finally:
+                self._in_flight -= 1
+
+    # -- submission ------------------------------------------------------
+
+    def _parse_submission(self, body: Dict[str, Any]) -> Tuple[CampaignJob, int, str]:
+        if not isinstance(body, dict) or "spec" not in body:
+            raise BadRequest('body must be a JSON object with a "spec"')
+        try:
+            spec = spec_from_document(body["spec"])
+            config = config_from_document(body.get("config"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadRequest(f"malformed spec/config: {exc}") from exc
+        if config is None:
+            from .. import api
+
+            config = api.config_for(spec)
+        timeout = body.get("timeout", self.default_timeout)
+        max_events = body.get("max_events", self.default_max_events)
+        priority = int(body.get("priority", 10))
+        tag = str(body.get("tag", ""))
+        job = CampaignJob(
+            spec=spec,
+            config=config,
+            tag=tag,
+            timeout=float(timeout) if timeout is not None else None,
+            max_events=int(max_events) if max_events is not None else None,
+            cacheable=bool(body.get("cacheable", True)),
+        )
+        return job, priority, tag
+
+    def _retry_after(self) -> int:
+        """Seconds a 429'd client should back off: one queue turn."""
+        mean = self.metrics.mean_job_seconds() or 1.0
+        turns = (self._queue.qsize() + self._in_flight) / max(1, self.workers)
+        return max(1, min(60, int(math.ceil(mean * max(1.0, turns)))))
+
+    def _admit(self, job: CampaignJob, priority: int, tag: str) -> Tuple[int, ServeJob, bool]:
+        """Admission pipeline for one parsed job.
+
+        Returns ``(http_status, record, admitted_to_queue)``; raises
+        :class:`BadRequest` with 429/503 when the job cannot be taken.
+        """
+        if self._draining:
+            raise BadRequest("daemon is draining; not accepting work",
+                             status=503)
+        key = job.key()
+        existing = self.store.active_for_key(key)
+        if existing is not None:
+            return 200, existing, False
+        if self.cache is not None and job.cacheable:
+            entry = self.cache.get_entry(key)
+            if entry is not None:
+                record = self.store.new_job(key, job, priority=priority,
+                                            tag=tag)
+                meta = entry.get("meta", {})
+                record.events_executed = int(meta.get("events_executed", 0))
+                record.total_cycles = float(meta.get("total_cycles", 0.0))
+                record.num_epochs = len(entry["session"].get("epochs", []))
+                record.counters = counters_from_session(entry["session"])
+                record.cache_hit = True
+                record.state = DONE
+                record.finished_at = time.time()
+                record.publish("done", cache_hit=True,
+                               counters=record.counters)
+                self.metrics.inc("jobs_submitted")
+                self.metrics.inc("jobs_cache_hit")
+                self.metrics.inc("jobs_completed")
+                return 200, record, False
+        if self._queue.qsize() >= self.queue_depth:
+            self.metrics.inc("jobs_rejected")
+            raise BadRequest(
+                f"queue full ({self.queue_depth} jobs deep)", status=429
+            )
+        record = self.store.new_job(key, job, priority=priority, tag=tag)
+        record.publish("queued", priority=priority, tag=tag)
+        self.metrics.inc("jobs_submitted")
+        self._queue.put_nowait((priority, next(self._seq), record))
+        return 202, record, True
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        endpoint = "?"
+        began = time.perf_counter()
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), REQUEST_READ_TIMEOUT_S
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return
+            except BadRequest as exc:
+                await self._respond_json(
+                    writer, exc.status, {"error": str(exc)}
+                )
+                return
+            endpoint, handled = await self._route(
+                writer, method, path, body
+            )
+            if not handled:
+                await self._respond_json(
+                    writer, 404, {"error": f"no route for {method} {path}"}
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # noqa: BLE001 - a request must not kill the loop
+            logger.exception("error handling request")
+            try:
+                await self._respond_json(
+                    writer, 500, {"error": "internal server error"}
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            self.metrics.observe_request(endpoint,
+                                         time.perf_counter() - began)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise BadRequest(f"malformed request line: {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise BadRequest("request body too large", status=413)
+        body: Optional[Dict[str, Any]] = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise BadRequest(f"request body is not JSON: {exc}") from exc
+        return method, target.split("?", 1)[0], body
+
+    async def _respond_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        obj: Any,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        payload = (json.dumps(obj) + "\n").encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 413: "Payload Too Large",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+    ) -> Tuple[str, bool]:
+        """Dispatch one request; returns (endpoint template, handled)."""
+        if method == "GET" and path == "/healthz":
+            await self._respond_json(writer, 200, {
+                "status": "ok",
+                "uptime_s": self.metrics.snapshot()["uptime_s"],
+            })
+            return "GET /healthz", True
+        if method == "GET" and path == "/readyz":
+            queue_full = self._queue.qsize() >= self.queue_depth
+            if self._draining or queue_full:
+                reason = "draining" if self._draining else "queue full"
+                await self._respond_json(writer, 503, {
+                    "ready": False, "reason": reason,
+                })
+            else:
+                await self._respond_json(writer, 200, {"ready": True})
+            return "GET /readyz", True
+        if method == "GET" and path == "/metricsz":
+            await self._respond_json(writer, 200, self._metrics_document())
+            return "GET /metricsz", True
+        if method == "POST" and path == "/v1/run":
+            await self._handle_run(writer, body)
+            return "POST /v1/run", True
+        if method == "POST" and path == "/v1/campaign":
+            await self._handle_campaign(writer, body)
+            return "POST /v1/campaign", True
+        if method == "GET" and path == "/v1/jobs":
+            jobs = [j.as_dict(include_counters=False)
+                    for j in self.store.jobs()]
+            await self._respond_json(writer, 200, {"jobs": jobs})
+            return "GET /v1/jobs", True
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if method == "GET" and rest.endswith("/events"):
+                await self._handle_events(writer, rest[:-len("/events")])
+                return "GET /v1/jobs/<id>/events", True
+            if method == "GET" and "/" not in rest:
+                record = self.store.get(rest)
+                if record is None:
+                    await self._respond_json(
+                        writer, 404, {"error": f"no such job: {rest}"}
+                    )
+                else:
+                    await self._respond_json(writer, 200,
+                                             {"job": record.as_dict()})
+                return "GET /v1/jobs/<id>", True
+        if method == "POST" and path == "/v1/shutdown":
+            self.request_shutdown()
+            await self._respond_json(writer, 202, {"draining": True})
+            return "POST /v1/shutdown", True
+        return f"{method} {path}", False
+
+    async def _handle_run(
+        self, writer: asyncio.StreamWriter, body: Optional[Dict[str, Any]]
+    ) -> None:
+        try:
+            job, priority, tag = self._parse_submission(body or {})
+            status, record, _ = self._admit(job, priority, tag)
+        except BadRequest as exc:
+            extra = ()
+            if exc.status == 429:
+                extra = (("Retry-After", str(self._retry_after())),)
+            await self._respond_json(
+                writer, exc.status, {"error": str(exc)}, extra
+            )
+            return
+        await self._respond_json(writer, status, {"job": record.as_dict()})
+
+    async def _handle_campaign(
+        self, writer: asyncio.StreamWriter, body: Optional[Dict[str, Any]]
+    ) -> None:
+        items = (body or {}).get("jobs")
+        if not isinstance(items, list) or not items:
+            await self._respond_json(
+                writer, 400,
+                {"error": 'body must carry a non-empty "jobs" array'},
+            )
+            return
+        try:
+            parsed = [self._parse_submission(item) for item in items]
+        except BadRequest as exc:
+            await self._respond_json(writer, exc.status,
+                                     {"error": str(exc)})
+            return
+        # All-or-nothing admission: the batch either fits or 429s whole,
+        # so a half-admitted sweep never needs client-side repair.
+        free = self.queue_depth - self._queue.qsize()
+        if not self._draining and len(parsed) > free:
+            self.metrics.inc("jobs_rejected", by=len(parsed))
+            await self._respond_json(
+                writer, 429,
+                {"error": f"campaign of {len(parsed)} jobs exceeds free "
+                          f"queue capacity {free}"},
+                (("Retry-After", str(self._retry_after())),),
+            )
+            return
+        records = []
+        try:
+            for job, priority, tag in parsed:
+                _, record, _ = self._admit(job, priority, tag)
+                records.append(record)
+        except BadRequest as exc:
+            extra = (("Retry-After", str(self._retry_after())),) \
+                if exc.status == 429 else ()
+            await self._respond_json(
+                writer, exc.status,
+                {"error": str(exc),
+                 "jobs": [r.as_dict(include_counters=False)
+                          for r in records]},
+                extra,
+            )
+            return
+        await self._respond_json(writer, 202, {
+            "campaign_id": f"c{next(self._campaigns):05d}",
+            "jobs": [r.as_dict(include_counters=False) for r in records],
+        })
+
+    async def _handle_events(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        record = self.store.get(job_id)
+        if record is None:
+            await self._respond_json(
+                writer, 404, {"error": f"no such job: {job_id}"}
+            )
+            return
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode())
+        cursor = 0
+        while True:
+            pending = record.events[cursor:]
+            for event in pending:
+                line = (json.dumps(event) + "\n").encode()
+                writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+            cursor += len(pending)
+            await writer.drain()
+            if record.terminal and cursor >= len(record.events):
+                break
+            await asyncio.sleep(STREAM_POLL_S)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- metrics ---------------------------------------------------------
+
+    def _metrics_document(self) -> Dict[str, Any]:
+        document = self.metrics.snapshot()
+        document["queue"] = {
+            "depth": self._queue.qsize() if self._queue else 0,
+            "capacity": self.queue_depth,
+            "in_flight": self._in_flight,
+            "workers": self.workers,
+            "draining": self._draining,
+        }
+        document["jobs_by_state"] = self.store.by_state()
+        if self.cache is not None:
+            document["cache"] = self.cache.stats()
+        else:
+            document["cache"] = None
+        return document
+
+
+class BackgroundServer:
+    """Run a :class:`ServeDaemon` on a dedicated thread (tests, scripts).
+
+    ::
+
+        with BackgroundServer(workers=1, cache=tmp) as server:
+            client = ServeClient(port=server.port)
+            ...
+
+    Exiting the context performs the same drain-then-exit path as
+    SIGTERM; :meth:`stop` with ``force=True`` tears the loop down without
+    draining (for admission tests that intentionally wedge the queue).
+    """
+
+    def __init__(self, **daemon_kwargs: Any) -> None:
+        daemon_kwargs.setdefault("port", 0)
+        self.daemon = ServeDaemon(**daemon_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="pathfinder-serve")
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("serve daemon failed to start")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.daemon.start())
+            self._started.set()
+            try:
+                loop.run_until_complete(self.daemon.serve_forever())
+            except asyncio.CancelledError:
+                pass  # force stop cancels serve_forever itself
+        finally:
+            try:
+                pending = [t for t in asyncio.all_tasks(loop)
+                           if not t.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+                self._stopped.set()
+
+    def stop(self, force: bool = False, timeout: float = 60.0) -> None:
+        if self._loop is None or self._loop.is_closed() \
+                or self._stopped.is_set():
+            return
+        if force:
+            def _cancel() -> None:
+                self.daemon._draining = True
+                if self.daemon._server is not None:
+                    self.daemon._server.close()
+                for task in asyncio.all_tasks(self._loop):
+                    task.cancel()
+            self._loop.call_soon_threadsafe(_cancel)
+        else:
+            self._loop.call_soon_threadsafe(self.daemon.request_shutdown)
+        self._stopped.wait(timeout=timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop(force=exc_info[0] is not None)

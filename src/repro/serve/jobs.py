@@ -1,0 +1,159 @@
+"""Job model and registry for the profiling daemon.
+
+A :class:`ServeJob` is one accepted submission: the declarative
+:class:`~repro.exec.runner.CampaignJob` it wraps, its lifecycle state,
+and an append-only event log that the NDJSON streaming endpoint replays
+to any number of subscribers.  Jobs are mutated from worker threads and
+read from the asyncio loop, so every state transition goes through
+:meth:`ServeJob.publish` / plain attribute writes that are safe under
+the GIL (single writer per job; readers tolerate slightly stale views).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..exec.runner import CampaignJob
+
+# Lifecycle states.  queued -> running -> done | failed; jobs resolved
+# from the cache at submission time are born done.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+TERMINAL_STATES = (DONE, FAILED)
+
+
+def counters_from_session(document: Dict[str, Any]) -> List[List[Any]]:
+    """Total ``[scope, event, value]`` rows from a session digest.
+
+    Mirrors :func:`repro.api.counters`: continuous-mode sessions sum
+    their epoch deltas; aggregated-mode digests store the final
+    cumulative epoch, so the sum is that epoch.
+    """
+    totals: Dict[tuple, float] = {}
+    for epoch in document.get("epochs", []):
+        for scope, event, value in epoch.get("delta", []):
+            totals[(scope, event)] = totals.get((scope, event), 0.0) + value
+    return [[scope, event, value] for (scope, event), value in
+            sorted(totals.items())]
+
+
+@dataclass
+class ServeJob:
+    """One submission and everything the API reports about it."""
+
+    job_id: str
+    key: str
+    job: CampaignJob
+    priority: int = 10
+    tag: str = ""
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cache_hit: bool = False
+    failure: Optional[str] = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    events_executed: int = 0
+    total_cycles: float = 0.0
+    num_epochs: int = 0
+    #: Total (scope, event) deltas as ``[scope, event, value]`` rows;
+    #: populated when the job completes.
+    counters: Optional[List[List[Any]]] = None
+    #: Append-only NDJSON event log (each entry is one streamed line).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def publish(self, event: str, **data: Any) -> None:
+        """Append one event; streamers pick it up by list position."""
+        record = {
+            "seq": len(self.events),
+            "ts": time.time(),
+            "job_id": self.job_id,
+            "event": event,
+        }
+        record.update(data)
+        self.events.append(record)
+
+    def as_dict(self, include_counters: bool = True) -> Dict[str, Any]:
+        status = {
+            "job_id": self.job_id,
+            "key": self.key,
+            "tag": self.tag,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "failure": self.failure,
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "events_executed": self.events_executed,
+            "total_cycles": self.total_cycles,
+            "num_epochs": self.num_epochs,
+            "num_events": len(self.events),
+        }
+        if include_counters:
+            status["counters"] = self.counters
+        return status
+
+
+class JobStore:
+    """Thread-safe registry of every job the daemon has accepted."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, ServeJob] = {}
+        self._by_key: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+
+    def new_job(self, key: str, job: CampaignJob, *, priority: int = 10,
+                tag: str = "") -> ServeJob:
+        job_id = f"j{next(self._ids):05d}-{uuid.uuid4().hex[:8]}"
+        record = ServeJob(job_id=job_id, key=key, job=job,
+                          priority=priority, tag=tag)
+        with self._lock:
+            self._jobs[job_id] = record
+            self._by_key[key] = job_id
+        return record
+
+    def get(self, job_id: str) -> Optional[ServeJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def active_for_key(self, key: str) -> Optional[ServeJob]:
+        """A queued/running job for this key, if any (dedupe target)."""
+        with self._lock:
+            job_id = self._by_key.get(key)
+            job = self._jobs.get(job_id) if job_id else None
+        if job is not None and not job.terminal:
+            return job
+        return None
+
+    def jobs(self) -> List[ServeJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def by_state(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

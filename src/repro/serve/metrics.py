@@ -1,0 +1,79 @@
+"""Daemon metrics: counters, gauges and per-endpoint latency histograms.
+
+The ``/metricsz`` endpoint snapshots this registry.  Endpoint latencies
+reuse the log2-bucketed :class:`~repro.obs.histogram.LogHistogram` the
+flight recorder introduced - the same constant-relative-resolution trick
+works for request latencies spanning a sub-millisecond ``/healthz`` and
+a multi-second synchronous cache probe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+from ..obs.histogram import LogHistogram
+
+
+class ServeMetrics:
+    """Thread-safe metrics registry for one daemon process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self._counters: Dict[str, int] = {}
+        self._endpoint_latency: Dict[str, LogHistogram] = {}
+        self._job_seconds = LogHistogram()
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe_request(self, endpoint: str, seconds: float) -> None:
+        """Record one served request's latency (keyed by route template)."""
+        with self._lock:
+            hist = self._endpoint_latency.get(endpoint)
+            if hist is None:
+                hist = self._endpoint_latency[endpoint] = LogHistogram()
+            hist.add(max(0.0, seconds * 1e3))  # milliseconds
+
+    def observe_job(self, seconds: float) -> None:
+        with self._lock:
+            self._job_seconds.add(max(0.0, seconds))
+
+    def mean_job_seconds(self) -> float:
+        with self._lock:
+            return self._job_seconds.mean
+
+    # -- export ----------------------------------------------------------
+
+    @staticmethod
+    def _hist_summary(hist: LogHistogram) -> Dict[str, float]:
+        return {
+            "count": hist.count,
+            "mean": hist.mean,
+            "p50": hist.percentile(50.0),
+            "p95": hist.percentile(95.0),
+            "p99": hist.percentile(99.0),
+            "max": hist.max,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            endpoints = {
+                endpoint: self._hist_summary(hist)
+                for endpoint, hist in sorted(self._endpoint_latency.items())
+            }
+            job_seconds = self._hist_summary(self._job_seconds)
+        return {
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "started_at": self.started_at,
+            "counters": counters,
+            "endpoint_latency_ms": endpoints,
+            "job_seconds": job_seconds,
+        }

@@ -12,6 +12,7 @@ from .graph import BFSWorkload, CSRGraph, GraphWorkload, PageRankWorkload
 from .kv import KVClient, KVConfig, KVStore, KVWorkload
 from .parallel import ThreadShard, split_workload
 from .trace import TraceWorkload, record_trace, record_workload
+from .serde import workload_from_document, workload_to_document
 from .suites import APPLICATIONS, AppSpec, SCALE, build_app, suite_names
 from .synthetic import (
     GUPS,
@@ -60,4 +61,6 @@ __all__ = [
     "record_workload",
     "suite_names",
     "throttled",
+    "workload_from_document",
+    "workload_to_document",
 ]

@@ -1,0 +1,155 @@
+"""Workload (de)serialization for over-the-wire profiling specs.
+
+``repro.serve`` accepts :class:`~repro.core.spec.ProfileSpec` submissions
+as JSON, which needs the one piece of a spec that is a live Python
+object - the workload - to have a declarative form.  Two forms are
+accepted:
+
+* ``{"kind": "catalog", "app": "519.lbm_r", ...}`` - an application from
+  the Table 6 catalog, rebuilt through
+  :func:`repro.workloads.suites.build_app`.  This is what remote clients
+  that do not construct workloads locally (the ``pathfinder submit``
+  CLI) send.
+* ``{"kind": "synthetic", "type": "RandomAccess", "params": {...}}`` - a
+  synthetic generator, captured parameter-by-parameter from a registry
+  of known classes.  :func:`workload_to_document` always emits this
+  form.
+
+Reconstruction is exact with respect to the content-addressed job key:
+``job_key(spec) == job_key(spec_from_document(spec_to_document(spec)))``
+because every attribute the key canonicalization sees (everything except
+the per-process ``rng`` / ``vpn_base`` identity) round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Type
+
+from .base import Workload
+from .suites import SCALE, build_app
+from .synthetic import (
+    GUPS,
+    MBW,
+    HotColdAccess,
+    InterleavedFlows,
+    PhasedWorkload,
+    PointerChase,
+    RandomAccess,
+    SequentialStream,
+    SoftwarePrefetchStream,
+    StridedStream,
+    ZipfAccess,
+)
+
+WORKLOAD_FORMAT = 1
+
+#: Attributes every workload carries (positional on ``Workload``).
+_COMMON_PARAMS: Tuple[str, ...] = ("name", "working_set_bytes", "num_ops",
+                                   "seed")
+
+#: class -> extra constructor parameters, each also an instance attribute.
+#: Classes that hardcode a parameter (PointerChase pins ``dependent``)
+#: list only the ones their constructor still accepts.
+_REGISTRY: Dict[str, Tuple[Type[Workload], Tuple[str, ...]]] = {
+    "SequentialStream": (
+        SequentialStream, ("read_ratio", "gap", "stride", "accesses_per_line")
+    ),
+    "StridedStream": (
+        StridedStream, ("read_ratio", "gap", "stride", "accesses_per_line")
+    ),
+    "MBW": (MBW, ("read_ratio", "gap", "stride", "accesses_per_line")),
+    "RandomAccess": (RandomAccess, ("read_ratio", "gap", "dependent")),
+    "GUPS": (GUPS, ("read_ratio", "gap", "dependent")),
+    "PointerChase": (PointerChase, ("read_ratio", "gap")),
+    "ZipfAccess": (ZipfAccess, ("theta", "read_ratio", "gap")),
+    "HotColdAccess": (
+        HotColdAccess,
+        ("hot_fraction", "hot_probability", "read_ratio", "gap"),
+    ),
+    "SoftwarePrefetchStream": (
+        SoftwarePrefetchStream, ("prefetch_distance_ops", "gap")
+    ),
+}
+
+_BY_CLASS: Dict[Type[Workload], Tuple[str, Tuple[str, ...]]] = {
+    cls: (type_name, params) for type_name, (cls, params) in _REGISTRY.items()
+}
+
+
+def workload_to_document(workload: Workload) -> Dict[str, Any]:
+    """Declarative JSON-able form of a workload; inverse of
+    :func:`workload_from_document`."""
+    if type(workload) is PhasedWorkload:
+        return {
+            "kind": "synthetic",
+            "type": "PhasedWorkload",
+            "name": workload.name,
+            "seed": workload.seed,
+            "phases": [workload_to_document(p) for p in workload.phases],
+        }
+    if type(workload) is InterleavedFlows:
+        return {
+            "kind": "synthetic",
+            "type": "InterleavedFlows",
+            "name": workload.name,
+            "secondary_fraction": workload.secondary_fraction,
+            "primary": workload_to_document(workload.primary),
+            "secondary": workload_to_document(workload.secondary),
+        }
+    entry = _BY_CLASS.get(type(workload))
+    if entry is None:
+        raise ValueError(
+            f"workload type {type(workload).__qualname__} has no declarative "
+            f"form; supported: {sorted(_REGISTRY)} + PhasedWorkload, "
+            "InterleavedFlows, or a catalog document"
+        )
+    type_name, params = entry
+    return {
+        "kind": "synthetic",
+        "type": type_name,
+        "params": {
+            name: getattr(workload, name)
+            for name in _COMMON_PARAMS + params
+        },
+    }
+
+
+def workload_from_document(document: Dict[str, Any]) -> Workload:
+    """Rebuild a workload from its declarative document."""
+    kind = document.get("kind")
+    if kind == "catalog":
+        return build_app(
+            document["app"],
+            num_ops=int(document.get("num_ops", 20000)),
+            seed=int(document.get("seed", 1)),
+            scale=int(document.get("scale", SCALE)),
+        )
+    if kind != "synthetic":
+        raise ValueError(f"unknown workload document kind: {kind!r}")
+    type_name = document.get("type")
+    if type_name == "PhasedWorkload":
+        return PhasedWorkload(
+            document["name"],
+            [workload_from_document(p) for p in document["phases"]],
+            seed=int(document.get("seed", 1)),
+        )
+    if type_name == "InterleavedFlows":
+        return InterleavedFlows(
+            workload_from_document(document["primary"]),
+            workload_from_document(document["secondary"]),
+            float(document["secondary_fraction"]),
+            name=document.get("name", "mixed"),
+        )
+    entry = _REGISTRY.get(type_name or "")
+    if entry is None:
+        raise ValueError(f"unknown workload type: {type_name!r}")
+    cls, params = entry
+    known = set(_COMMON_PARAMS + params)
+    given = dict(document.get("params", {}))
+    unknown = set(given) - known
+    if unknown:
+        raise ValueError(
+            f"{type_name}: unknown parameters {sorted(unknown)}; "
+            f"accepted: {sorted(known)}"
+        )
+    return cls(**given)

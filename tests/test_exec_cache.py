@@ -204,3 +204,106 @@ def test_second_campaign_hits_cache_with_identical_counters(tmp_path):
 def test_non_cacheable_job_skips_the_cache(tmp_path):
     cache, _job, _campaign = _run_one(tmp_path, cacheable=False)
     assert len(cache) == 0
+
+
+# -- concurrent writers ---------------------------------------------------
+
+
+def test_concurrent_puts_on_one_key_leave_one_stable_entry(tmp_path):
+    # Two workers that both missed race their recomputed results onto the
+    # same key.  First writer must win and every later get must read that
+    # entry - not whichever loser renamed last.
+    import threading
+
+    cache = ResultCache(tmp_path / "cache")
+    key = "ab" * 20
+    session = {"epochs": [], "marker": None}
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def writer(i):
+        try:
+            barrier.wait()
+            cache.put_document(key, dict(session, marker=i),
+                              meta={"writer": i})
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) == 1
+    # No orphaned temp files left behind by the losers.
+    assert list(cache.root.glob("*.tmp")) == []
+    first = cache.get_entry(key)
+    assert first is not None
+    # get-after-put is deterministic: repeated reads see the same winner.
+    for _ in range(3):
+        again = cache.get_entry(key)
+        assert again["session"]["marker"] == first["session"]["marker"]
+        assert again["meta"]["writer"] == first["meta"]["writer"]
+
+
+def test_put_after_put_keeps_first_entry(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = "cd" * 20
+    cache.put_document(key, {"epochs": [], "marker": "first"})
+    cache.put_document(key, {"epochs": [], "marker": "second"})
+    assert cache.get_entry(key)["session"]["marker"] == "first"
+
+
+# -- stats and LRU pruning ------------------------------------------------
+
+
+def test_stats_counts_entries_bytes_and_traffic(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    empty = cache.stats()
+    assert empty["entries"] == 0 and empty["total_bytes"] == 0
+    assert empty["hit_ratio"] == 0.0
+
+    cache.put_document("11" * 20, {"epochs": []})
+    cache.put_document("22" * 20, {"epochs": []})
+    assert cache.get_entry("11" * 20) is not None
+    assert cache.get_entry("99" * 20) is None
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["total_bytes"] > 0
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_ratio"] == 0.5
+    assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+
+def test_prune_evicts_least_recently_used_first(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path / "cache")
+    keys = ["aa" * 20, "bb" * 20, "cc" * 20]
+    for i, key in enumerate(keys):
+        cache.put_document(key, {"epochs": [], "pad": "x" * 256})
+        # Spread mtimes so LRU order is unambiguous without sleeping.
+        os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+    # A hit refreshes recency: the oldest-by-write entry becomes warm.
+    assert cache.get_entry(keys[0]) is not None
+
+    size = cache._path(keys[0]).stat().st_size
+    report = cache.prune(max_bytes=size)
+    # keys[1] and keys[2] were the cold tail; the freshly-touched
+    # keys[0] survives.
+    assert report["removed"] == 2
+    assert report["remaining_bytes"] <= size
+    assert keys[0] in cache
+    assert keys[1] not in cache and keys[2] not in cache
+
+
+def test_prune_to_zero_clears_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put_document("ee" * 20, {"epochs": []})
+    report = cache.prune(max_bytes=0)
+    assert report["removed"] == 1
+    assert report["remaining_bytes"] == 0
+    assert len(cache) == 0
+    with pytest.raises(ValueError):
+        cache.prune(max_bytes=-1)

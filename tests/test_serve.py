@@ -1,0 +1,180 @@
+"""repro.serve: HTTP round trip, admission control, drain, streaming.
+
+These tests run a real daemon (own thread, OS-assigned port) and talk to
+it over real sockets, because the serving contract *is* the wire format:
+an in-process shortcut would not catch a broken chunked encoding or a
+missing Retry-After header.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.exec import cxl_node_id
+from repro.serve import BackgroundServer, ServeClient, ServeError
+from repro.sim import spr_config
+from repro.workloads import build_app
+
+
+def make_spec(seed: int = 3, num_ops: int = 600) -> ProfileSpec:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+def reference_counters(spec: ProfileSpec) -> list:
+    result = api.run(spec, config=api.config_for(spec))
+    return sorted(
+        ([scope, event, value]
+         for (scope, event), value in api.counters(result).items()),
+        key=lambda row: (row[0], row[1]),
+    )
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    with BackgroundServer(workers=1, queue_depth=8,
+                          cache=str(cache_dir)) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(port=server.port)
+
+
+# -- end-to-end equivalence ----------------------------------------------
+
+
+def test_run_over_http_matches_in_process_counters(client):
+    spec = make_spec()
+    job = client.submit_run(spec, tag="e2e")
+    final = client.wait(job["job_id"], timeout=300)
+    assert final["state"] == "done"
+    assert final["cache_hit"] is False
+    assert final["events_executed"] > 0
+    assert final["counters"] == reference_counters(make_spec())
+
+
+def test_resubmission_is_an_idempotent_cache_hit(client):
+    spec = make_spec()
+    first = client.wait(client.submit_run(spec)["job_id"], timeout=300)
+    again = client.submit_run(make_spec())
+    # Born done straight from the cache: no queue round trip.
+    assert again["state"] == "done"
+    assert again["cache_hit"] is True
+    assert again["counters"] == first["counters"]
+    metrics = client.metrics()
+    assert metrics["counters"]["jobs_cache_hit"] >= 1
+    assert metrics["cache"]["hits"] >= 1
+
+
+def test_events_stream_is_well_formed_ndjson(client):
+    spec = make_spec(seed=11)
+    job = client.submit_run(spec, tag="stream")
+    events = list(client.events(job["job_id"], timeout=300))
+    assert events, "stream ended with no events"
+    # Monotonic seq starting at 0, every line a self-identifying object.
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    assert all(event["job_id"] == job["job_id"] for event in events)
+    names = [event["event"] for event in events]
+    assert names[-1] in ("done", "failed")
+    assert "queued" in names or events[0]["event"] == "done"
+    done = events[-1]
+    assert done["event"] == "done"
+    assert done["counters"] == reference_counters(make_spec(seed=11))
+
+
+def test_unknown_job_is_404(client):
+    with pytest.raises(ServeError) as err:
+        client.job("j99999-deadbeef")
+    assert err.value.status == 404
+    with pytest.raises(ServeError) as err:
+        list(client.events("j99999-deadbeef"))
+    assert err.value.status == 404
+
+
+def test_malformed_spec_is_400(client):
+    status, _, body = client._request(
+        "POST", "/v1/run", {"spec": {"format": 1, "apps": []}}
+    )
+    assert status == 400
+    assert "error" in body
+    status, _, _ = client._request("POST", "/v1/run", {"nonsense": True})
+    assert status == 400
+
+
+def test_health_and_metrics_endpoints(client):
+    health = client.health()
+    assert health["status"] == "ok"
+    metrics = client.metrics()
+    assert metrics["queue"]["capacity"] == 8
+    assert "GET /healthz" in metrics["endpoint_latency_ms"]
+    assert metrics["endpoint_latency_ms"]["GET /healthz"]["count"] >= 1
+
+
+# -- admission control ----------------------------------------------------
+
+
+def test_queue_pressure_triggers_429_with_retry_after():
+    # workers=0 wedges the queue on purpose: nothing ever drains, so the
+    # depth-1 queue is full after one submission.
+    with BackgroundServer(workers=0, queue_depth=1, cache=None) as server:
+        client = ServeClient(port=server.port)
+        first = client.submit_run(make_spec(seed=21))
+        assert first["state"] == "queued"
+        assert not client.ready()  # full queue flips readiness
+        with pytest.raises(ServeError) as err:
+            client.submit_run(make_spec(seed=22))
+        assert err.value.status == 429
+        assert err.value.retry_after is not None
+        assert err.value.retry_after >= 1
+        assert client.metrics()["counters"]["jobs_rejected"] >= 1
+        server.stop(force=True)
+
+
+def test_duplicate_submission_dedupes_onto_queued_job():
+    with BackgroundServer(workers=0, queue_depth=4, cache=None) as server:
+        client = ServeClient(port=server.port)
+        first = client.submit_run(make_spec(seed=31))
+        second = client.submit_run(make_spec(seed=31))
+        assert second["job_id"] == first["job_id"]
+        assert len(client.jobs()) == 1
+        server.stop(force=True)
+
+
+def test_campaign_admission_is_all_or_nothing():
+    with BackgroundServer(workers=0, queue_depth=2, cache=None) as server:
+        client = ServeClient(port=server.port)
+        subs = [client.submission(make_spec(seed=s)) for s in (41, 42, 43)]
+        with pytest.raises(ServeError) as err:
+            client.submit_campaign(subs)
+        assert err.value.status == 429
+        assert client.jobs() == []  # nothing half-admitted
+        accepted = client.submit_campaign(subs[:2])
+        assert len(accepted["jobs"]) == 2
+        server.stop(force=True)
+
+
+# -- graceful shutdown ----------------------------------------------------
+
+
+def test_shutdown_drains_queued_and_in_flight_jobs(tmp_path):
+    server = BackgroundServer(workers=1, queue_depth=8,
+                              cache=str(tmp_path / "cache")).start()
+    client = ServeClient(port=server.port)
+    jobs = [client.submit_run(make_spec(seed=51 + i)) for i in range(2)]
+    assert all(job["state"] in ("queued", "running") for job in jobs)
+    client.shutdown()  # same path as SIGTERM
+    server.stop()  # joins the drain
+    store = server.daemon.store
+    for job in jobs:
+        record = store.get(job["job_id"])
+        assert record.state == "done", (record.state, record.error)
+    # Draining refused new work before exiting.
+    assert server.daemon._draining is True
