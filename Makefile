@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures docs campaign-smoke trace-smoke serve-smoke sweeps clean
+.PHONY: install test bench bench-snapshot figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ trace-smoke:
 
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+fleet-smoke:
+	$(PYTHON) scripts/fleet_smoke.py
+
+bench-snapshot:
+	$(PYTHON) scripts/bench_snapshot.py
 
 sweeps:
 	$(PYTHON) scripts/sweep_local_vs_cxl.py

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Record a performance snapshot for the perf trajectory.
+
+Runs a fixed spec matrix (apps x nodes, pinned ops/seed/epoch) through
+the single-run engine and the campaign runner and writes the numbers to
+``BENCH_fleet.json`` at the repo root:
+
+* per-spec engine throughput (simulation events per wall-second);
+* campaign wall-clock, cold (all computed, parallel workers) and warm
+  (all content-addressed cache hits);
+* the serve-daemon round-trip for one job (submit -> done over HTTP).
+
+Committed snapshots seed the trajectory: regressions show up as a diff
+against the checked-in baseline, not as a guess.  Machine-dependent
+absolute numbers are expected to move between hosts; the interesting
+signal is the ratio drift within one host's history.
+
+Usage:  python scripts/bench_snapshot.py [--ops N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.exec import CampaignJob, cxl_node_id, local_node_id  # noqa: E402
+from repro.exec.runner import run_campaign  # noqa: E402
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+#: The fixed matrix - do not change without resetting the trajectory.
+MATRIX_APPS = ["541.leela_r", "519.lbm_r", "bfs"]
+MATRIX_NODES = ["local", "cxl"]
+MATRIX_SEED = 7
+EPOCH_CYCLES = 20_000.0
+
+
+def make_job(app: str, node: str, ops: int) -> CampaignJob:
+    config = spr_config()
+    node_id = local_node_id(config) if node == "local" \
+        else cxl_node_id(config)
+    workload = build_app(app, num_ops=ops, seed=MATRIX_SEED)
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0, membind=node_id)],
+        epoch_cycles=EPOCH_CYCLES,
+    )
+    return CampaignJob(spec=spec, config=config, tag=f"{app}@{node}")
+
+
+def bench_engine(ops: int) -> dict:
+    """Per-spec single-run engine throughput."""
+    rows = {}
+    for app in MATRIX_APPS:
+        for node in MATRIX_NODES:
+            job = make_job(app, node, ops)
+            began = time.perf_counter()
+            result = api.run(job.spec, config=job.config, cache=False)
+            wall = time.perf_counter() - began
+            rows[job.tag] = {
+                "wall_s": round(wall, 4),
+                "num_epochs": result.num_epochs,
+                "sim_cycles": result.total_cycles,
+                "sim_cycles_per_s": round(result.total_cycles / wall, 1),
+            }
+    return rows
+
+
+def bench_campaign(ops: int) -> dict:
+    """Cold + warm campaign wall-clock over the full matrix."""
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        jobs = [make_job(app, node, ops)
+                for app in MATRIX_APPS for node in MATRIX_NODES]
+        cold = run_campaign(jobs, workers=4, cache=cache_dir, retries=0)
+        jobs = [make_job(app, node, ops)
+                for app in MATRIX_APPS for node in MATRIX_NODES]
+        warm = run_campaign(jobs, workers=4, cache=cache_dir, retries=0)
+    events = sum(j.events_executed for j in cold.jobs)
+    return {
+        "jobs": len(cold.jobs),
+        "cold_wall_s": round(cold.wall_time, 4),
+        "cold_failed": len(cold.failed),
+        "cold_events_total": events,
+        "cold_events_per_s": round(events / cold.wall_time, 1),
+        "warm_wall_s": round(warm.wall_time, 4),
+        "warm_hit_rate": warm.hit_rate,
+    }
+
+
+def bench_serve_roundtrip(ops: int) -> dict:
+    """One job's submit -> done round trip over real HTTP."""
+    from repro.serve import BackgroundServer, ServeClient
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        with BackgroundServer(workers=1, cache=cache_dir) as server:
+            client = ServeClient(port=server.port)
+            job = make_job(MATRIX_APPS[0], "cxl", ops)
+            began = time.perf_counter()
+            submitted = client.submit_run(job.spec, job.config)
+            final = client.wait(submitted["job_id"], timeout=300)
+            wall = time.perf_counter() - began
+            began_hit = time.perf_counter()
+            again = client.submit_run(job.spec, job.config)
+            hit_wall = time.perf_counter() - began_hit
+    return {
+        "roundtrip_s": round(wall, 4),
+        "job_wall_s": round(final["wall_time"], 4),
+        "cache_hit_roundtrip_s": round(hit_wall, 4),
+        "born_done": again["state"] == "done",
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--ops", type=int, default=4000,
+                        help="ops per app in the fixed matrix")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_fleet.json"))
+    args = parser.parse_args()
+
+    snapshot = {
+        "matrix": {
+            "apps": MATRIX_APPS,
+            "nodes": MATRIX_NODES,
+            "ops": args.ops,
+            "seed": MATRIX_SEED,
+            "epoch_cycles": EPOCH_CYCLES,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "engine": bench_engine(args.ops),
+        "campaign": bench_campaign(args.ops),
+        "serve": bench_serve_roundtrip(args.ops),
+    }
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

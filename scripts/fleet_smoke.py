@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI smoke test for the repro.fleet sharded campaign fabric.
+
+Boots a real 3-member ``LocalFleet`` (three serve daemons on loopback
+ports, each with its own result cache) and checks the fabric's whole
+contract:
+
+* a campaign shards across members and completes everywhere;
+* one member is killed mid-campaign and every in-flight job still
+  completes (rerouted to ring successors, none lost);
+* resubmitting the campaign to the degraded fleet achieves >= 90%
+  cache-hit locality (consistent hashing lands each job on the member
+  that cached it);
+* the fleet-wide ``/metricsz`` rollup reports the dead member as
+  unreachable while still aggregating the survivors;
+* one fleet result's counters match an in-process ``repro.api.run``.
+
+Exit code 0 on success.
+
+Usage:  python scripts/fleet_smoke.py [--ops N] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.core.report import render_fleet  # noqa: E402
+from repro.exec import CampaignJob, cxl_node_id  # noqa: E402
+from repro.fleet import LocalFleet  # noqa: E402
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+
+def make_job(seed: int, num_ops: int) -> CampaignJob:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0,
+                      membind=cxl_node_id(spr_config()))],
+        epoch_cycles=20_000.0,
+    )
+    return CampaignJob(spec=spec, config=spr_config(), tag=f"seed{seed}")
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"  ok: {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--ops", type=int, default=3000)
+    parser.add_argument("--jobs", type=int, default=8)
+    args = parser.parse_args()
+
+    with LocalFleet(size=3, workers=1) as fleet:
+        print(f"fleet up: {', '.join(fleet.alive())}")
+
+        print("== campaign with a mid-run member kill ==")
+        jobs = [make_job(seed, args.ops) for seed in range(args.jobs)]
+        campaign = fleet.coordinator.shard_campaign(jobs)
+        dead = fleet.kill(1)
+        print(f"  killed {dead} with the campaign in flight")
+        rerouted = sum(
+            1 for event in campaign.events()
+            if event["event"] == "member_failed"
+        )
+        result = campaign.wait()
+        print(render_fleet(result))
+        check(result.summary()["failed"] == 0,
+              f"all {args.jobs} jobs completed despite the kill "
+              f"({rerouted} member-failure events)")
+        survivors = set(fleet.alive())
+        check(all(r.member_id in survivors for r in result.jobs),
+              "every job finished on a surviving member")
+
+        print("== resubmission locality ==")
+        again = fleet.coordinator.run_many(
+            [make_job(seed, args.ops) for seed in range(args.jobs)]
+        )
+        print(render_fleet(again))
+        check(again.summary()["failed"] == 0, "resubmission completed")
+        check(again.locality >= 0.9,
+              f"cache-hit locality {again.locality:.0%} >= 90%")
+
+        print("== fleet metrics rollup ==")
+        metrics = fleet.coordinator.metrics()
+        check(metrics["members_total"] == 3 and
+              metrics["members_reachable"] == 2,
+              "rollup sees 2/3 members after the kill")
+        check(metrics["members"][dead]["reachable"] is False,
+              "dead member reported unreachable, not fatal")
+        check(metrics["routing"]["jobs_completed"] >= 2 * args.jobs,
+              "coordinator counters cover both campaigns")
+
+        print("== correctness vs in-process run ==")
+        served = result.results[0]
+        reference = api.run(make_job(0, args.ops).spec,
+                            config=spr_config(), cache=False)
+        check(api.counters(served) == api.counters(reference),
+              "fleet counters identical to api.run")
+
+    print("fleet smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

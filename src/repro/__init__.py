@@ -9,7 +9,7 @@ __version__ = "1.0.0"
 
 from . import baselines, core, exec, pmu, sim, tiering, tsdb, workloads  # noqa: F401
 from . import api  # noqa: F401
-from .api import compare, counters, run, run_many  # noqa: F401
+from .api import compare, counters, fleet_run_many, run, run_many  # noqa: F401
 
 __all__ = [
     "api",
@@ -18,6 +18,7 @@ __all__ = [
     "core",
     "counters",
     "exec",
+    "fleet_run_many",
     "pmu",
     "run",
     "run_many",

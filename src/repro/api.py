@@ -38,7 +38,8 @@ from .exec.runner import (
 from .sim.machine import Machine
 from .sim.topology import MachineConfig, spr_config
 
-__all__ = ["run", "run_many", "compare", "counters", "config_for"]
+__all__ = ["run", "run_many", "fleet_run_many", "compare", "counters",
+           "config_for"]
 
 
 def config_for(spec: ProfileSpec) -> MachineConfig:
@@ -149,6 +150,58 @@ def run_many(
     )
     expand_duplicates(campaign)
     return campaign
+
+
+def fleet_run_many(
+    specs: Sequence[Union[ProfileSpec, CampaignJob]],
+    members: Sequence[Union[str, Tuple[str, int]]],
+    *,
+    config: Optional[MachineConfig] = None,
+    tags: Optional[Sequence[str]] = None,
+    monitor_interval_s: Optional[float] = 2.0,
+    on_event: Optional[Any] = None,
+    **options: Any,
+) -> "FleetResult":
+    """Execute a campaign across a fleet of ``repro.serve`` daemons.
+
+    The sharded twin of :func:`run_many`: each job is routed by
+    consistent hashing on its cache key to one of ``members``
+    (``"host:port"`` strings or ``(host, port)`` tuples), so repeated
+    and overlapping sweeps resolve as member-local cache hits, and a
+    member that dies mid-campaign has its jobs rerouted to ring
+    successors.  Jobs must be declarative (no ``setup`` hooks - they
+    cannot travel over HTTP).  Extra ``options`` are forwarded to
+    :meth:`repro.fleet.FleetCoordinator.shard_campaign`; ``on_event``
+    receives every merged progress event.
+
+    Returns a :class:`repro.fleet.FleetResult` - a
+    :class:`CampaignResult` subclass, so every existing consumer
+    (``render_campaign``, ``summary()``) works on it unchanged.
+    """
+    from .fleet import FleetCoordinator, FleetResult  # noqa: F811
+
+    jobs: List[CampaignJob] = []
+    for i, item in enumerate(specs):
+        tag = tags[i] if tags is not None else ""
+        if isinstance(item, CampaignJob):
+            if tag and not item.tag:
+                item.tag = tag
+            jobs.append(item)
+        else:
+            jobs.append(
+                CampaignJob(
+                    spec=item,
+                    config=config if config is not None else config_for(item),
+                    tag=tag,
+                )
+            )
+    coordinator = FleetCoordinator(members)
+    if monitor_interval_s is not None:
+        coordinator.start_monitor(interval_s=monitor_interval_s)
+    try:
+        return coordinator.run_many(jobs, on_event=on_event, **options)
+    finally:
+        coordinator.stop_monitor()
 
 
 def compare(

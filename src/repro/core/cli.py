@@ -175,6 +175,63 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--stream", action="store_true",
                         help="stream the job's NDJSON events while waiting")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run campaigns across a fleet of serve daemons "
+             "(see docs/SERVING.md)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="shard an app x node campaign over the fleet"
+    )
+    fleet_run.add_argument(
+        "--app", action="append", required=True,
+        help="application name from the catalog (repeatable)",
+    )
+    fleet_run.add_argument(
+        "--node", action="append", choices=["local", "cxl"], default=None,
+        help="memory node(s) to grid over (repeatable; default both)",
+    )
+    fleet_run.add_argument("--ops", type=int, default=10000,
+                           help="ops per app")
+    fleet_run.add_argument("--epoch", type=float, default=50000.0,
+                           help="profiling epoch length in cycles")
+    fleet_run.add_argument("--machine", choices=["spr", "emr"],
+                           default="spr")
+    fleet_run.add_argument("--seed", type=int, default=1)
+    fleet_run.add_argument(
+        "--member", action="append", default=None, metavar="HOST:PORT",
+        help="a running daemon to route to (repeatable)",
+    )
+    fleet_run.add_argument(
+        "--local", type=int, default=None, metavar="N",
+        help="boot an ephemeral N-member fleet in-process instead of "
+             "--member",
+    )
+    fleet_run.add_argument("--workers", type=int, default=1,
+                           help="worker processes per --local member")
+    fleet_run.add_argument("--timeout", type=float, default=None,
+                           help="per-job wall-clock limit in seconds")
+    fleet_run.add_argument("--stream", action="store_true",
+                           help="print the merged NDJSON progress stream")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="fleet-wide /metricsz rollup as JSON"
+    )
+    fleet_status.add_argument(
+        "--member", action="append", required=True, metavar="HOST:PORT",
+        help="a running daemon to probe (repeatable)",
+    )
+
+    fleet_drain = fleet_sub.add_parser(
+        "drain", help="ask every member to drain and exit"
+    )
+    fleet_drain.add_argument(
+        "--member", action="append", required=True, metavar="HOST:PORT",
+        help="a running daemon to drain (repeatable)",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or prune the content-addressed result cache"
     )
@@ -384,6 +441,73 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_jobs(args: argparse.Namespace) -> List:
+    from ..exec import CampaignJob, cxl_node_id, local_node_id
+
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    config = config_fn(num_cores=2)
+    node_ids = {"local": local_node_id(config), "cxl": cxl_node_id(config)}
+    jobs = []
+    for name in args.app:
+        for node in args.node or ["local", "cxl"]:
+            workload = build_app(name, num_ops=args.ops, seed=args.seed)
+            spec = ProfileSpec(
+                apps=[AppSpec(workload=workload, core=0,
+                              membind=node_ids[node])],
+                epoch_cycles=args.epoch,
+            )
+            jobs.append(CampaignJob(spec=spec, config=config,
+                                    tag=f"{name}@{node}",
+                                    timeout=args.timeout))
+    return jobs
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from ..fleet import FleetCoordinator, LocalFleet
+    from .report import render_fleet
+
+    if args.fleet_command == "status":
+        coordinator = FleetCoordinator(args.member)
+        print(json.dumps(coordinator.metrics(), indent=2))
+        return 0
+    if args.fleet_command == "drain":
+        coordinator = FleetCoordinator(args.member)
+        report = coordinator.drain()
+        print(json.dumps(report, indent=2))
+        return 0 if all(r.get("draining") for r in report.values()) else 1
+
+    # fleet run
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    if bool(args.member) == bool(args.local):
+        print("fleet run needs exactly one of --member or --local N",
+              file=sys.stderr)
+        return 2
+    jobs = _fleet_jobs(args)
+
+    def _run(coordinator) -> int:
+        coordinator.start_monitor()
+        try:
+            campaign = coordinator.shard_campaign(jobs)
+            if args.stream:
+                for event in campaign.events():
+                    print(json.dumps(event), flush=True)
+            result = campaign.wait()
+        finally:
+            coordinator.stop_monitor()
+        print(render_fleet(result))
+        return 1 if (not result.jobs or result.failed) else 0
+
+    if args.local:
+        with LocalFleet(size=args.local, workers=args.workers) as fleet:
+            return _run(fleet.coordinator)
+    return _run(FleetCoordinator(args.member))
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
 
@@ -441,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "list-apps":

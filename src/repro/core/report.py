@@ -136,6 +136,32 @@ def render_campaign(campaign) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(result) -> str:
+    """A fleet campaign report: placement table on top of the job table.
+
+    Wraps :func:`render_campaign` (a :class:`FleetResult` IS a
+    campaign result) with the per-member placement, reroute count and
+    cache-hit locality the fleet layer adds.
+    """
+    lines = [render_campaign(result)]
+    by_member = result.by_member() if hasattr(result, "by_member") else {}
+    if by_member:
+        lines.append("member               jobs    ok  hits  failed")
+        for member_id in sorted(by_member):
+            row = by_member[member_id]
+            lines.append(
+                f"{member_id:<20} {row['jobs']:>4} {row['ok']:>5}"
+                f" {row['cache_hits']:>5} {row['failed']:>7}"
+            )
+    members = len(getattr(result, "members", []) or [])
+    lines.append(
+        f"fleet: {members} members,"
+        f" {getattr(result, 'rerouted_jobs', 0)} rerouted,"
+        f" locality {getattr(result, 'locality', 0.0)*100:.0f}%"
+    )
+    return "\n".join(lines)
+
+
 def render_trace(trace, top_queues: int = 6) -> str:
     """Per-stage latency table for a :class:`repro.obs.TraceReport`.
 

@@ -613,9 +613,20 @@ def _drain_parallel(jobs, records, pending, workers, timeout, finalize_ok,
 
 
 def _resolve_duplicate(jobs, records, pending, i: int, twin: int) -> None:
-    """Share a twin job's outcome with a duplicate-spec job."""
+    """Share a twin job's outcome with a duplicate-spec job.
+
+    A successful twin is shared as a free ``cache_hit``.  A twin that is
+    still retrying defers the duplicate.  A twin that *failed* promotes
+    the duplicate to run on its own attempt budget - a transient failure
+    (timeout, crashed worker) must not cascade through every duplicate -
+    and re-points any later duplicates of the same key at the promoted
+    job, so at most one execution is in flight per key at a time.
+    """
     twin_record = records[twin]
     record = records[i]
+    if twin_record.status == "pending":
+        pending.append(("dup", i, twin))  # twin still retrying: wait
+        return
     if twin_record.status in ("ok", "cache_hit"):
         record.status = "cache_hit"
         record.events_executed = twin_record.events_executed
@@ -623,9 +634,15 @@ def _resolve_duplicate(jobs, records, pending, i: int, twin: int) -> None:
         record.num_epochs = twin_record.num_epochs
         # The result object is shared via the results list by the caller.
     else:
-        record.status = "failed"
-        record.failure = twin_record.failure
-        record.error = twin_record.error
+        for idx, entry in enumerate(pending):
+            if entry[0] == "dup" and entry[2] == twin:
+                pending[idx] = ("dup", entry[1], i)
+        logger.warning(
+            "campaign job %s: twin %s failed (%s); promoting the "
+            "duplicate to its own run", record.tag, twin_record.tag,
+            twin_record.failure,
+        )
+        pending.append(("run", i, 0))
 
 
 def expand_duplicates(campaign: CampaignResult) -> None:

@@ -1,0 +1,692 @@
+"""The fleet coordinator: N ``repro.serve`` daemons as one profiler.
+
+:class:`FleetCoordinator` holds the member table (one
+:class:`FleetMember` per daemon: a reusable :class:`ServeClient`, a
+:class:`CircuitBreaker`, a coordinator-side submit-latency
+:class:`~repro.obs.histogram.LogHistogram`) and routes every campaign
+job by consistent hashing on its exec-layer cache key - the member that
+computed a result holds it warm, so resubmitted and overlapping sweeps
+resolve as member-local cache hits instead of recomputes.
+
+:meth:`FleetCoordinator.shard_campaign` fans a ``run_many``-style job
+list out over the members and returns a :class:`FleetCampaign` handle:
+one driver thread per job submits, streams NDJSON progress into a
+merged :class:`~repro.fleet.stream.EventMux`, and on member death or a
+5xx answer reroutes to the next ring node with bounded retries - a
+daemon killed mid-campaign loses no jobs, its share is recomputed (or
+cache-hit) on its ring successors.  The completed campaign is a
+:class:`FleetResult`, a :class:`~repro.exec.runner.CampaignResult`
+subclass, so every existing campaign consumer (``render_campaign``,
+``summary()``, ``result_for``) works unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.persistence import result_from_document
+from ..exec.runner import CampaignJob, CampaignResult, JobRecord
+from ..obs.histogram import LogHistogram
+from ..serve.client import ServeClient, ServeError
+from .health import CircuitBreaker, HealthMonitor
+from .ring import DEFAULT_REPLICAS, HashRing
+from .stream import EventMux
+
+logger = logging.getLogger(__name__)
+
+#: Member addresses accepted by the coordinator.
+MemberAddress = Union[str, Tuple[str, int], "FleetMember"]
+
+#: Errors that mean "this member, not this job, is the problem".
+_MEMBER_ERRORS = (ConnectionError, OSError, TimeoutError)
+
+
+class NoMemberAvailable(RuntimeError):
+    """Every candidate member was excluded or unreachable."""
+
+
+@dataclass
+class FleetMember:
+    """One daemon in the member table."""
+
+    member_id: str
+    host: str
+    port: int
+    client: ServeClient = field(repr=False, default=None)  # type: ignore[assignment]
+    breaker: CircuitBreaker = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Coordinator-side submit latency (milliseconds, log2 buckets).
+    submit_latency_ms: LogHistogram = field(
+        repr=False, default_factory=LogHistogram
+    )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class FleetJobRecord(JobRecord):
+    """A :class:`JobRecord` plus where the fleet ran it."""
+
+    #: Ring-primary member the job was first routed to.
+    routed_to: Optional[str] = None
+    #: Member that actually completed (or terminally failed) the job.
+    member_id: Optional[str] = None
+    #: Times the job was rerouted to a ring successor.
+    failovers: int = 0
+    #: The job id on the completing member.
+    remote_job_id: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        status = super().as_dict()
+        status.update(
+            routed_to=self.routed_to,
+            member_id=self.member_id,
+            failovers=self.failovers,
+            remote_job_id=self.remote_job_id,
+        )
+        return status
+
+
+@dataclass
+class FleetResult(CampaignResult):
+    """A campaign outcome annotated with fleet placement."""
+
+    members: List[str] = field(default_factory=list)
+
+    @property
+    def rerouted_jobs(self) -> int:
+        return sum(1 for j in self.jobs if getattr(j, "failovers", 0) > 0)
+
+    @property
+    def locality(self) -> float:
+        """Fraction of jobs served as a cache hit by the member the
+        ring routed them to - the resubmission affinity the consistent
+        hashing exists to maximise (a hit can only come from the member
+        that cached the entry)."""
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.cache_hit) / len(self.jobs)
+
+    def by_member(self) -> Dict[str, Dict[str, int]]:
+        """Per-member tallies: jobs completed, cache hits, failures."""
+        table: Dict[str, Dict[str, int]] = {}
+        for job in self.jobs:
+            member = getattr(job, "member_id", None) or "?"
+            row = table.setdefault(
+                member, {"jobs": 0, "ok": 0, "cache_hits": 0, "failed": 0}
+            )
+            row["jobs"] += 1
+            if job.ok:
+                row["ok"] += 1
+            if job.cache_hit:
+                row["cache_hits"] += 1
+            if not job.ok:
+                row["failed"] += 1
+        return table
+
+    def summary(self) -> Dict[str, Any]:
+        summary = super().summary()
+        summary.update(
+            members=len(self.members),
+            rerouted_jobs=self.rerouted_jobs,
+            locality=self.locality,
+        )
+        return summary
+
+
+class FleetCoordinator:
+    """Routes campaign jobs across a health-checked daemon fleet."""
+
+    def __init__(
+        self,
+        members: Sequence[MemberAddress] = (),
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+        failure_threshold: int = 2,
+        cooldown_s: float = 30.0,
+        client_timeout: float = 30.0,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.client_timeout = client_timeout
+        self.ring = HashRing(replicas=replicas)
+        self._members: Dict[str, FleetMember] = {}
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._monitor: Optional[HealthMonitor] = None
+        for member in members:
+            self.add_member(member)
+
+    # -- membership ------------------------------------------------------
+
+    def add_member(self, member: MemberAddress) -> FleetMember:
+        """Add one daemon (``"host:port"``, ``(host, port)`` or a
+        prebuilt :class:`FleetMember`) to the table and the ring."""
+        if isinstance(member, FleetMember):
+            record = member
+        else:
+            if isinstance(member, str):
+                host, _, port = member.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ValueError(
+                        f"member address must be host:port, got {member!r}"
+                    )
+                host, port = host, int(port)
+            else:
+                host, port = member
+            record = FleetMember(member_id=f"{host}:{port}",
+                                 host=host, port=int(port))
+        if record.client is None:
+            record.client = ServeClient(host=record.host, port=record.port,
+                                        timeout=self.client_timeout)
+        if record.breaker is None:
+            record.breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+            )
+        with self._lock:
+            if record.member_id in self._members:
+                return self._members[record.member_id]
+            self._members[record.member_id] = record
+        self.ring.add(record.member_id)
+        return record
+
+    def remove_member(self, member_id: str) -> None:
+        self.ring.remove(member_id)
+        with self._lock:
+            self._members.pop(member_id, None)
+
+    def members(self) -> List[FleetMember]:
+        with self._lock:
+            return [self._members[m] for m in sorted(self._members)]
+
+    def member(self, member_id: str) -> FleetMember:
+        with self._lock:
+            return self._members[member_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    # -- counters --------------------------------------------------------
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, key: str,
+              exclude: Sequence[str] = ()) -> Optional[FleetMember]:
+        """The member that should run ``key`` right now.
+
+        Walks the ring from the key's primary, skipping excluded members
+        and open circuits.  If *every* non-excluded member is
+        circuit-open, the first one is returned anyway (trying a
+        probably-dead member beats failing a job outright and doubles as
+        the half-open trial).
+        """
+        excluded = set(exclude)
+        fallback: Optional[FleetMember] = None
+        for member_id in self.ring.successors(key):
+            if member_id in excluded:
+                continue
+            with self._lock:
+                member = self._members.get(member_id)
+            if member is None:
+                continue
+            if fallback is None:
+                fallback = member
+            if member.breaker.allow():
+                return member
+        return fallback
+
+    # -- health ----------------------------------------------------------
+
+    def check_health(self) -> Dict[str, Dict[str, Any]]:
+        """Probe every member's ``/readyz`` once; feed the breakers."""
+        report: Dict[str, Dict[str, Any]] = {}
+        for member in self.members():
+            ready = False
+            error: Optional[str] = None
+            try:
+                ready = member.client.ready()
+            except Exception as exc:  # noqa: BLE001 - any probe failure
+                error = f"{type(exc).__name__}: {exc}"
+            if ready:
+                member.breaker.record_success()
+            else:
+                member.breaker.record_failure()
+            report[member.member_id] = {
+                "ready": ready,
+                "error": error,
+                "breaker": member.breaker.snapshot(),
+            }
+        return report
+
+    def start_monitor(self, interval_s: float = 2.0) -> HealthMonitor:
+        """Start (or return) the background ``/readyz`` prober."""
+        if self._monitor is None or not self._monitor.is_alive():
+            self._monitor = HealthMonitor(self, interval_s=interval_s)
+            self._monitor.start()
+        return self._monitor
+
+    def stop_monitor(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+
+    # -- campaigns -------------------------------------------------------
+
+    def shard_campaign(
+        self,
+        jobs: Sequence[CampaignJob],
+        *,
+        priority: int = 10,
+        max_failovers: Optional[int] = None,
+        concurrency: Optional[int] = None,
+        admission_wait: float = 300.0,
+        job_timeout: float = 600.0,
+    ) -> "FleetCampaign":
+        """Fan ``jobs`` out over the fleet; returns a live campaign handle.
+
+        ``max_failovers`` bounds reroutes per job (default: every other
+        member once).  ``concurrency`` bounds driver threads (default:
+        4 per member).  Jobs must be declarative - a ``setup`` hook or
+        ``key_extra`` cannot travel over HTTP and would desynchronise
+        the routing key from the member's cache key.
+        """
+        if not len(self):
+            raise NoMemberAvailable("fleet has no members")
+        jobs = list(jobs)
+        for job in jobs:
+            if job.setup is not None or job.key_extra is not None:
+                raise ValueError(
+                    f"fleet jobs must be declarative (tag={job.tag!r} has "
+                    "a setup hook / key_extra, which cannot travel over "
+                    "HTTP)"
+                )
+        return FleetCampaign(
+            self, jobs,
+            priority=priority,
+            max_failovers=max_failovers,
+            concurrency=concurrency,
+            admission_wait=admission_wait,
+            job_timeout=job_timeout,
+        )
+
+    def run_many(
+        self,
+        jobs: Sequence[CampaignJob],
+        *,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        **options: Any,
+    ) -> FleetResult:
+        """Shard, stream (optionally into ``on_event``) and wait."""
+        campaign = self.shard_campaign(jobs, **options)
+        if on_event is not None:
+            for event in campaign.events():
+                on_event(event)
+        return campaign.wait()
+
+    # -- fleet-wide metrics ---------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Roll every member's ``/metricsz`` up into one document.
+
+        Unreachable members are reported, not fatal: the rollup is an
+        ops surface and must answer during partial outages.
+        """
+        members_doc: Dict[str, Any] = {}
+        totals = {
+            "queue_depth": 0,
+            "queue_capacity": 0,
+            "in_flight": 0,
+            "workers": 0,
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_cache_hit": 0,
+            "jobs_failed": 0,
+            "jobs_rejected": 0,
+            "cache_entries": 0,
+            "cache_bytes": 0,
+        }
+        reachable = 0
+        for member in self.members():
+            try:
+                doc = member.client.metrics()
+            except Exception as exc:  # noqa: BLE001
+                members_doc[member.member_id] = {
+                    "reachable": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "breaker": member.breaker.snapshot(),
+                }
+                continue
+            reachable += 1
+            queue_doc = doc.get("queue", {})
+            counters = doc.get("counters", {})
+            cache = doc.get("cache") or {}
+            totals["queue_depth"] += int(queue_doc.get("depth", 0))
+            totals["queue_capacity"] += int(queue_doc.get("capacity", 0))
+            totals["in_flight"] += int(queue_doc.get("in_flight", 0))
+            totals["workers"] += int(queue_doc.get("workers", 0))
+            for name in ("jobs_submitted", "jobs_completed",
+                         "jobs_cache_hit", "jobs_failed", "jobs_rejected"):
+                totals[name] += int(counters.get(name, 0))
+            totals["cache_entries"] += int(cache.get("entries", 0))
+            totals["cache_bytes"] += int(cache.get("total_bytes", 0))
+            hist = member.submit_latency_ms
+            members_doc[member.member_id] = {
+                "reachable": True,
+                "breaker": member.breaker.snapshot(),
+                "queue": queue_doc,
+                "jobs_by_state": doc.get("jobs_by_state", {}),
+                "counters": counters,
+                "cache": cache,
+                "submit_latency_ms": {
+                    "count": hist.count,
+                    "mean": hist.mean,
+                    "p50": hist.percentile(50.0),
+                    "p95": hist.percentile(95.0),
+                    "p99": hist.percentile(99.0),
+                    "max": hist.max,
+                },
+            }
+        with self._lock:
+            routing = dict(self._counters)
+        submitted = routing.get("jobs_routed", 0)
+        local_hits = routing.get("jobs_cache_hit", 0)
+        return {
+            "members_total": len(self),
+            "members_reachable": reachable,
+            "fleet": totals,
+            "routing": routing,
+            "cache_hit_locality": (local_hits / submitted) if submitted
+            else 0.0,
+            "members": members_doc,
+        }
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask every member to drain-then-exit; reports who answered."""
+        report: Dict[str, Any] = {}
+        for member in self.members():
+            try:
+                member.client.shutdown()
+                report[member.member_id] = {"draining": True}
+            except Exception as exc:  # noqa: BLE001
+                report[member.member_id] = {
+                    "draining": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+        return report
+
+
+class FleetCampaign:
+    """A sharded campaign in flight: merged stream + result collection."""
+
+    def __init__(
+        self,
+        coordinator: FleetCoordinator,
+        jobs: List[CampaignJob],
+        *,
+        priority: int,
+        max_failovers: Optional[int],
+        concurrency: Optional[int],
+        admission_wait: float,
+        job_timeout: float,
+    ) -> None:
+        self.coordinator = coordinator
+        self.jobs = jobs
+        self.priority = priority
+        self.admission_wait = admission_wait
+        self.job_timeout = job_timeout
+        self.max_failovers = (
+            max_failovers if max_failovers is not None
+            else max(0, len(coordinator) - 1)
+        )
+        self.records: List[FleetJobRecord] = [
+            FleetJobRecord(index=i, tag=job.tag or f"job{i}", key=job.key())
+            for i, job in enumerate(jobs)
+        ]
+        self.results: List[Optional[Any]] = [None] * len(jobs)
+        self._mux = EventMux()
+        self._started = time.monotonic()
+        workers = concurrency or max(2, 4 * len(coordinator))
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, min(workers, max(1, len(jobs)))),
+            thread_name_prefix="fleet-job",
+        )
+        for _ in jobs:
+            self._mux.attach()
+        self._futures = [
+            self._pool.submit(self._drive, i) for i in range(len(jobs))
+        ]
+        self._pool.shutdown(wait=False)
+
+    # -- public surface --------------------------------------------------
+
+    def events(self, *, timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """The merged NDJSON progress stream, annotated per member."""
+        return self._mux.drain(timeout=timeout)
+
+    def wait(self, timeout: Optional[float] = None) -> FleetResult:
+        """Block until every driver finished; returns the result."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for future in self._futures:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            future.result(timeout=remaining)
+        return FleetResult(
+            jobs=list(self.records),
+            results=list(self.results),
+            wall_time=time.monotonic() - self._started,
+            workers=len(self.coordinator),
+            members=[m.member_id for m in self.coordinator.members()],
+        )
+
+    @property
+    def done(self) -> bool:
+        return all(future.done() for future in self._futures)
+
+    # -- the per-job driver ---------------------------------------------
+
+    def _publish(self, i: int, member: Optional[FleetMember],
+                 event: str, **data: Any) -> None:
+        record = {
+            "event": event,
+            "tag": self.records[i].tag,
+            "index": i,
+            "member": member.member_id if member is not None else None,
+            "ts": time.time(),
+        }
+        record.update(data)
+        self._mux.publish(record)
+
+    def _fail(self, i: int, member: Optional[FleetMember], kind: str,
+              message: str) -> None:
+        record = self.records[i]
+        record.status = "failed"
+        record.failure = record.failure or kind
+        record.error = message
+        if member is not None:
+            record.member_id = member.member_id
+        self.coordinator._inc("jobs_failed")
+        self._publish(i, member, "job_failed", failure=record.failure,
+                      error=message, failovers=record.failovers)
+
+    def _drive(self, i: int) -> None:
+        try:
+            self._drive_inner(i)
+        except Exception as exc:  # noqa: BLE001 - a driver must not vanish
+            logger.exception("fleet job %s driver crashed",
+                             self.records[i].tag)
+            if self.records[i].status == "pending":
+                self._fail(i, None, "error",
+                           f"driver crashed: {type(exc).__name__}: {exc}")
+        finally:
+            self._mux.detach()
+
+    def _drive_inner(self, i: int) -> None:
+        job, record = self.jobs[i], self.records[i]
+        coordinator = self.coordinator
+        tried: List[str] = []
+        while True:
+            member = coordinator.route(record.key, exclude=tried)
+            if member is None:
+                self._fail(
+                    i, None, "no_member",
+                    f"no fleet member available after trying {tried}",
+                )
+                return
+            if record.routed_to is None:
+                record.routed_to = member.member_id
+
+            def reroute(reason: str) -> bool:
+                """Mark the member bad; True if another may be tried."""
+                member.breaker.record_failure()
+                tried.append(member.member_id)
+                record.failovers = len(tried)
+                coordinator._inc("jobs_failed_over")
+                self._publish(i, member, "member_failed", reason=reason,
+                              failovers=record.failovers)
+                if len(tried) > self.max_failovers:
+                    self._fail(
+                        i, member, "member_lost",
+                        f"gave up after {len(tried)} members: {reason}",
+                    )
+                    return False
+                return True
+
+            # -- submit --------------------------------------------------
+            began = time.monotonic()
+            try:
+                remote = member.client.submit_run(
+                    job.spec, job.config,
+                    tag=record.tag,
+                    priority=self.priority,
+                    timeout=job.timeout,
+                    max_events=job.max_events,
+                    cacheable=job.cacheable,
+                    retry_on_busy=True,
+                    max_wait=self.admission_wait,
+                )
+            except ServeError as exc:
+                if exc.status >= 500 or exc.status == 429:
+                    if reroute(f"submit answered {exc.status}"):
+                        continue
+                    return
+                self._fail(i, member, "error",
+                           f"member rejected the job: {exc}")
+                return
+            except _MEMBER_ERRORS as exc:
+                if reroute(f"submit failed: {type(exc).__name__}: {exc}"):
+                    continue
+                return
+            member.breaker.record_success()
+            member.submit_latency_ms.add(
+                max(0.0, (time.monotonic() - began) * 1e3)
+            )
+            coordinator._inc("jobs_routed")
+            record.attempts += 1
+            record.remote_job_id = remote["job_id"]
+            self._publish(i, member, "routed", remote_job_id=record.remote_job_id,
+                          key=record.key, state=remote.get("state"),
+                          failovers=record.failovers)
+
+            # -- follow to a terminal state ------------------------------
+            try:
+                final = self._follow(i, member, remote)
+            except _MEMBER_ERRORS as exc:
+                if reroute(f"stream lost: {type(exc).__name__}: {exc}"):
+                    continue
+                return
+            if final is None:
+                # Stream ended with no terminal event: the daemon died
+                # (or force-stopped) with the job in flight.
+                if reroute("member died with the job in flight"):
+                    continue
+                return
+
+            # -- finalize ------------------------------------------------
+            if final["state"] == "done":
+                try:
+                    document = member.client.result(final["job_id"])
+                except (ServeError, *_MEMBER_ERRORS) as exc:
+                    # Done but unfetchable (daemon died between the
+                    # terminal event and our fetch): recompute elsewhere.
+                    if reroute(f"result fetch failed: {exc}"):
+                        continue
+                    return
+                self._finalize_done(i, member, final, document)
+                return
+            # The *job* failed on a healthy member (timeout, budget,
+            # simulation error): that is a job outcome, not a member
+            # outcome - rerouting would just re-fail elsewhere.
+            record.attempts = max(record.attempts,
+                                  int(final.get("attempts") or 1))
+            record.wall_time += float(final.get("wall_time") or 0.0)
+            record.failure = final.get("failure") or "error"
+            self._fail(i, member, record.failure,
+                       final.get("error") or "job failed on member")
+            return
+
+    def _follow(self, i: int, member: FleetMember,
+                remote: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Stream the remote job's events; return its final status.
+
+        Returns None when the stream ended without a terminal event
+        (member death); raises a member error on connection loss.
+        """
+        job_id = remote["job_id"]
+        if remote.get("state") in ("done", "failed"):
+            return remote  # born terminal (admission-time cache hit)
+        terminal = None
+        for event in member.client.events(job_id,
+                                          timeout=self.job_timeout):
+            name = event.get("event")
+            self._publish(i, member, f"member:{name}",
+                          remote_job_id=job_id, seq=event.get("seq"))
+            if name in ("done", "failed"):
+                terminal = name
+        if terminal is None:
+            return None
+        return member.client.job(job_id)
+
+    def _finalize_done(self, i: int, member: FleetMember,
+                       final: Dict[str, Any],
+                       document: Dict[str, Any]) -> None:
+        record = self.records[i]
+        cache_hit = bool(final.get("cache_hit"))
+        self.results[i] = result_from_document(document["session"])
+        record.status = "cache_hit" if cache_hit else "ok"
+        record.failure = record.error = None
+        record.member_id = member.member_id
+        record.attempts = max(record.attempts,
+                              int(final.get("attempts") or 1))
+        record.wall_time += float(final.get("wall_time") or 0.0)
+        record.events_executed = int(final.get("events_executed") or 0)
+        record.total_cycles = float(final.get("total_cycles") or 0.0)
+        record.num_epochs = int(final.get("num_epochs") or 0)
+        self.coordinator._inc("jobs_completed")
+        if cache_hit:
+            self.coordinator._inc("jobs_cache_hit")
+        self._publish(i, member, "job_done", cache_hit=cache_hit,
+                      wall_time=record.wall_time,
+                      failovers=record.failovers)

@@ -1,0 +1,126 @@
+"""In-process fleet harness: N real daemons on loopback ports.
+
+:class:`LocalFleet` boots N :class:`~repro.serve.daemon.BackgroundServer`
+instances - each with its *own* result-cache directory, mirroring
+production where members do not share storage (that separation is what
+makes cache-affinity routing observable: a hit can only come from the
+member that computed the entry) - and wires a
+:class:`~repro.fleet.coordinator.FleetCoordinator` over them.  Used by
+the fleet tests, ``scripts/fleet_smoke.py`` and ``pathfinder fleet run
+--local N``.
+
+:meth:`LocalFleet.kill` force-stops a member (sockets torn down
+mid-request, no drain), which is the failure the coordinator's
+failover path exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, List, Optional
+
+from ..serve.daemon import BackgroundServer
+from .coordinator import FleetCoordinator
+
+__all__ = ["LocalFleet"]
+
+
+class LocalFleet:
+    """N loopback daemons + one coordinator, as a context manager.
+
+    ::
+
+        with LocalFleet(size=3, workers=1) as fleet:
+            result = fleet.coordinator.run_many(jobs)
+            fleet.kill(1)            # simulate a member crash
+    """
+
+    def __init__(
+        self,
+        size: int = 3,
+        *,
+        workers: int = 1,
+        queue_depth: int = 64,
+        cache_root: Optional[str] = None,
+        failure_threshold: int = 2,
+        cooldown_s: float = 60.0,
+        **daemon_kwargs: Any,
+    ) -> None:
+        if size < 1:
+            raise ValueError("fleet size must be >= 1")
+        self.size = size
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.daemon_kwargs = daemon_kwargs
+        self._own_root = cache_root is None
+        self.cache_root = cache_root or tempfile.mkdtemp(prefix="fleet-")
+        self.servers: List[Optional[BackgroundServer]] = [None] * size
+        # A long default cooldown: once a killed member's breaker opens,
+        # tests want it to STAY out of routing (no half-open probe
+        # stealing a resubmitted job from its failover home).
+        self.coordinator = FleetCoordinator(
+            failure_threshold=failure_threshold,
+            cooldown_s=cooldown_s,
+        )
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "LocalFleet":
+        if self._started:
+            return self
+        for index in range(self.size):
+            cache_dir = os.path.join(self.cache_root, f"member{index}")
+            os.makedirs(cache_dir, exist_ok=True)
+            server = BackgroundServer(
+                workers=self.workers,
+                queue_depth=self.queue_depth,
+                cache=cache_dir,
+                **self.daemon_kwargs,
+            ).start()
+            self.servers[index] = server
+            self.coordinator.add_member(("127.0.0.1", server.port))
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        self.coordinator.stop_monitor()
+        for index, server in enumerate(self.servers):
+            if server is not None:
+                try:
+                    server.stop(force=True)
+                except Exception:  # noqa: BLE001 - teardown best-effort
+                    pass
+                self.servers[index] = None
+
+    def __enter__(self) -> "LocalFleet":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- chaos -----------------------------------------------------------
+
+    def member_id(self, index: int) -> str:
+        server = self.servers[index]
+        if server is None:
+            raise LookupError(f"member {index} is not running")
+        return f"127.0.0.1:{server.port}"
+
+    def kill(self, index: int) -> str:
+        """Force-stop member ``index`` (abrupt death, no drain).
+
+        The member stays in the coordinator's table and ring - exactly
+        like a production crash, it is the breaker's job to take it out
+        of routing.  Returns the dead member's id.
+        """
+        member_id = self.member_id(index)
+        server = self.servers[index]
+        assert server is not None
+        server.stop(force=True)
+        self.servers[index] = None
+        return member_id
+
+    def alive(self) -> List[str]:
+        return [f"127.0.0.1:{s.port}" for s in self.servers if s is not None]

@@ -1,0 +1,132 @@
+"""Member health: consecutive-failure circuit breaker + readyz prober.
+
+Every fleet member carries a :class:`CircuitBreaker` fed from two
+sources - the periodic :class:`HealthMonitor` ``/readyz`` probes and
+the in-band outcome of every routed request.  The breaker is the
+classic three-state machine:
+
+* **closed** - healthy; requests flow.  ``failure_threshold``
+  *consecutive* failures trip it open (a single flaky probe does not).
+* **open** - the member is skipped by routing for ``cooldown_s``
+  seconds; its keys fail over to ring successors.
+* **half-open** - after the cooldown one trial request is let through;
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown), so a still-dead member costs one probe per cooldown, not a
+  thundering herd.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure breaker with half-open recovery."""
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state; lazily promotes open -> half-open on cooldown."""
+        with self._lock:
+            return self._resolve_state()
+
+    def _resolve_state(self) -> str:
+        # Caller holds the lock.
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._trial_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be routed through right now?
+
+        Closed always allows; open never does; half-open allows exactly
+        one in-flight trial at a time.
+        """
+        with self._lock:
+            state = self._resolve_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._trial_in_flight:
+                self._trial_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self._resolve_state()
+            if state == HALF_OPEN or \
+                    self._consecutive_failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trial_in_flight = False
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._resolve_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+
+class HealthMonitor(threading.Thread):
+    """Background ``/readyz`` prober for a :class:`FleetCoordinator`.
+
+    Calls ``coordinator.check_health()`` every ``interval_s`` seconds
+    until stopped; each probe round records a success or failure on
+    every member's breaker, so a silently dead daemon is circuit-opened
+    within ``failure_threshold * interval_s`` even with no traffic.
+    """
+
+    def __init__(self, coordinator: Any, *,
+                 interval_s: float = 2.0) -> None:
+        super().__init__(daemon=True, name="fleet-health")
+        self.coordinator = coordinator
+        self.interval_s = interval_s
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            try:
+                self.coordinator.check_health()
+            except Exception:  # noqa: BLE001 - the prober must survive
+                logger.exception("fleet health probe round failed")
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=timeout)

@@ -1,0 +1,94 @@
+"""Consistent-hash ring for cache-affinity job routing.
+
+The fleet routes every campaign job by its exec-layer cache key
+(:meth:`repro.exec.runner.CampaignJob.key`): the member that computed a
+result once is the member that holds it warm, so resubmitted or
+overlapping sweeps must deterministically land on the same daemon.  A
+consistent-hash ring with virtual nodes gives exactly that mapping, and
+keeps it stable under membership churn - adding or removing one member
+remaps only the keys adjacent to its ring positions, not the whole
+keyspace (the classic Karger construction memcached/Dynamo clients
+use).
+
+:meth:`HashRing.successors` yields the failover order: the primary
+member for a key first, then every other member in ring order, which is
+what the coordinator walks when a member is dead or circuit-open.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator, List, Tuple
+
+DEFAULT_REPLICAS = 64
+
+
+def _hash(token: str) -> int:
+    """Stable 64-bit ring position for a token (not security-sensitive)."""
+    digest = hashlib.sha1(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring of member ids with virtual nodes."""
+
+    def __init__(self, members: Iterable[str] = (), *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        #: Sorted parallel arrays of (ring position, member id).
+        self._points: List[Tuple[int, str]] = []
+        self._members: set = set()
+        for member in members:
+            self.add(member)
+
+    # -- membership ------------------------------------------------------
+
+    def add(self, member_id: str) -> None:
+        if member_id in self._members:
+            return
+        self._members.add(member_id)
+        for i in range(self.replicas):
+            point = (_hash(f"{member_id}#{i}"), member_id)
+            bisect.insort(self._points, point)
+
+    def remove(self, member_id: str) -> None:
+        if member_id not in self._members:
+            return
+        self._members.discard(member_id)
+        self._points = [p for p in self._points if p[1] != member_id]
+
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    # -- lookup ----------------------------------------------------------
+
+    def primary(self, key: str) -> str:
+        """The member that owns ``key`` (first vnode at/after its hash)."""
+        for member in self.successors(key):
+            return member
+        raise LookupError("hash ring has no members")
+
+    def successors(self, key: str) -> Iterator[str]:
+        """Distinct members in ring order starting at ``key``'s position.
+
+        The first yielded member is the primary; the rest are the
+        failover chain.  Yields each member exactly once.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect_left(self._points, (_hash(key), ""))
+        seen = set()
+        for offset in range(len(self._points)):
+            _, member = self._points[(start + offset) % len(self._points)]
+            if member not in seen:
+                seen.add(member)
+                yield member

@@ -1,0 +1,94 @@
+"""Merged NDJSON progress: N member streams -> one iterator.
+
+Every job driver in a sharded campaign streams its member's NDJSON
+events concurrently; :class:`EventMux` funnels them into a single
+ordered-by-arrival iterator, which is what ``pathfinder fleet run
+--stream`` and :meth:`FleetCampaign.events` hand to callers.  Producers
+attach before they start and detach (in a ``finally``) when done, so
+the consumer knows exactly when the merged stream is complete: events
+are enqueued before their producer's detach sentinel, hence once every
+sentinel has been drained no event can still be in flight.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional
+
+#: Detach sentinel (identity-compared; never leaves the module).
+_DETACH = object()
+
+
+class EventMux:
+    """A many-producer, single-consumer merge of event dicts."""
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._open_producers = 0
+        self._total_events = 0
+
+    # -- producer side ---------------------------------------------------
+
+    def attach(self) -> None:
+        """Register one producer; must precede its first :meth:`publish`."""
+        with self._lock:
+            self._open_producers += 1
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._total_events += 1
+        self._queue.put(event)
+
+    def detach(self) -> None:
+        """Signal one producer is finished (call from a ``finally``)."""
+        self._queue.put(_DETACH)
+
+    # -- consumer side ---------------------------------------------------
+
+    @property
+    def open_producers(self) -> int:
+        with self._lock:
+            return self._open_producers
+
+    @property
+    def total_events(self) -> int:
+        with self._lock:
+            return self._total_events
+
+    def drain(self, *, timeout: Optional[float] = None
+              ) -> Iterator[Dict[str, Any]]:
+        """Yield merged events until every attached producer detached.
+
+        Single consumer.  With a ``timeout``, stops yielding (without
+        error) once the deadline passes - the campaign result is the
+        authoritative record; the stream is progress reporting.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._open_producers == 0:
+                    # All producers detached and every sentinel consumed:
+                    # the queue can only be empty (events precede their
+                    # sentinel in FIFO order).
+                    return
+            if deadline is None:
+                item = self._queue.get()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    return
+            if item is _DETACH:
+                with self._lock:
+                    self._open_producers -= 1
+                continue
+            yield item
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self.drain()

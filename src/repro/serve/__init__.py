@@ -14,7 +14,7 @@ reference and ops runbook.
         final = client.wait(job["job_id"])
 """
 
-from .client import ServeClient, ServeError
+from .client import ServeClient, ServeError, parse_retry_after
 from .daemon import BackgroundServer, ServeDaemon
 from .executor import JobExecutor
 from .jobs import DONE, FAILED, QUEUED, RUNNING, JobStore, ServeJob
@@ -33,4 +33,5 @@ __all__ = [
     "ServeError",
     "ServeJob",
     "ServeMetrics",
+    "parse_retry_after",
 ]

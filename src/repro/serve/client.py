@@ -18,7 +18,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
+import random
 import time
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.persistence import config_to_document, spec_to_document
@@ -26,6 +30,35 @@ from ..core.spec import ProfileSpec
 from ..sim.topology import MachineConfig
 
 DEFAULT_TIMEOUT_S = 30.0
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[int]:
+    """Seconds to back off from a ``Retry-After`` header, or None.
+
+    RFC 9110 allows both delta-seconds (``"7"``) and an HTTP-date
+    (``"Wed, 21 Oct 2026 07:28:00 GMT"``); anything unparseable - or a
+    date already in the past - degrades to None rather than raising, so
+    a proxy's exotic header can never break the client.
+    """
+    if not value:
+        return None
+    value = value.strip()
+    try:
+        return max(0, int(value))
+    except ValueError:
+        pass
+    try:
+        when = parsedate_to_datetime(value)
+    except (TypeError, ValueError, IndexError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    delta = (when - datetime.now(timezone.utc)).total_seconds()
+    if delta <= 0:
+        return None
+    return int(math.ceil(delta))
 
 
 class ServeError(RuntimeError):
@@ -75,9 +108,8 @@ class ServeClient:
         if status >= 400:
             message = (document or {}).get("error", "") \
                 if isinstance(document, dict) else str(document)
-            retry_after = headers.get("retry-after")
             raise ServeError(status, message,
-                             int(retry_after) if retry_after else None)
+                             parse_retry_after(headers.get("retry-after")))
         return document
 
     @staticmethod
@@ -161,9 +193,17 @@ class ServeClient:
         return self._call("GET", "/v1/jobs")["jobs"]
 
     def wait(self, job_id: str, *, timeout: float = 600.0,
-             poll: float = 0.2) -> Dict[str, Any]:
-        """Poll until the job is terminal; returns its final status."""
+             poll: float = 0.2, poll_max: float = 3.0,
+             jitter: float = 0.25) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status.
+
+        Polling starts at ``poll`` seconds and backs off exponentially
+        to ``poll_max``, with +/- ``jitter`` (fractional) randomisation
+        on every sleep so a fleet of waiting clients does not hammer
+        the daemon in lockstep.
+        """
         deadline = time.monotonic() + timeout
+        delay = max(0.01, poll)
         while True:
             status = self.job(job_id)
             if status["state"] in ("done", "failed"):
@@ -173,28 +213,62 @@ class ServeClient:
                     f"job {job_id} still {status['state']} "
                     f"after {timeout:.0f}s"
                 )
-            time.sleep(poll)
+            spread = delay * (1.0 + random.uniform(-jitter, jitter))
+            time.sleep(min(spread, max(0.0, deadline - time.monotonic())))
+            delay = min(poll_max, delay * 2.0)
 
     def events(self, job_id: str, *,
                timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
         """Stream the job's NDJSON events until it reaches a terminal state.
 
         ``http.client`` undoes the chunked transfer encoding, so each
-        ``readline`` yields exactly one JSON event line.
+        ``readline`` yields exactly one JSON event line.  A 429 answer
+        (the daemon shedding load) is not fatal: the client honours the
+        ``Retry-After`` hint, reconnects, and - because the event log
+        replays from the start - deduplicates by ``seq`` so callers see
+        every event exactly once.
         """
+        deadline = time.monotonic() + timeout
+        next_seq = 0
+        while True:
+            try:
+                for event in self._events_once(job_id, deadline):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq < next_seq:
+                            continue  # replayed after a reconnect
+                        next_seq = seq + 1
+                    yield event
+                return
+            except ServeError as exc:
+                if exc.status != 429:
+                    raise
+                delay = exc.retry_after or 1
+                if time.monotonic() + delay >= deadline:
+                    raise
+                time.sleep(delay)
+
+    def _events_once(self, job_id: str,
+                     deadline: float) -> Iterator[Dict[str, Any]]:
+        """One connection's worth of the NDJSON event stream."""
+        remaining = max(0.1, deadline - time.monotonic())
         conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=timeout)
+                                          timeout=remaining)
         try:
             conn.request("GET", f"/v1/jobs/{job_id}/events")
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
                 message = ""
+                retry_after = None
                 try:
                     message = json.loads(raw).get("error", "")
                 except Exception:  # noqa: BLE001
                     message = raw.decode(errors="replace")
-                raise ServeError(response.status, message)
+                for name, value in response.getheaders():
+                    if name.lower() == "retry-after":
+                        retry_after = parse_retry_after(value)
+                raise ServeError(response.status, message, retry_after)
             while True:
                 line = response.readline()
                 if not line:
@@ -204,6 +278,15 @@ class ServeClient:
                     yield json.loads(line)
         finally:
             conn.close()
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Fetch a done job's full session digest (member protocol).
+
+        Returns ``{"job_id", "key", "cache_hit", "session"}``; raises
+        :class:`ServeError` 409 while the job is still in flight and
+        404 for unknown or failed jobs.
+        """
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
 
     # -- ops -------------------------------------------------------------
 

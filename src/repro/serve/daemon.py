@@ -17,6 +17,9 @@ Endpoints::
     GET  /v1/jobs/<id>       job status            -> 200 {job}
     GET  /v1/jobs/<id>/events  NDJSON event stream (chunked; ends when
                                the job reaches a terminal state)
+    GET  /v1/jobs/<id>/result  full session digest of a done job
+                               (the fleet member protocol: coordinators
+                               rebuild ProfileResults from this)
     POST /v1/shutdown        begin drain-then-exit -> 202
     GET  /healthz | /readyz | /metricsz
 
@@ -245,6 +248,7 @@ class ServeDaemon:
                 record.total_cycles = float(meta.get("total_cycles", 0.0))
                 record.num_epochs = len(entry["session"].get("epochs", []))
                 record.counters = counters_from_session(entry["session"])
+                record.session_document = entry["session"]
                 record.cache_hit = True
                 record.state = DONE
                 record.finished_at = time.time()
@@ -349,7 +353,8 @@ class ServeDaemon:
     ) -> None:
         payload = (json.dumps(obj) + "\n").encode()
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                  404: "Not Found", 413: "Payload Too Large",
+                  404: "Not Found", 409: "Conflict",
+                  413: "Payload Too Large",
                   429: "Too Many Requests", 500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "OK")
         head = [f"HTTP/1.1 {status} {reason}",
@@ -405,6 +410,9 @@ class ServeDaemon:
             if method == "GET" and rest.endswith("/events"):
                 await self._handle_events(writer, rest[:-len("/events")])
                 return "GET /v1/jobs/<id>/events", True
+            if method == "GET" and rest.endswith("/result"):
+                await self._handle_result(writer, rest[:-len("/result")])
+                return "GET /v1/jobs/<id>/result", True
             if method == "GET" and "/" not in rest:
                 record = self.store.get(rest)
                 if record is None:
@@ -484,6 +492,50 @@ class ServeDaemon:
         await self._respond_json(writer, 202, {
             "campaign_id": f"c{next(self._campaigns):05d}",
             "jobs": [r.as_dict(include_counters=False) for r in records],
+        })
+
+    async def _handle_result(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        """Serve the full session digest of a completed job.
+
+        409 while the job is still queued/running, 404 for unknown jobs
+        and for failed jobs (which have no session to serve).  A done
+        job whose in-memory document was dropped (e.g. recorded by an
+        older daemon) falls back to the cache entry for its key.
+        """
+        record = self.store.get(job_id)
+        if record is None:
+            await self._respond_json(
+                writer, 404, {"error": f"no such job: {job_id}"}
+            )
+            return
+        if not record.terminal:
+            await self._respond_json(
+                writer, 409,
+                {"error": f"job {job_id} is still {record.state}",
+                 "state": record.state},
+            )
+            return
+        document = record.session_document
+        if document is None and record.state == DONE \
+                and self.cache is not None and record.job.cacheable:
+            entry = self.cache.get_entry(record.key)
+            if entry is not None:
+                document = entry["session"]
+        if document is None:
+            await self._respond_json(
+                writer, 404,
+                {"error": f"job {job_id} has no result ({record.state}:"
+                          f" {record.failure or 'no session recorded'})",
+                 "state": record.state},
+            )
+            return
+        await self._respond_json(writer, 200, {
+            "job_id": record.job_id,
+            "key": record.key,
+            "cache_hit": record.cache_hit,
+            "session": document,
         })
 
     async def _handle_events(

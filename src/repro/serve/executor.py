@@ -114,6 +114,7 @@ class JobExecutor:
     def _finish_done(self, record: ServeJob, session_document,
                      cache_hit: bool) -> None:
         record.counters = counters_from_session(session_document)
+        record.session_document = session_document
         record.cache_hit = cache_hit
         if cache_hit:
             record.num_epochs = len(session_document.get("epochs", []))

@@ -69,6 +69,11 @@ class ServeJob:
     #: Total (scope, event) deltas as ``[scope, event, value]`` rows;
     #: populated when the job completes.
     counters: Optional[List[List[Any]]] = None
+    #: The full session digest a completed job produced, served by the
+    #: ``/v1/jobs/<id>/result`` member-protocol endpoint so a fleet
+    #: coordinator can reconstruct the :class:`ProfileResult` remotely.
+    #: Deliberately excluded from :meth:`as_dict` (it is large).
+    session_document: Optional[Dict[str, Any]] = None
     #: Append-only NDJSON event log (each entry is one streamed line).
     events: List[Dict[str, Any]] = field(default_factory=list)
 

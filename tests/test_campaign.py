@@ -135,6 +135,107 @@ def test_campaign_summary_shape():
     assert summary["total_events"] > 0
 
 
+# -- duplicate resolution under failure -----------------------------------
+
+
+def _flaky_setup(marker: str, fail_times: int, machine, spec) -> None:
+    """Raise on the first ``fail_times`` calls, then behave.
+
+    The marker directory counts attempts with O_EXCL file creation, so
+    the count survives the fork into campaign worker processes.
+    """
+    import os
+
+    os.makedirs(marker, exist_ok=True)
+    for attempt in range(fail_times):
+        try:
+            fd = os.open(os.path.join(marker, f"attempt{attempt}"),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        raise RuntimeError(f"injected failure #{attempt}")
+
+
+def _flaky_jobs(tmp_path, tags, fail_times: int):
+    """Duplicate-key jobs sharing one flaky setup hook."""
+    import functools
+
+    setup = functools.partial(_flaky_setup, str(tmp_path / "marker"),
+                              fail_times)
+    jobs = [
+        CampaignJob(spec=make_spec(), config=spr_config(), tag=tag,
+                    setup=setup)
+        for tag in tags
+    ]
+    assert len({job.key() for job in jobs}) == 1
+    return jobs
+
+
+def test_failed_twin_promotes_duplicate_serial(tmp_path):
+    # Job "a" fails its only attempt; its duplicate "b" must be promoted
+    # to a fresh run (which succeeds: the injected failure fires once).
+    jobs = _flaky_jobs(tmp_path, ["a", "b"], fail_times=1)
+    campaign = run_campaign(jobs, parallel=False, cache=False, retries=0)
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["a"].status == "failed"
+    assert by_tag["b"].status == "ok"
+    assert by_tag["b"].attempts == 1
+    assert campaign.results[1] is not None
+
+
+def test_pending_twin_defers_duplicate_instead_of_promoting(tmp_path):
+    # With a retry budget, "a" fails once then succeeds on attempt 2.
+    # The duplicate must wait for the retry and share the result - not
+    # promote itself into a redundant execution.
+    jobs = _flaky_jobs(tmp_path, ["a", "b"], fail_times=1)
+    campaign = run_campaign(jobs, parallel=False, cache=False, retries=1,
+                            backoff=0.0)
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["a"].status == "ok"
+    assert by_tag["a"].attempts == 2
+    assert by_tag["b"].status == "cache_hit"
+    assert by_tag["b"].attempts == 0       # never executed
+    expand_duplicates(campaign)
+    assert campaign.results[1] is not None
+
+
+def test_promotion_repoints_later_duplicates(tmp_path):
+    # Three duplicates; the original fails terminally.  "b" gets
+    # promoted, and "c" - whose dup entry pointed at the dead "a" -
+    # must be re-pointed at "b" and share its result.
+    jobs = _flaky_jobs(tmp_path, ["a", "b", "c"], fail_times=1)
+    campaign = run_campaign(jobs, parallel=False, cache=False, retries=0)
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["a"].status == "failed"
+    assert by_tag["b"].status == "ok"
+    assert by_tag["c"].status == "cache_hit"
+    expand_duplicates(campaign)
+    assert campaign.results[2] is not None
+
+
+def test_failed_twin_promotes_duplicate_parallel(tmp_path):
+    jobs = _flaky_jobs(tmp_path, ["a", "b"], fail_times=1)
+    campaign = run_campaign(jobs, parallel=True, workers=2, cache=False,
+                            retries=0)
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["a"].status == "failed"
+    assert by_tag["b"].status == "ok"
+
+
+def test_twin_exhausting_retries_still_promotes(tmp_path):
+    # "a" burns attempt 1 and its retry (failures #0 and #1); the
+    # promoted "b" runs on its own budget and succeeds on the third
+    # execution overall.
+    jobs = _flaky_jobs(tmp_path, ["a", "b"], fail_times=2)
+    campaign = run_campaign(jobs, parallel=False, cache=False, retries=1,
+                            backoff=0.0)
+    by_tag = {record.tag: record for record in campaign.jobs}
+    assert by_tag["a"].status == "failed"
+    assert by_tag["a"].attempts == 2
+    assert by_tag["b"].status == "ok"
+
+
 # -- the api facade -------------------------------------------------------
 
 

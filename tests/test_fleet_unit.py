@@ -1,0 +1,204 @@
+"""Fleet primitives: hash ring, circuit breaker, event mux, client backoff.
+
+Pure in-process tests - no sockets, no daemons.  The live fleet (real
+members, real kills) is exercised by ``test_fleet.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet import CircuitBreaker, EventMux, HashRing
+from repro.fleet.health import CLOSED, HALF_OPEN, OPEN
+from repro.serve import ServeClient, parse_retry_after
+
+
+# -- consistent hashing ---------------------------------------------------
+
+
+def test_ring_routes_deterministically():
+    ring = HashRing(["m1", "m2", "m3"])
+    keys = [f"key{i}" for i in range(200)]
+    first = [ring.primary(k) for k in keys]
+    assert first == [ring.primary(k) for k in keys]
+    # With 200 keys and 64 vnodes each, every member owns some share.
+    assert set(first) == {"m1", "m2", "m3"}
+
+
+def test_ring_successors_are_distinct_and_start_at_primary():
+    ring = HashRing(["m1", "m2", "m3"])
+    chain = list(ring.successors("somekey"))
+    assert chain[0] == ring.primary("somekey")
+    assert sorted(chain) == ["m1", "m2", "m3"]
+
+
+def test_removing_a_member_only_remaps_its_own_keys():
+    ring = HashRing(["m1", "m2", "m3"])
+    keys = [f"key{i}" for i in range(300)]
+    before = {k: ring.primary(k) for k in keys}
+    ring.remove("m2")
+    for key, owner in before.items():
+        if owner != "m2":
+            # The consistent-hashing guarantee: survivors keep their keys.
+            assert ring.primary(key) == owner
+        else:
+            assert ring.primary(key) in ("m1", "m3")
+
+
+def test_rejoining_member_reclaims_its_keys():
+    ring = HashRing(["m1", "m2", "m3"])
+    keys = [f"key{i}" for i in range(300)]
+    before = {k: ring.primary(k) for k in keys}
+    ring.remove("m2")
+    ring.add("m2")
+    assert {k: ring.primary(k) for k in keys} == before
+
+
+def test_empty_ring():
+    ring = HashRing()
+    assert list(ring.successors("x")) == []
+    with pytest.raises(LookupError):
+        ring.primary("x")
+
+
+# -- circuit breaker ------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_consecutive_failures_only():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                             clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()          # resets the consecutive count
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN and not breaker.allow()
+
+
+def test_breaker_half_open_single_trial_then_recovery():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                             clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.now += 10.0
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()            # the one trial
+    assert not breaker.allow()        # no second concurrent trial
+    breaker.record_success()
+    assert breaker.state == CLOSED and breaker.allow()
+
+
+def test_breaker_half_open_failure_reopens_and_restarts_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.now += 10.0
+    assert breaker.allow()
+    breaker.record_failure()          # trial failed
+    assert breaker.state == OPEN and not breaker.allow()
+    clock.now += 9.0
+    assert not breaker.allow()        # cooldown restarted, not resumed
+    clock.now += 1.0
+    assert breaker.allow()
+
+
+# -- event mux ------------------------------------------------------------
+
+
+def test_mux_merges_concurrent_producers_completely():
+    mux = EventMux()
+    n_producers, per_producer = 8, 50
+
+    def produce(p):
+        try:
+            for i in range(per_producer):
+                mux.publish({"p": p, "i": i})
+        finally:
+            mux.detach()
+
+    for _ in range(n_producers):
+        mux.attach()
+    threads = [threading.Thread(target=produce, args=(p,))
+               for p in range(n_producers)]
+    for t in threads:
+        t.start()
+    events = list(mux.drain())
+    for t in threads:
+        t.join()
+    assert len(events) == n_producers * per_producer
+    # Per-producer order is preserved through the merge.
+    for p in range(n_producers):
+        seq = [e["i"] for e in events if e["p"] == p]
+        assert seq == list(range(per_producer))
+    assert mux.open_producers == 0
+
+
+def test_mux_drain_timeout_stops_without_error():
+    mux = EventMux()
+    mux.attach()                      # producer never detaches
+    mux.publish({"x": 1})
+    events = list(mux.drain(timeout=0.05))
+    assert events == [{"x": 1}]
+
+
+# -- client backoff helpers ------------------------------------------------
+
+
+def test_parse_retry_after_delta_seconds():
+    assert parse_retry_after("7") == 7
+    assert parse_retry_after(" 3 ") == 3
+    assert parse_retry_after("-5") == 0
+
+
+def test_parse_retry_after_http_date():
+    from datetime import datetime, timedelta, timezone
+    from email.utils import format_datetime
+
+    future = datetime.now(timezone.utc) + timedelta(seconds=90)
+    delay = parse_retry_after(format_datetime(future, usegmt=True))
+    assert delay is not None and 85 <= delay <= 95
+    past = datetime.now(timezone.utc) - timedelta(seconds=90)
+    assert parse_retry_after(format_datetime(past, usegmt=True)) is None
+
+
+def test_parse_retry_after_garbage_degrades_to_none():
+    # The satellite fix: an HTTP-date (or garbage) must not raise the
+    # ValueError the old int() parse did.
+    assert parse_retry_after("soon") is None
+    assert parse_retry_after("") is None
+    assert parse_retry_after(None) is None
+
+
+def test_wait_backs_off_exponentially_with_jitter(monkeypatch):
+    client = ServeClient(port=1)
+    states = iter(["queued"] * 6 + ["done"])
+    monkeypatch.setattr(
+        client, "job",
+        lambda job_id: {"state": next(states), "job_id": job_id},
+    )
+    sleeps = []
+    monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+    final = client.wait("j1", timeout=60, poll=0.1, poll_max=1.0,
+                        jitter=0.25)
+    assert final["state"] == "done"
+    assert len(sleeps) == 6
+    # Nominal schedule 0.1 0.2 0.4 0.8 1.0 1.0, each within +/-25%.
+    for observed, nominal in zip(sleeps, [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]):
+        assert nominal * 0.74 <= observed <= nominal * 1.26
+    # Jitter actually varies the delays (not a fixed multiplier).
+    ratios = {round(s / n, 6) for s, n in
+              zip(sleeps, [0.1, 0.2, 0.4, 0.8, 1.0, 1.0])}
+    assert len(ratios) > 1
