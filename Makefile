@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-snapshot figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke sweeps clean
+.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,15 @@ fleet-smoke:
 
 bench-snapshot:
 	$(PYTHON) scripts/bench_snapshot.py
+
+# Re-measure the engine hot-path matrix and rewrite BENCH_engine.json.
+bench-engine:
+	$(PYTHON) scripts/bench_engine.py
+
+# Regression gate: fail when sim_cycles_per_s drops >15% below the
+# committed BENCH_engine.json, or batched/legacy counter parity breaks.
+bench-engine-check:
+	$(PYTHON) scripts/bench_engine.py --check
 
 sweeps:
 	$(PYTHON) scripts/sweep_local_vs_cxl.py

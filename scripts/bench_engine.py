@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Engine hot-path benchmark + regression gate.
+
+Runs the fixed BENCH matrix (same apps/nodes/ops/seed/epoch as
+``scripts/bench_snapshot.py``) through the simulation engine and writes
+``BENCH_engine.json`` at the repo root with, per cell:
+
+* ``sim_cycles_per_s`` - simulated cycles per wall-second through the
+  public ``api.run`` path (the number the trajectory tracks);
+* ``legacy_cycles_per_s`` - the same spec on ``Engine(batched=False)``,
+  the reference heap scheduler, plus the batched/legacy speedup;
+* ``parity`` - whether the batched and legacy runs produced bit-identical
+  PMU counter totals (they must: the fast path is an optimisation, not a
+  model change).
+
+``--check`` re-measures and fails (exit 1) when any cell regresses more
+than ``--tolerance`` (default 15%) below the committed snapshot - wire
+this into CI (``make bench-engine-check``).  Absolute numbers are
+host-dependent; the gate therefore compares against a snapshot produced
+on the same host class, and the committed file records the host.
+
+Usage:
+    python scripts/bench_engine.py                  # measure + write
+    python scripts/bench_engine.py --check          # gate vs committed
+    python scripts/bench_engine.py --baseline-json PATH   # add speedups
+        # vs an external {tag: cycles_per_s} map (e.g. a pre-overhaul
+        # worktree measured on this host)
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core.profiler import PathFinder  # noqa: E402
+from repro.sim import Machine  # noqa: E402
+
+from bench_snapshot import (  # noqa: E402
+    EPOCH_CYCLES,
+    MATRIX_APPS,
+    MATRIX_NODES,
+    MATRIX_SEED,
+    make_job,
+)
+
+DEFAULT_OUT = ROOT / "BENCH_engine.json"
+FLEET_SNAPSHOT = ROOT / "BENCH_fleet.json"
+
+
+def _counter_checksum(result) -> str:
+    """Order-stable digest of the session's total PMU counters."""
+    totals = api.counters(result)
+    payload = json.dumps(
+        sorted((scope, event, repr(value))
+               for (scope, event), value in totals.items())
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _machine_run(job, batched: bool):
+    """One PathFinder session on a fresh machine; returns (result, wall)."""
+    for app in job.spec.apps:
+        reseed = getattr(app.workload, "reseed", None)
+        if reseed is not None:
+            reseed()
+    machine = Machine(job.config)
+    machine.engine.set_batched(batched)
+    began = time.perf_counter()
+    result = PathFinder(machine, job.spec).run()
+    return result, time.perf_counter() - began
+
+
+def measure(ops: int, repeat: int = 3) -> dict:
+    """Best-of-``repeat`` walls per cell: single runs jitter 10-20%."""
+    rows = {}
+    for app in MATRIX_APPS:
+        for node in MATRIX_NODES:
+            job = make_job(app, node, ops)
+            # Trajectory number: the public api.run path, like BENCH_fleet.
+            api_wall = float("inf")
+            for _ in range(repeat):
+                for a in job.spec.apps:
+                    a.workload.reseed()
+                began = time.perf_counter()
+                result = api.run(job.spec, config=job.config, cache=False)
+                api_wall = min(api_wall, time.perf_counter() - began)
+            # A/B on bare machines: batched vs the legacy reference heap.
+            fast_wall = slow_wall = float("inf")
+            for _ in range(repeat):
+                fast, wall = _machine_run(job, batched=True)
+                fast_wall = min(fast_wall, wall)
+                slow, wall = _machine_run(job, batched=False)
+                slow_wall = min(slow_wall, wall)
+            parity = _counter_checksum(fast) == _counter_checksum(slow)
+            cycles = result.total_cycles
+            rows[job.tag] = {
+                "wall_s": round(api_wall, 4),
+                "num_epochs": result.num_epochs,
+                "sim_cycles": cycles,
+                "sim_cycles_per_s": round(cycles / api_wall, 1),
+                "legacy_cycles_per_s": round(fast.total_cycles / slow_wall, 1),
+                "speedup_vs_legacy_heap": round(slow_wall / fast_wall, 3),
+                "parity": parity,
+            }
+    return rows
+
+
+def add_fleet_speedups(rows: dict) -> None:
+    """Fold in the ratio against the committed BENCH_fleet engine numbers."""
+    if not FLEET_SNAPSHOT.exists():
+        return
+    fleet = json.loads(FLEET_SNAPSHOT.read_text()).get("engine", {})
+    for tag, row in rows.items():
+        old = fleet.get(tag, {}).get("sim_cycles_per_s")
+        if old:
+            row["speedup_vs_bench_fleet"] = round(
+                row["sim_cycles_per_s"] / old, 3
+            )
+
+
+def add_baseline_speedups(rows: dict, baseline_path: str) -> None:
+    """Fold in speedups vs an external {tag: cycles_per_s} baseline."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    for tag, row in rows.items():
+        old = baseline.get(tag)
+        if old:
+            row["pre_overhaul_cycles_per_s"] = old
+            row["speedup_vs_pre_overhaul"] = round(
+                row["sim_cycles_per_s"] / old, 3
+            )
+
+
+def check(ops: int, tolerance: float, snapshot_path: Path) -> int:
+    if not snapshot_path.exists():
+        print(f"no committed snapshot at {snapshot_path}; run without --check first")
+        return 2
+    committed = json.loads(snapshot_path.read_text())["engine"]
+    rows = measure(ops, repeat=3)
+    failed = []
+    for tag, row in rows.items():
+        new = row["sim_cycles_per_s"]
+        old = committed.get(tag, {}).get("sim_cycles_per_s")
+        if not row["parity"]:
+            failed.append(f"{tag}: batched/legacy counter parity broken")
+            status = "PARITY-FAIL"
+        elif old and new < old * (1.0 - tolerance):
+            failed.append(
+                f"{tag}: {new:.0f} c/s < {(1.0 - tolerance) * old:.0f} "
+                f"(committed {old:.0f}, tolerance {tolerance:.0%})"
+            )
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        ratio = f"{new / old:5.2f}x" if old else "  n/a"
+        print(f"{tag:24s} {new:12.1f} c/s  vs committed {ratio}  {status}")
+    if failed:
+        print("\nFAIL:")
+        for line in failed:
+            print(f"  - {line}")
+        return 1
+    print("\nOK: engine throughput within tolerance, parity intact")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=4000,
+                        help="ops per app in the fixed matrix")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed snapshot; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed sim_cycles_per_s drop for --check")
+    parser.add_argument("--baseline-json", default=None,
+                        help="optional {tag: cycles_per_s} map to compute "
+                             "speedup_vs_pre_overhaul against")
+    args = parser.parse_args()
+
+    if args.check:
+        return check(args.ops, args.tolerance, Path(args.out))
+
+    rows = measure(args.ops)
+    add_fleet_speedups(rows)
+    if args.baseline_json:
+        add_baseline_speedups(rows, args.baseline_json)
+    snapshot = {
+        "matrix": {
+            "apps": MATRIX_APPS,
+            "nodes": MATRIX_NODES,
+            "ops": args.ops,
+            "seed": MATRIX_SEED,
+            "epoch_cycles": EPOCH_CYCLES,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "engine": rows,
+    }
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ __version__ = "1.0.0"
 from . import baselines, core, exec, pmu, sim, tiering, tsdb, workloads  # noqa: F401
 from . import api  # noqa: F401
 from .api import compare, counters, fleet_run_many, run, run_many  # noqa: F401
+from .options import RunOptions, UNSET  # noqa: F401
 
 __all__ = [
     "api",
@@ -22,9 +23,11 @@ __all__ = [
     "pmu",
     "run",
     "run_many",
+    "RunOptions",
     "sim",
     "tiering",
     "tsdb",
     "workloads",
+    "UNSET",
     "__version__",
 ]

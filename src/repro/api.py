@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+import dataclasses
+
 from .core.diff import SessionDiff, compare_sessions
 from .core.profiler import PathFinder, ProfileResult
 from .core.spec import ProfileSpec
@@ -35,11 +37,12 @@ from .exec.runner import (
     expand_duplicates,
     run_campaign,
 )
+from .options import UNSET, RunOptions, apply_trace, resolve_options
 from .sim.machine import Machine
 from .sim.topology import MachineConfig, spr_config
 
 __all__ = ["run", "run_many", "fleet_run_many", "compare", "counters",
-           "config_for"]
+           "config_for", "RunOptions"]
 
 
 def config_for(spec: ProfileSpec) -> MachineConfig:
@@ -71,34 +74,59 @@ def config_for(spec: ProfileSpec) -> MachineConfig:
 def run(
     spec: ProfileSpec,
     *,
+    options: Optional[RunOptions] = None,
     config: Optional[MachineConfig] = None,
     machine: Optional[Machine] = None,
-    cache: Union[None, bool, str, ResultCache] = None,
-    max_events: Optional[int] = None,
+    cache: Union[None, bool, str, ResultCache] = UNSET,
+    max_events: Optional[int] = UNSET,
+    timeout: Optional[float] = UNSET,
+    retries: int = UNSET,
+    trace: Any = UNSET,
 ) -> ProfileResult:
     """Profile one spec and return its :class:`ProfileResult`.
 
     With no ``machine``, one is built from ``config`` (default: an SPR
-    host sized to the spec's cores).  Pass ``cache=True`` (or a path /
-    :class:`ResultCache`) to reuse and populate the content-addressed
-    store; an explicit ``machine`` disables caching because its mutated
-    state is not part of the cache key.
+    host sized to the spec's cores).  Execution knobs travel in
+    ``options`` (a :class:`repro.RunOptions`); the individual keywords
+    remain as a compatibility spelling of the same fields.  Pass
+    ``cache=True`` (or a path / :class:`ResultCache`) to reuse and
+    populate the content-addressed store; an explicit ``machine``
+    disables caching because its mutated state is not part of the cache
+    key.
     """
+    opts = resolve_options(
+        options,
+        {"cache": cache, "max_events": max_events, "timeout": timeout,
+         "retries": retries, "trace": trace},
+        api="run",
+        defaults={"cache": None, "max_events": None, "timeout": None,
+                  "retries": 0, "trace": None},
+    )
+    spec = apply_trace(spec, opts["trace"])
     if machine is not None:
-        if cache:
+        if opts["cache"]:
             raise ValueError(
                 "cache requires a declarative config; an explicit machine's "
                 "state is not captured by the cache key"
+            )
+        if opts["timeout"] is not None or opts["retries"]:
+            raise ValueError(
+                "timeout/retries need the campaign runner; they do not "
+                "apply to an explicit machine"
             )
         profiler = PathFinder(machine, spec)
         return profiler.run()
     job = CampaignJob(
         spec=spec,
         config=config if config is not None else config_for(spec),
-        max_events=max_events,
+        max_events=opts["max_events"],
     )
     campaign = run_campaign(
-        [job], parallel=False, cache=coerce_cache(cache), retries=0
+        [job],
+        parallel=False,
+        cache=coerce_cache(opts["cache"]),
+        timeout=opts["timeout"],
+        retries=opts["retries"],
     )
     record = campaign.jobs[0]
     if not record.ok:
@@ -106,24 +134,16 @@ def run(
     return campaign.results[0]
 
 
-def run_many(
+def _collect_jobs(
     specs: Sequence[Union[ProfileSpec, CampaignJob]],
-    *,
-    config: Optional[MachineConfig] = None,
-    parallel: bool = True,
-    workers: Optional[int] = None,
-    cache: Union[None, bool, str, ResultCache] = True,
-    timeout: Optional[float] = None,
-    retries: int = 1,
-    tags: Optional[Sequence[str]] = None,
-) -> CampaignResult:
-    """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
+    config: Optional[MachineConfig],
+    tags: Optional[Sequence[str]],
+    opts: Dict[str, Any],
+) -> List[CampaignJob]:
+    """Wrap specs into jobs and fold resolved options into each job.
 
-    Accepts plain :class:`ProfileSpec` items (wrapped into jobs, with
-    ``config`` or a per-spec default machine) or pre-built
-    :class:`CampaignJob` items for full control (setup hooks, per-job
-    budgets).  Caching defaults ON for campaigns - reruns and overlapping
-    sweeps resolve from ``results/cache/``.
+    ``trace`` rewrites the job's spec (never mutating the caller's);
+    ``max_events`` fills jobs that did not set their own budget.
     """
     jobs: List[CampaignJob] = []
     for i, item in enumerate(specs):
@@ -131,22 +151,65 @@ def run_many(
         if isinstance(item, CampaignJob):
             if tag and not item.tag:
                 item.tag = tag
-            jobs.append(item)
+            changes: Dict[str, Any] = {}
+            spec = apply_trace(item.spec, opts.get("trace"))
+            if spec is not item.spec:
+                changes["spec"] = spec
+            if opts.get("max_events") is not None and item.max_events is None:
+                changes["max_events"] = opts["max_events"]
+            jobs.append(dataclasses.replace(item, **changes) if changes else item)
         else:
             jobs.append(
                 CampaignJob(
-                    spec=item,
+                    spec=apply_trace(item, opts.get("trace")),
                     config=config if config is not None else config_for(item),
                     tag=tag,
+                    max_events=opts.get("max_events"),
                 )
             )
+    return jobs
+
+
+def run_many(
+    specs: Sequence[Union[ProfileSpec, CampaignJob]],
+    *,
+    options: Optional[RunOptions] = None,
+    config: Optional[MachineConfig] = None,
+    parallel: bool = True,
+    workers: Optional[int] = None,
+    cache: Union[None, bool, str, ResultCache] = UNSET,
+    max_events: Optional[int] = UNSET,
+    timeout: Optional[float] = UNSET,
+    retries: int = UNSET,
+    trace: Any = UNSET,
+    tags: Optional[Sequence[str]] = None,
+) -> CampaignResult:
+    """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
+
+    Accepts plain :class:`ProfileSpec` items (wrapped into jobs, with
+    ``config`` or a per-spec default machine) or pre-built
+    :class:`CampaignJob` items for full control (setup hooks, per-job
+    budgets).  Execution knobs travel in ``options``
+    (:class:`repro.RunOptions`); the individual keywords remain as a
+    compatibility spelling.  Caching defaults ON for campaigns - reruns
+    and overlapping sweeps resolve from ``results/cache/``.
+    """
+    opts = resolve_options(
+        options,
+        {"cache": cache, "max_events": max_events, "timeout": timeout,
+         "retries": retries, "trace": trace},
+        api="run_many",
+        defaults={"cache": True, "max_events": None, "timeout": None,
+                  "retries": 1, "trace": None},
+    )
+    jobs = _collect_jobs(specs, config, tags, opts)
     campaign = run_campaign(
         jobs,
         workers=workers,
         parallel=parallel,
-        cache=cache,
-        timeout=timeout,
-        retries=retries,
+        cache=opts["cache"],
+        timeout=opts["timeout"],
+        retries=opts["retries"],
     )
     expand_duplicates(campaign)
     return campaign
@@ -156,11 +219,12 @@ def fleet_run_many(
     specs: Sequence[Union[ProfileSpec, CampaignJob]],
     members: Sequence[Union[str, Tuple[str, int]]],
     *,
+    options: Optional[RunOptions] = None,
     config: Optional[MachineConfig] = None,
     tags: Optional[Sequence[str]] = None,
     monitor_interval_s: Optional[float] = 2.0,
     on_event: Optional[Any] = None,
-    **options: Any,
+    **shard_options: Any,
 ) -> "FleetResult":
     """Execute a campaign across a fleet of ``repro.serve`` daemons.
 
@@ -170,7 +234,11 @@ def fleet_run_many(
     and overlapping sweeps resolve as member-local cache hits, and a
     member that dies mid-campaign has its jobs rerouted to ring
     successors.  Jobs must be declarative (no ``setup`` hooks - they
-    cannot travel over HTTP).  Extra ``options`` are forwarded to
+    cannot travel over HTTP).  Execution knobs travel in ``options``
+    (:class:`repro.RunOptions`): ``max_events``/``trace`` fold into the
+    shipped jobs, ``timeout`` becomes the per-member ``job_timeout``;
+    ``cache`` and ``retries`` do not apply here (members cache locally,
+    failover replaces retry).  Extra ``shard_options`` are forwarded to
     :meth:`repro.fleet.FleetCoordinator.shard_campaign`; ``on_event``
     receives every merged progress event.
 
@@ -180,26 +248,25 @@ def fleet_run_many(
     """
     from .fleet import FleetCoordinator, FleetResult  # noqa: F811
 
-    jobs: List[CampaignJob] = []
-    for i, item in enumerate(specs):
-        tag = tags[i] if tags is not None else ""
-        if isinstance(item, CampaignJob):
-            if tag and not item.tag:
-                item.tag = tag
-            jobs.append(item)
-        else:
-            jobs.append(
-                CampaignJob(
-                    spec=item,
-                    config=config if config is not None else config_for(item),
-                    tag=tag,
-                )
+    opts = resolve_options(
+        options,
+        {},
+        api="fleet_run_many",
+        defaults={"max_events": None, "timeout": None, "trace": None},
+    )
+    if opts["timeout"] is not None:
+        if "job_timeout" in shard_options:
+            raise ValueError(
+                "fleet_run_many: timeout set both via options= and as "
+                "job_timeout=; set it in one place"
             )
+        shard_options["job_timeout"] = opts["timeout"]
+    jobs = _collect_jobs(specs, config, tags, opts)
     coordinator = FleetCoordinator(members)
     if monitor_interval_s is not None:
         coordinator.start_monitor(interval_s=monitor_interval_s)
     try:
-        return coordinator.run_many(jobs, on_event=on_event, **options)
+        return coordinator.run_many(jobs, on_event=on_event, **shard_options)
     finally:
         coordinator.stop_monitor()
 

@@ -190,18 +190,10 @@ def _execute_job(
         setup(machine, spec)
     profiler = PathFinder(machine, spec)
     if max_events is not None:
-        # Bound the whole session, not each epoch: budget the engine
-        # directly and let the typed exception surface as a job failure.
-        original_run = machine.engine.run
-        budget = {"left": max_events}
-
-        def bounded_run(until=None, max_events=None):  # noqa: A002
-            before = machine.engine.events_executed
-            try:
-                return original_run(until=until, max_events=budget["left"])
-            finally:
-                budget["left"] -= machine.engine.events_executed - before
-        machine.engine.run = bounded_run  # type: ignore[method-assign]
+        # Bound the whole session, not each epoch: the engine's persistent
+        # budget composes across the profiler's per-epoch run() calls and
+        # surfaces as a typed, retryable job failure when exhausted.
+        machine.engine.set_event_budget(max_events)
     result = profiler.run()
     return {
         "ok": True,

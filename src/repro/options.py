@@ -1,0 +1,180 @@
+"""Unified execution options for the profiling entry points.
+
+:func:`repro.api.run`, :func:`repro.api.run_many` and
+:func:`repro.api.fleet_run_many` grew their execution knobs (caching,
+event budgets, timeouts, retries, tracing) one keyword at a time, with
+per-verb spellings and defaults.  :class:`RunOptions` is the one carrier
+for all of them:
+
+    from repro import RunOptions, api
+
+    opts = RunOptions(cache=False, max_events=2_000_000, trace=True)
+    result = api.run(spec, options=opts)
+    campaign = api.run_many(specs, options=opts)
+
+Every field defaults to :data:`UNSET` ("not given"), so one
+``RunOptions`` can be reused across verbs while each verb keeps its own
+historical defaults for the fields the caller left alone (``run`` caches
+off / no retries; ``run_many`` caches on / one retry).  The legacy
+keyword arguments still work; passing a keyword *and* the same field on
+``options`` is a conflict and raises ``ValueError``, while mixing
+``options`` with other legacy keywords merges them and emits a
+``DeprecationWarning`` nudging callers to fold everything into
+``options``.
+
+``trace`` accepts ``True`` (default :class:`~repro.core.spec.TraceSpec`),
+an ``int`` (sample 1-in-N requests), or a full ``TraceSpec``; it is
+applied to the profile spec(s) via ``dataclasses.replace`` so the specs
+passed in are never mutated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .core.spec import ProfileSpec, TraceSpec
+
+__all__ = ["RunOptions", "UNSET", "coerce_trace"]
+
+
+class _UnsetType:
+    """Sentinel distinguishing "not given" from an explicit None/False."""
+
+    _instance: Optional["_UnsetType"] = None
+
+    def __new__(cls) -> "_UnsetType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Field default meaning "the caller did not set this".
+UNSET: Any = _UnsetType()
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options shared by the ``api`` verbs.
+
+    Fields left :data:`UNSET` fall back to the per-verb default, so the
+    same instance composes with every entry point:
+
+    * ``cache`` - ``None``/``False`` (off), ``True`` (default store), a
+      path, or a :class:`~repro.exec.cache.ResultCache`.
+    * ``max_events`` - simulation event budget per job; exceeding it is
+      a retryable failure.
+    * ``timeout`` - per-job wall-clock limit in seconds.
+    * ``retries`` - additional attempts for failed jobs.
+    * ``trace`` - flight-recorder config: ``True``, a sample-1-in-N
+      ``int``, or a :class:`~repro.core.spec.TraceSpec`.
+    """
+
+    cache: Any = UNSET
+    max_events: Any = UNSET
+    timeout: Any = UNSET
+    retries: Any = UNSET
+    trace: Any = UNSET
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELDS: Tuple[str, ...] = tuple(f.name for f in dataclasses.fields(RunOptions))
+
+
+def coerce_trace(trace: Any) -> Optional[TraceSpec]:
+    """Normalise the ``trace`` option into an ``Optional[TraceSpec]``."""
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return TraceSpec()
+    if isinstance(trace, TraceSpec):
+        return trace
+    if isinstance(trace, int):
+        return TraceSpec(sample_every=trace)
+    raise ValueError(
+        f"trace must be None, bool, int (sample 1-in-N) or TraceSpec, "
+        f"got {trace!r}"
+    )
+
+
+def _validate(field: str, value: Any) -> Any:
+    if value is None or value is UNSET:
+        return value
+    if field == "max_events":
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ValueError(f"max_events must be a positive int, got {value!r}")
+    elif field == "timeout":
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+            raise ValueError(f"timeout must be a positive number, got {value!r}")
+    elif field == "retries":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"retries must be a non-negative int, got {value!r}")
+    elif field == "trace":
+        value = coerce_trace(value)
+    return value
+
+
+def resolve_options(
+    options: Optional[RunOptions],
+    legacy: Dict[str, Any],
+    *,
+    api: str,
+    defaults: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Merge ``options`` with legacy keyword arguments into one dict.
+
+    ``legacy`` maps field name to the value the verb's keyword received
+    (:data:`UNSET` when the caller left it alone); ``defaults`` holds the
+    verb's historical defaults and also defines which fields the verb
+    supports.  A field set both ways is ambiguous -> ``ValueError``;
+    legacy keywords alongside ``options`` merge with a
+    ``DeprecationWarning``.  Fields a verb does not support (absent from
+    ``defaults``) raise when explicitly set.
+    """
+    if options is not None and not isinstance(options, RunOptions):
+        raise TypeError(f"options must be a RunOptions, got {type(options).__name__}")
+    mixed = []
+    resolved: Dict[str, Any] = {}
+    for field in _FIELDS:
+        from_opts = getattr(options, field) if options is not None else UNSET
+        from_kwarg = legacy.get(field, UNSET)
+        if from_opts is not UNSET and from_kwarg is not UNSET:
+            raise ValueError(
+                f"{api}: '{field}' passed both via options= and as a "
+                f"keyword argument; set it in one place"
+            )
+        if from_kwarg is not UNSET:
+            mixed.append(field)
+        value = from_kwarg if from_kwarg is not UNSET else from_opts
+        if value is not UNSET and field not in defaults:
+            raise ValueError(f"{api}: option '{field}' is not supported here")
+        resolved[field] = _validate(field, value)
+    if options is not None and mixed:
+        warnings.warn(
+            f"{api}: mixing options= with keyword argument(s) "
+            f"{', '.join(sorted(mixed))}; fold them into RunOptions",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    for field, default in defaults.items():
+        if resolved.get(field) is UNSET:
+            resolved[field] = default
+    return resolved
+
+
+def apply_trace(spec: ProfileSpec, trace: Optional[TraceSpec]) -> ProfileSpec:
+    """A spec carrying ``trace``; the input spec is never mutated."""
+    if trace is None or spec.trace == trace:
+        return spec
+    return dataclasses.replace(spec, trace=trace)

@@ -74,6 +74,27 @@ class CounterRegistry:
             for sampler in self._samplers.get(key, ()):
                 sampler.observe(self._counters[key])
 
+    def add_many(
+        self, scope: str, events: Iterable[str], value: float = 1.0
+    ) -> None:
+        """Bump several events of one scope in a single call.
+
+        The batch analogue of :meth:`add` for hot emission sites (TOR
+        inserts, OCR scenario fan-out) that bump a precomputed tuple of
+        counters per request; equivalent to calling ``add`` per event as
+        long as the events are distinct.
+        """
+        counters = self._counters
+        for event in events:
+            counters[(scope, event)] += value
+        self._version += 1
+        if self._samplers:
+            samplers = self._samplers
+            for event in events:
+                key = (scope, event)
+                for sampler in samplers.get(key, ()):
+                    sampler.observe(counters[key])
+
     def arm_sampler(
         self, scope: str, event: str, threshold: float,
         callback: Callable[[float], None],

@@ -11,6 +11,7 @@ from .address import AddressSpace, NodeKind, NumaNode, PAGE_SIZE, build_address_
 from .cache import Cache, MESIF
 from .engine import Engine, SimulationBudgetExceeded, Waiter
 from .cxl_switch import CXLSwitch, attach_switch
+from .hooks import EngineHooks, StagePort
 from .machine import Machine
 from .qos import DevLoadThrottler, QoSConfig
 from .request import (
@@ -32,6 +33,7 @@ __all__ = [
     "Cache",
     "DevLoadThrottler",
     "Engine",
+    "EngineHooks",
     "FLIT_MODES",
     "FlitMode",
     "MESIF",
@@ -47,6 +49,7 @@ __all__ = [
     "Path",
     "ServeLocation",
     "SimulationBudgetExceeded",
+    "StagePort",
     "Waiter",
     "attach_switch",
     "build_address_space",

@@ -7,13 +7,17 @@ reuse distances rather than from tuned probabilities.
 
 Lines carry MESIF coherence states (section 2.2); the CHA's directory
 drives the state transitions, the cache itself only stores them.
+
+Hot-path layout: each set keeps a ``tag -> way`` index next to the
+``way -> line`` store so lookup/probe/fill are O(1) dict probes instead of
+linear tag scans; line objects are ``__slots__``-flat.  See docs/ENGINE.md.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from .request import CACHELINE
@@ -27,7 +31,7 @@ class MESIF(enum.Enum):
     FORWARD = "F"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     tag: int
     state: MESIF = MESIF.EXCLUSIVE
@@ -37,7 +41,7 @@ class CacheLine:
     in_main: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """What fell out of a set on fill: address plus write-back need."""
 
@@ -61,8 +65,9 @@ class LRUPolicy(ReplacementPolicy):
 
     def touch(self, cache_set: "CacheSet", way: int) -> None:
         order = cache_set.recency
-        order.remove(way)
-        order.append(way)
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     def victim(self, cache_set: "CacheSet") -> int:
         return cache_set.recency[0]
@@ -111,16 +116,34 @@ class S3FIFOPolicy(ReplacementPolicy):
         return cache_set.recency[0]
 
 
-@dataclass
 class CacheSet:
-    lines: Dict[int, CacheLine] = field(default_factory=dict)  # way -> line
-    recency: List[int] = field(default_factory=list)           # LRU order
-    small_fifo: Deque[int] = field(default_factory=deque)      # S3-FIFO
-    main_fifo: Deque[int] = field(default_factory=deque)
+    """One set: way->line store plus a tag->way index kept in lockstep."""
+
+    __slots__ = ("lines", "tags", "recency", "small_fifo", "main_fifo")
+
+    def __init__(self) -> None:
+        self.lines: Dict[int, CacheLine] = {}   # way -> line
+        self.tags: Dict[int, int] = {}          # tag -> way (any state)
+        self.recency: List[int] = []            # LRU order
+        self.small_fifo: Deque[int] = deque()   # S3-FIFO
+        self.main_fifo: Deque[int] = deque()
 
 
 class Cache:
     """One level of set-associative cache (L1D, L2, or an LLC slice)."""
+
+    __slots__ = (
+        "name",
+        "line_size",
+        "ways",
+        "num_sets",
+        "sets",
+        "policy",
+        "_policy_name",
+        "hits",
+        "misses",
+        "observer",
+    )
 
     def __init__(
         self,
@@ -168,10 +191,18 @@ class Cache:
 
     def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
         """Probe the tag array.  Counts a hit/miss; updates recency on hit."""
-        set_index, tag = self._index(address)
-        cache_set = self._set(set_index)
-        for way, line in cache_set.lines.items():
-            if line.tag == tag and line.state is not MESIF.INVALID:
+        line_no = address // self.line_size
+        set_index = line_no % self.num_sets
+        cache_set = self.sets.get(set_index)
+        if cache_set is None:
+            cache_set = CacheSet()
+            self.sets[set_index] = cache_set
+            way = None
+        else:
+            way = cache_set.tags.get(line_no // self.num_sets)
+        if way is not None:
+            line = cache_set.lines[way]
+            if line.state is not MESIF.INVALID:
                 self.hits += 1
                 if self.observer is not None:
                     self.observer.on_cache_lookup(self.name, True)
@@ -189,10 +220,11 @@ class Cache:
         cache_set = self.sets.get(set_index)
         if cache_set is None:
             return None
-        for line in cache_set.lines.values():
-            if line.tag == tag and line.state is not MESIF.INVALID:
-                return line
-        return None
+        way = cache_set.tags.get(tag)
+        if way is None:
+            return None
+        line = cache_set.lines[way]
+        return line if line.state is not MESIF.INVALID else None
 
     def fill(
         self, address: int, state: MESIF = MESIF.EXCLUSIVE, dirty: bool = False
@@ -201,15 +233,17 @@ class Cache:
         set_index, tag = self._index(address)
         cache_set = self._set(set_index)
         # Refill of an already-present line just updates state.
-        for way, line in cache_set.lines.items():
-            if line.tag == tag:
-                line.state = state
-                line.dirty = line.dirty or dirty
-                return None
+        way = cache_set.tags.get(tag)
+        if way is not None:
+            line = cache_set.lines[way]
+            line.state = state
+            line.dirty = line.dirty or dirty
+            return None
         evicted: Optional[EvictedLine] = None
         if len(cache_set.lines) >= self.ways:
             victim_way = self.policy.victim(cache_set)
             victim = cache_set.lines.pop(victim_way)
+            del cache_set.tags[victim.tag]
             if victim_way in cache_set.recency:
                 cache_set.recency.remove(victim_way)
             if victim_way in cache_set.small_fifo:
@@ -227,8 +261,8 @@ class Cache:
             way = len(cache_set.lines)
             while way in cache_set.lines:
                 way += 1
-        new_line = CacheLine(tag=tag, state=state, dirty=dirty)
-        cache_set.lines[way] = new_line
+        cache_set.lines[way] = CacheLine(tag=tag, state=state, dirty=dirty)
+        cache_set.tags[tag] = way
         cache_set.recency.append(way)
         if self._policy_name == "s3fifo":
             cache_set.small_fifo.append(way)
@@ -240,17 +274,18 @@ class Cache:
         cache_set = self.sets.get(set_index)
         if cache_set is None:
             return None
-        for way, line in list(cache_set.lines.items()):
-            if line.tag == tag:
-                del cache_set.lines[way]
-                if way in cache_set.recency:
-                    cache_set.recency.remove(way)
-                if way in cache_set.small_fifo:
-                    cache_set.small_fifo.remove(way)
-                if way in cache_set.main_fifo:
-                    cache_set.main_fifo.remove(way)
-                return line
-        return None
+        way = cache_set.tags.get(tag)
+        if way is None:
+            return None
+        line = cache_set.lines.pop(way)
+        del cache_set.tags[tag]
+        if way in cache_set.recency:
+            cache_set.recency.remove(way)
+        if way in cache_set.small_fifo:
+            cache_set.small_fifo.remove(way)
+        if way in cache_set.main_fifo:
+            cache_set.main_fifo.remove(way)
+        return line
 
     def set_state(self, address: int, state: MESIF) -> bool:
         line = self.probe(address)

@@ -56,36 +56,147 @@ OCR_SUFFIX: Dict[ServeLocation, str] = {
 }
 
 
+def _build_tor_tables():
+    """Precompute every TOR-insert / TOR-occupancy key tuple.
+
+    A TOR insert's scenario expansion depends only on (path, outcome):
+    ``None`` target means LLC hit, a :class:`NodeKind` names the miss
+    target.  Expanding the cross-product once at import turns the per
+    request key-building loops of ``_at_slice`` into two dict lookups.
+    Key order matches the original per-request construction.
+    """
+    insert_keys: Dict[tuple, tuple] = {}
+    occ_keys: Dict[tuple, tuple] = {}
+    for path, event in TOR_EVENT_BY_PATH.items():
+        sub_event = event.rsplit(".", 1)[1]  # e.g. "ia_drd"
+        insert_keys[(path, None)] = (
+            f"{event}.total", "unc_cha_tor_inserts.ia.total",
+            f"{event}.hit", "unc_cha_tor_inserts.ia.hit",
+        )
+        occ_keys[(path, None)] = (
+            f"{sub_event}.total", "ia.total", f"{sub_event}.hit",
+        )
+        for kind in NodeKind:
+            keys = [
+                f"{event}.total", "unc_cha_tor_inserts.ia.total",
+                f"{event}.miss", "unc_cha_tor_inserts.ia.miss",
+            ]
+            if kind is NodeKind.LOCAL_DDR:
+                keys += [f"{event}.miss_local", f"{event}.miss_local_ddr",
+                         f"{event}.miss_ddr"]
+            elif kind is NodeKind.REMOTE_DDR:
+                keys += [f"{event}.miss_remote", f"{event}.miss_remote_ddr",
+                         f"{event}.miss_ddr"]
+            elif kind is NodeKind.CXL:
+                keys += [f"{event}.miss_cxl",
+                         "unc_cha_tor_inserts.ia.miss_cxl"]
+            insert_keys[(path, kind)] = tuple(keys)
+            occ = [f"{sub_event}.total", "ia.total", f"{sub_event}.miss"]
+            if kind is NodeKind.CXL:
+                occ += [f"{sub_event}.miss_cxl", "ia.miss_cxl"]
+            occ_keys[(path, kind)] = tuple(occ)
+    return insert_keys, occ_keys
+
+
+def _build_ocr_table():
+    """Precompute OCR scenario key tuples per (path, serve location)."""
+    table: Dict[tuple, tuple] = {}
+    for path, event in OCR_EVENT_BY_PATH.items():
+        for location in ServeLocation:
+            keys = [f"{event}.any_response"]
+            suffix = OCR_SUFFIX.get(location)
+            if suffix:
+                keys.append(f"{event}.{suffix}")
+            if location.is_memory or location is ServeLocation.REMOTE_LLC:
+                keys.append(f"{event}.non_local_cache")
+            table[(path, location)] = tuple(keys)
+    return table
+
+
+_TOR_INSERT_KEYS, _TOR_OCC_KEYS = _build_tor_tables()
+_OCR_KEYS = _build_ocr_table()
+
+# Memoized "core{N}" scope strings (f-string formatting is measurable on
+# the per-request OCR emission path).
+_CORE_SCOPES: Dict[int, str] = {}
+
+
+def _core_scope(core_id: int) -> str:
+    scope = _CORE_SCOPES.get(core_id)
+    if scope is None:
+        scope = _CORE_SCOPES[core_id] = f"core{core_id}"
+    return scope
+
+
 class _CategoryOccupancy:
     """Time-integrated in-flight count per (event, scenario) category.
 
     Implements the ``unc_cha_tor_occupancy.*`` family: for each cycle,
-    accumulate the number of valid TOR entries of that category.
+    accumulate the number of valid TOR entries of that category.  State is
+    flat: category keys are interned to slots in parallel ``array``s so
+    the per-request enter/exit loops touch no per-key dict entries.
     """
 
-    def __init__(self) -> None:
-        self._depth: Dict[str, int] = {}
-        self._integral: Dict[str, float] = {}
-        self._last: Dict[str, float] = {}
+    __slots__ = ("_index", "_keys", "_depth", "_integral", "_last")
 
-    def _advance(self, key: str, now: float) -> None:
-        last = self._last.get(key, now)
-        depth = self._depth.get(key, 0)
-        self._integral[key] = self._integral.get(key, 0.0) + depth * (now - last)
-        self._last[key] = now
+    def __init__(self) -> None:
+        from array import array
+
+        self._index: Dict[str, int] = {}
+        self._keys: List[str] = []
+        self._depth = array("q")
+        self._integral = array("d")
+        self._last = array("d")
+
+    def _slot(self, key: str, now: float) -> int:
+        idx = len(self._keys)
+        self._index[key] = idx
+        self._keys.append(key)
+        self._depth.append(0)
+        self._integral.append(0.0)
+        self._last.append(now)
+        return idx
+
+    def enter_many(self, keys, now: float) -> None:
+        index = self._index
+        depth, integral, last = self._depth, self._integral, self._last
+        for key in keys:
+            idx = index.get(key)
+            if idx is None:
+                idx = self._slot(key, now)
+            d = depth[idx]
+            dt = now - last[idx]
+            if dt:
+                integral[idx] += d * dt
+                last[idx] = now
+            depth[idx] = d + 1
+
+    def exit_many(self, keys, now: float) -> None:
+        index = self._index
+        depth, integral, last = self._depth, self._integral, self._last
+        for key in keys:
+            idx = index[key]
+            d = depth[idx]
+            dt = now - last[idx]
+            if dt:
+                integral[idx] += d * dt
+                last[idx] = now
+            depth[idx] = d - 1
 
     def enter(self, key: str, now: float) -> None:
-        self._advance(key, now)
-        self._depth[key] = self._depth.get(key, 0) + 1
+        self.enter_many((key,), now)
 
     def exit(self, key: str, now: float) -> None:
-        self._advance(key, now)
-        self._depth[key] -= 1
+        self.exit_many((key,), now)
 
     def sync(self, now: float) -> Dict[str, float]:
-        for key in list(self._depth):
-            self._advance(key, now)
-        return dict(self._integral)
+        depth, integral, last = self._depth, self._integral, self._last
+        for idx in range(len(self._keys)):
+            dt = now - last[idx]
+            if dt:
+                integral[idx] += depth[idx] * dt
+                last[idx] = now
+        return dict(zip(self._keys, integral))
 
 
 class CHASlice:
@@ -105,6 +216,7 @@ class CHASlice:
         self.tor_inflight = 0
         self.tor_depth = tor_depth
         self.engine = engine
+        self.stamp_name = f"cha{slice_id}"
 
 
 class CHA:
@@ -185,34 +297,13 @@ class CHA:
         self, request: MemRequest, outcome: str, target: Optional[NodeKind]
     ) -> List[str]:
         """Expand one TOR insert into its scenario counter keys."""
-        event = TOR_EVENT_BY_PATH[request.path]
-        keys = [f"{event}.total", "unc_cha_tor_inserts.ia.total"]
-        if outcome == "hit":
-            keys.append(f"{event}.hit")
-            keys.append("unc_cha_tor_inserts.ia.hit")
-        else:
-            keys.append(f"{event}.miss")
-            keys.append("unc_cha_tor_inserts.ia.miss")
-            if target is NodeKind.LOCAL_DDR:
-                keys += [f"{event}.miss_local", f"{event}.miss_local_ddr",
-                         f"{event}.miss_ddr"]
-            elif target is NodeKind.REMOTE_DDR:
-                keys += [f"{event}.miss_remote", f"{event}.miss_remote_ddr",
-                         f"{event}.miss_ddr"]
-            elif target is NodeKind.CXL:
-                keys.append(f"{event}.miss_cxl")
-                keys.append("unc_cha_tor_inserts.ia.miss_cxl")
-        return keys
+        key = (request.path, None if outcome == "hit" else target)
+        return list(_TOR_INSERT_KEYS[key])
 
     def _emit_ocr(self, request: MemRequest, location: ServeLocation) -> None:
-        event = OCR_EVENT_BY_PATH[request.path]
-        core_scope = f"core{request.core_id}"
-        self.pmu.add(core_scope, f"{event}.any_response")
-        suffix = OCR_SUFFIX.get(location)
-        if suffix:
-            self.pmu.add(core_scope, f"{event}.{suffix}")
-        if location.is_memory or location is ServeLocation.REMOTE_LLC:
-            self.pmu.add(core_scope, f"{event}.non_local_cache")
+        self.pmu.add_many(
+            _core_scope(request.core_id), _OCR_KEYS[(request.path, location)]
+        )
 
     # -- main entry ---------------------------------------------------------
 
@@ -232,34 +323,23 @@ class CHA:
         on_response: Callable[[MemRequest], None],
     ) -> None:
         now = self.engine.now
-        request.stamp(f"cha{cha_slice.slice_id}", now)
+        request.stamp(cha_slice.stamp_name, now)
         if self.recorder is not None:
             self.recorder.hop(request, "LLC", "enq")
         node = self.address_space.node_of(request.address)
         request.dest_node = node.node_id
-        line = self.llc_lookup(request.address, cha_slice)
-        if line is not None:
-            outcome, target = "hit", None
-        else:
-            outcome, target = "miss", node.kind
+        line = cha_slice.llc.lookup(request.address)
         # TOR bookkeeping: insert counters + occupancy from now to response.
-        event = TOR_EVENT_BY_PATH[request.path]
-        sub_event = event.rsplit(".", 1)[1]  # e.g. "ia_drd"
-        for key in self._tor_insert_counters(request, outcome, target):
-            self.pmu.add(self.scope, key)
-        occ_keys = [f"{sub_event}.total", "ia.total"]
-        occ_keys.append(f"{sub_event}.{outcome}")
-        if outcome == "miss" and target is NodeKind.CXL:
-            occ_keys.append(f"{sub_event}.miss_cxl")
-            occ_keys.append("ia.miss_cxl")
-        for key in occ_keys:
-            self._occupancy.enter(key, now)
+        # (path, None) keys the hit expansion, (path, kind) the miss one.
+        table_key = (request.path, None if line is not None else node.kind)
+        self.pmu.add_many(self.scope, _TOR_INSERT_KEYS[table_key])
+        occ_keys = _TOR_OCC_KEYS[table_key]
+        self._occupancy.enter_many(occ_keys, now)
         cha_slice.tor_inflight += 1
 
         def respond(req: MemRequest, location: ServeLocation) -> None:
             end = self.engine.now
-            for key in occ_keys:
-                self._occupancy.exit(key, end)
+            self._occupancy.exit_many(occ_keys, end)
             cha_slice.tor_inflight -= 1
             req.complete(location, end)
             if self.recorder is not None:

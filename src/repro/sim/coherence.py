@@ -19,7 +19,7 @@ from typing import Dict, Optional, Set
 from .cache import MESIF
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     owners: Set[int] = field(default_factory=set)  # core ids with a copy
     state: MESIF = MESIF.INVALID
@@ -51,6 +51,8 @@ class SnoopResult:
 class Directory:
     """Per-socket coherence directory consulted by the CHA."""
 
+    __slots__ = ("socket", "_entries", "transitions")
+
     def __init__(self, socket: int = 0) -> None:
         self.socket = socket
         self._entries: Dict[int, DirectoryEntry] = {}
@@ -72,31 +74,46 @@ class Directory:
         forwarded (F/M state per MESIF); the requester is added as a sharer.
         """
         entry = self._entries.get(line)
-        result = SnoopResult()
         if entry is None or not entry.owners:
-            entry = self._entries.setdefault(line, DirectoryEntry())
+            if entry is None:
+                entry = DirectoryEntry()
+                self._entries[line] = entry
             entry.owners = {requester}
             entry.state = MESIF.EXCLUSIVE
             self._note("I->E")
-            return result
-        others = entry.owners - {requester}
+            return SnoopResult()
+        owners = entry.owners
+        if requester in owners and len(owners) == 1:
+            # Sole-owner re-read: no snoop, no state change (hot path).
+            return SnoopResult()
+        result = SnoopResult()
+        others = owners - {requester}
         if others:
             forwarder = min(others)
             result.served_by_core = forwarder
             result.had_modified = entry.dirty_owner is not None
-            result.was_shared = len(entry.owners) > 1
+            result.was_shared = len(owners) > 1
             if entry.state is MESIF.MODIFIED:
                 self._note("M->S")
             elif entry.state is MESIF.EXCLUSIVE:
                 self._note("E->F")
             entry.state = MESIF.SHARED
             entry.dirty_owner = None
-        entry.owners.add(requester)
+        owners.add(requester)
         return result
 
     def read_for_ownership(self, line: int, requester: int) -> SnoopResult:
         """An RFO invalidates all other copies and grants E to requester."""
-        entry = self._entries.setdefault(line, DirectoryEntry())
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line] = entry
+        elif requester in entry.owners and len(entry.owners) == 1:
+            # Sole owner upgrading: no snoop; state resets to E as below.
+            entry.state = MESIF.EXCLUSIVE
+            entry.dirty_owner = None
+            self._note("I->E")
+            return SnoopResult()
         result = SnoopResult()
         others = entry.owners - {requester}
         if others:

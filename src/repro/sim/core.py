@@ -40,12 +40,71 @@ from .request import MemOp, MemRequest, Path, ServeLocation
 from .store_buffer import StoreBuffer
 
 
+def _build_l2_tables():
+    """Precompute the L2 PMU key tuples per (path, outcome).
+
+    ``_count_l2`` fans one L2 event into several counters whose names
+    depend only on the request's path and hit/miss outcome; expanding the
+    product once turns the per-request conditionals into a dict lookup
+    feeding ``pmu.add_many``.  Key order matches the original add order.
+    """
+    ref_keys = {}
+    out_keys = {}
+    for path in Path:
+        if path is Path.DRD:
+            ref_keys[path] = (
+                "l2_rqsts.references",
+                "l2_rqsts.all_demand_references",
+                "l2_rqsts.all_demand_data_rd",
+            )
+        else:
+            ref_keys[path] = ("l2_rqsts.references",)
+        for hit in (True, False):
+            suffix = "hit" if hit else "miss"
+            keys = []
+            if path is Path.DRD:
+                keys += [f"l2_rqsts.demand_data_rd_{suffix}",
+                         f"mem_load_retired.l2_{suffix}"]
+                if not hit:
+                    keys += ["l2_rqsts.all_demand_miss",
+                             "offcore_requests.demand_data_rd"]
+            elif path is Path.RFO:
+                keys.append(f"l2_rqsts.rfo_{suffix}")
+                if hit:
+                    keys.append("mem_store_retired.l2_hit")
+            elif path is Path.SWPF:
+                keys.append(f"l2_rqsts.swpf_{suffix}")
+            else:
+                keys.append(f"l2_rqsts.pf_{suffix}")
+            if not hit:
+                keys += ["l2_rqsts.miss", "offcore_requests.all.requests",
+                         "offcore_requests.data_rd"]
+            out_keys[(path, hit)] = tuple(keys)
+    return ref_keys, out_keys
+
+
+_L2_REF_KEYS, _L2_OUT_KEYS = _build_l2_tables()
+
+# Per-serve-location latency histogram keys (f-string-free hot path).
+_LAT_KEYS = {
+    location: (f"lat_sample.{location.value}.sum",
+               f"lat_sample.{location.value}.count")
+    for location in ServeLocation
+}
+
+_DEMAND_PATHS = (Path.DRD, Path.RFO)
+_RFO_PATHS = (Path.RFO, Path.L2_HWPF_RFO)
+_OWNED_STATES = (MESIF.MODIFIED, MESIF.EXCLUSIVE)
+
+
 class GatedIntegrator:
     """Integral of a count over time, plus cycles where count > 0.
 
     The primitive behind ``offcore_requests_outstanding.*`` and
     ``cycle_activity.cycles_l*_miss``.
     """
+
+    __slots__ = ("count", "integral", "active_cycles", "_last")
 
     def __init__(self) -> None:
         self.count = 0
@@ -144,7 +203,7 @@ class Core:
         self._workload = iter(workload)
         self._done_callback = on_done
         self._running = True
-        self.engine.after(0.0, self._next_op)
+        self.engine.post(self._next_op)
 
     @property
     def running(self) -> bool:
@@ -203,7 +262,7 @@ class Core:
 
     def _op_done(self) -> None:
         self.ops_completed += 1
-        self.engine.after(0.0, self._next_op)
+        self.engine.post(self._next_op)
 
     # -- stall accounting ----------------------------------------------------
 
@@ -254,7 +313,7 @@ class Core:
         for addr, path in self.prefetchers.on_l1_access(address):
             self._issue_hw_prefetch(addr, path)
         line = self.l1d.lookup(address)
-        if line is not None and line.state in (MESIF.MODIFIED, MESIF.EXCLUSIVE):
+        if line is not None and line.state in _OWNED_STATES:
             # Owned: commit in place, drain the SB entry after commit latency.
             line.state = MESIF.MODIFIED
             line.dirty = True
@@ -272,14 +331,19 @@ class Core:
             self._op_done()
             return
         self._rfo_pending[line] = [entry]
-        request = MemRequest(
-            address=address,
-            path=Path.RFO,
-            core_id=self.core_id,
-            issue_time=self.engine.now,
-        )
-        request.missed_l1 = True
-        if self.recorder is not None:
+        if self.recorder is None:
+            request = MemRequest.acquire(
+                address, Path.RFO, self.core_id, self.engine.now
+            )
+            request.missed_l1 = True
+        else:
+            request = MemRequest(
+                address=address,
+                path=Path.RFO,
+                core_id=self.core_id,
+                issue_time=self.engine.now,
+            )
+            request.missed_l1 = True
             self.recorder.maybe_trace(request)
         self.pmu.add(self.scope, "l2_rqsts.all_rfo")
 
@@ -289,6 +353,8 @@ class Core:
             self._record_latency(req)
             for waiting in self._rfo_pending.pop(req.line, []):
                 self.sb.release(waiting)
+            if self.recorder is None:
+                req.release()
 
         self._access_l2(request, rfo_done)
         self._op_done()
@@ -392,19 +458,21 @@ class Core:
     def _watch_completion(self, request: MemRequest, callback: Callable[[], None]) -> None:
         """Poll-free completion watch: piggyback on the request's fill."""
         if request.completion_time is not None:
-            self.engine.after(0.0, callback)
+            self.engine.post(callback)
             return
-        waiters = getattr(request, "_completion_waiters", None)
+        waiters = request._completion_waiters
         if waiters is None:
-            waiters = []
-            setattr(request, "_completion_waiters", waiters)
-        waiters.append(callback)
+            request._completion_waiters = [callback]
+        else:
+            waiters.append(callback)
 
     def _notify_completion(self, request: MemRequest) -> None:
-        for callback in getattr(request, "_completion_waiters", []) or []:
-            self.engine.after(0.0, callback)
-        if hasattr(request, "_completion_waiters"):
-            setattr(request, "_completion_waiters", [])
+        waiters = request._completion_waiters
+        if waiters:
+            post = self.engine.post
+            for callback in waiters:
+                post(callback)
+            request._completion_waiters = None
 
     # -- L2 and beyond ------------------------------------------------------
 
@@ -412,45 +480,47 @@ class Core:
         self, request: MemRequest, on_done: Callable[[MemRequest], None]
     ) -> None:
         """Look up L2 after the L1->L2 transfer latency."""
+        self.engine.after(self.l2_latency, lambda: self._at_l2(request, on_done))
 
-        def at_l2() -> None:
-            request.stamp("l2", self.engine.now)
-            if self.recorder is not None:
-                self.recorder.hop(request, "L2", "enq")
-            self._count_l2(request, hit=None)
-            line = self.l2.lookup(request.address)
-            # Prefetchers train on demand traffic only; letting prefetches
-            # re-train them would self-sustain an infinite stream.
-            if request.path in (Path.DRD, Path.RFO):
-                for addr, path in self.prefetchers.on_l2_access(
-                    request.address, request.path is Path.RFO
-                ):
-                    self._issue_hw_prefetch(addr, path)
-            if line is not None:
-                self._count_l2(request, hit=True)
-                if request.path in (Path.RFO, Path.L2_HWPF_RFO) and line.state in (
-                    MESIF.SHARED,
-                    MESIF.FORWARD,
-                ):
-                    # Upgrade needed despite L2 presence: go to CHA.
-                    self._count_l2(request, hit=False, silent=True)
-                    if self.recorder is not None:
-                        self.recorder.hop(request, "L2", "deq")
-                    self._go_uncore(request, on_done)
-                    return
-                self.engine.after(
-                    self.l2_latency, lambda: self._l2_served(request, on_done)
-                )
+    def _at_l2(
+        self, request: MemRequest, on_done: Callable[[MemRequest], None]
+    ) -> None:
+        engine = self.engine
+        request.hops.append(("l2", engine.now))
+        if self.recorder is not None:
+            self.recorder.hop(request, "L2", "enq")
+        path = request.path
+        self.pmu.add_many(self.scope, _L2_REF_KEYS[path])
+        line = self.l2.lookup(request.address)
+        # Prefetchers train on demand traffic only; letting prefetches
+        # re-train them would self-sustain an infinite stream.
+        if path in _DEMAND_PATHS:
+            for addr, pf_path in self.prefetchers.on_l2_access(
+                request.address, path is Path.RFO
+            ):
+                self._issue_hw_prefetch(addr, pf_path)
+        if line is not None:
+            self._count_l2(request, hit=True)
+            if path in _RFO_PATHS and line.state in (
+                MESIF.SHARED,
+                MESIF.FORWARD,
+            ):
+                # Upgrade needed despite L2 presence: go to CHA.
+                if self.recorder is not None:
+                    self.recorder.hop(request, "L2", "deq")
+                self._go_uncore(request, on_done)
                 return
-            self._count_l2(request, hit=False)
-            request.missed_l2 = True
-            if self.recorder is not None:
-                self.recorder.hop(request, "L2", "deq")
-            if request.path is Path.DRD:
-                self._l2_miss_out.inc(self.engine.now)
-            self._go_uncore(request, on_done)
-
-        self.engine.after(self.l2_latency, at_l2)
+            engine.after(
+                self.l2_latency, lambda: self._l2_served(request, on_done)
+            )
+            return
+        self._count_l2(request, hit=False)
+        request.missed_l2 = True
+        if self.recorder is not None:
+            self.recorder.hop(request, "L2", "deq")
+        if path is Path.DRD:
+            self._l2_miss_out.inc(engine.now)
+        self._go_uncore(request, on_done)
 
     def _l2_served(self, request: MemRequest, on_done) -> None:
         request.complete(ServeLocation.L2, self.engine.now)
@@ -462,33 +532,14 @@ class Core:
 
     def _count_l2(self, request: MemRequest, hit: Optional[bool], silent: bool = False) -> None:
         if hit is None:
-            self.pmu.add(self.scope, "l2_rqsts.references")
-            if request.path is Path.DRD:
-                self.pmu.add(self.scope, "l2_rqsts.all_demand_references")
-                self.pmu.add(self.scope, "l2_rqsts.all_demand_data_rd")
+            self.pmu.add_many(self.scope, _L2_REF_KEYS[request.path])
             return
         if silent:
             return
-        suffix = "hit" if hit else "miss"
-        if request.path is Path.DRD:
-            self.pmu.add(self.scope, f"l2_rqsts.demand_data_rd_{suffix}")
-            self.pmu.add(self.scope, f"mem_load_retired.l2_{suffix}")
-            if not hit:
-                self.pmu.add(self.scope, "l2_rqsts.all_demand_miss")
-                self.pmu.add(self.scope, "offcore_requests.demand_data_rd")
-        elif request.path is Path.RFO:
-            self.pmu.add(self.scope, f"l2_rqsts.rfo_{suffix}")
-            if hit:
-                self.pmu.add(self.scope, "mem_store_retired.l2_hit")
-        elif request.path is Path.SWPF:
-            self.pmu.add(self.scope, f"l2_rqsts.swpf_{suffix}")
-        else:
-            self.pmu.add(self.scope, f"l2_rqsts.pf_{suffix}")
-        if not hit:
-            self.pmu.add(self.scope, "l2_rqsts.miss")
-            self.pmu.add(self.scope, "offcore_requests.all.requests")
-            if not request.is_store:
-                self.pmu.add(self.scope, "offcore_requests.data_rd")
+        keys = _L2_OUT_KEYS[(request.path, hit)]
+        if not hit and request.is_store:
+            keys = keys[:-1]  # stores do not count offcore_requests.data_rd
+        self.pmu.add_many(self.scope, keys)
 
     def _go_uncore(self, request: MemRequest, on_done) -> None:
         if request.path is Path.DRD:
@@ -508,7 +559,7 @@ class Core:
     def _fill_l2(self, request: MemRequest) -> None:
         state = (
             MESIF.EXCLUSIVE
-            if request.path in (Path.RFO, Path.L2_HWPF_RFO)
+            if request.path in _RFO_PATHS
             else MESIF.SHARED
         )
         evicted = self.l2.fill(request.address, state=state)
@@ -530,10 +581,10 @@ class Core:
     def _record_latency(self, request: MemRequest) -> None:
         if request.serve_location is None or request.completion_time is None:
             return
-        location = request.serve_location.value
-        latency = request.completion_time - request.issue_time
-        self.pmu.add(self.scope, f"lat_sample.{location}.sum", latency)
-        self.pmu.add(self.scope, f"lat_sample.{location}.count")
+        sum_key, count_key = _LAT_KEYS[request.serve_location]
+        self.pmu.add(self.scope, sum_key,
+                     request.completion_time - request.issue_time)
+        self.pmu.add(self.scope, count_key)
 
     # -- prefetch issue -----------------------------------------------------
 
@@ -541,17 +592,23 @@ class Core:
         """Asynchronous prefetch: never blocks, drops instead of stalling."""
         if self.l1d.probe(address) is not None:
             return
-        request = MemRequest(
-            address=address,
-            path=path,
-            core_id=self.core_id,
-            issue_time=self.engine.now,
-        )
-        request.missed_l1 = True
-        if self.recorder is not None:
+        pooled = self.recorder is None
+        if pooled:
+            request = MemRequest.acquire(address, path, self.core_id, self.engine.now)
+            request.missed_l1 = True
+        else:
+            request = MemRequest(
+                address=address,
+                path=path,
+                core_id=self.core_id,
+                issue_time=self.engine.now,
+            )
+            request.missed_l1 = True
             self.recorder.maybe_trace(request)
         if path is Path.L1_HWPF:
             if self.lfb.full or self.lfb.outstanding(request.line) is not None:
+                if pooled:
+                    request.release()
                 return  # hardware drops prefetches under pressure
             self.lfb.allocate(request)
             self._oro_all_rd.inc(self.engine.now)
@@ -560,17 +617,21 @@ class Core:
                 self._fill_l1(req.address, state=MESIF.SHARED)
                 self._oro_all_rd.dec(self.engine.now)
                 self.lfb.fill(req.line)
+                if self.recorder is None:
+                    req.release()
 
             self._access_l2(request, l1pf_done)
         else:
-            if self.l2.probe(address) is not None:
-                return
-            if request.line in self._l2_pf_pending:
-                return  # already in flight; hardware would drop the dup
+            if self.l2.probe(address) is not None or request.line in self._l2_pf_pending:
+                if pooled:
+                    request.release()
+                return  # already present or in flight; hardware drops the dup
             self._l2_pf_pending.add(request.line)
 
             def l2pf_done(req: MemRequest) -> None:
                 self._l2_pf_pending.discard(req.line)
+                if self.recorder is None:
+                    req.release()
 
             self._access_l2(request, l2pf_done)
 
@@ -578,16 +639,24 @@ class Core:
         self.pmu.add(self.scope, "sw_prefetch_access.any")
         if self.l1d.probe(address) is not None:
             return
-        request = MemRequest(
-            address=address,
-            path=Path.SWPF,
-            core_id=self.core_id,
-            issue_time=self.engine.now,
-        )
-        request.missed_l1 = True
-        if self.recorder is not None:
+        pooled = self.recorder is None
+        if pooled:
+            request = MemRequest.acquire(
+                address, Path.SWPF, self.core_id, self.engine.now
+            )
+            request.missed_l1 = True
+        else:
+            request = MemRequest(
+                address=address,
+                path=Path.SWPF,
+                core_id=self.core_id,
+                issue_time=self.engine.now,
+            )
+            request.missed_l1 = True
             self.recorder.maybe_trace(request)
         if self.lfb.full or self.lfb.outstanding(request.line) is not None:
+            if pooled:
+                request.release()
             return
 
         self.lfb.allocate(request)
@@ -595,6 +664,8 @@ class Core:
         def swpf_done(req: MemRequest) -> None:
             self._fill_l1(req.address, state=MESIF.SHARED)
             self.lfb.fill(req.line)
+            if self.recorder is None:
+                req.release()
 
         self._access_l2(request, swpf_done)
 

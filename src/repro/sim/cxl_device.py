@@ -36,6 +36,25 @@ class QoSLoadClass(enum.Enum):
 class CXLDevice:
     """Type-3 host-managed device memory endpoint."""
 
+    __slots__ = (
+        "engine",
+        "pmu",
+        "scope",
+        "timing",
+        "controller_latency",
+        "rx_req",
+        "rx_data",
+        "mc_queue",
+        "unpack_latency",
+        "_mc_server",
+        "_respond_latency",
+        "recorder",
+        "tx_inserts_mem_req",
+        "tx_inserts_mem_data",
+        "reads_served",
+        "writes_served",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -60,14 +79,16 @@ class CXLDevice:
         # Device MC command queue in front of the media.
         self.mc_queue = MonitoredQueue(engine, mc_queue_depth, name=f"{scope}.mc")
         self.unpack_latency = 2.0
+        service_cycles = timing.service_cycles
         self._mc_server = Server(
             engine,
             self.mc_queue,
-            service_time=lambda _: timing.service_cycles,
+            service_time=lambda _: service_cycles,
             on_done=self._media_done,
             servers=timing.channels,
             name=f"{scope}.media",
         )
+        self._respond_latency = controller_latency + timing.trailing_latency
         # Flight recorder; None unless the profiling spec asked for tracing.
         self.recorder = None
         self.tx_inserts_mem_req = 0   # NDR completions
@@ -123,8 +144,7 @@ class CXLDevice:
         else:
             self.reads_served += 1
             self.tx_inserts_mem_data += 1  # DRS carries data
-        total = self.controller_latency + self.timing.trailing_latency
-        self.engine.after(total, lambda: respond(request))
+        self.engine.after(self._respond_latency, lambda: respond(request))
 
     # -- telemetry ------------------------------------------------------------
 

@@ -5,18 +5,35 @@ The whole server is simulated as a network of queueing stages (the paper's
 *cycles* as a float; the machine configuration maps cycles to wall-clock
 time via its core frequency.
 
-The engine is a classic event-heap scheduler.  Components never busy-wait:
-they schedule callbacks at absolute times, and anything that needs to block
-(a core stalled on a full buffer, a request waiting for a queue slot) parks
-itself on a :class:`Waiter` list that the resource owner wakes.
+Components never busy-wait: they schedule callbacks at absolute times, and
+anything that needs to block (a core stalled on a full buffer, a request
+waiting for a queue slot) parks itself on a :class:`Waiter` that the
+resource owner wakes.
+
+Two schedulers are provided behind the same API:
+
+* The default *batched* scheduler groups events into per-timestamp buckets
+  (a degenerate timing wheel keyed on exact cycle values).  Because almost
+  every event in the simulator is a fixed-delay stage hop, huge numbers of
+  events share a handful of distinct timestamps per cycle window; batching
+  turns most scheduling operations into one dict lookup plus a list append
+  and defers ``heapq`` to the (rare) first event at a new timestamp.
+  Draining a bucket appends late arrivals at the *same* timestamp to the
+  live batch, so execution order is exactly the (time, insertion-seq)
+  order of the classic heap.
+* The *legacy* heap scheduler (``Engine(batched=False)``) is the original
+  one-entry-per-event ``heapq`` implementation, kept as the reference for
+  ordering-equivalence tests and benchmark parity checks.
+
+See ``docs/ENGINE.md`` for the hot-path architecture notes.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
-
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 #: Relative tolerance for scheduling "in the past": drift within this
 #: fraction of ``now`` (floored at the same absolute amount near zero) is
@@ -25,12 +42,14 @@ _PAST_TOLERANCE = 1e-9
 
 
 class SimulationBudgetExceeded(RuntimeError):
-    """``Engine.run(max_events=...)`` hit its budget with events pending.
+    """An event budget ran out with events still pending.
 
-    Carries the number of events executed within the bounded run and the
-    simulated clock at the point the budget ran out, so callers (the
-    campaign runner treats this as a retryable job failure) can report or
-    re-dispatch with a larger budget.
+    Raised by ``Engine.run(max_events=...)`` and by runs bounded by a
+    persistent :meth:`Engine.set_event_budget`.  Carries the number of
+    events executed within the bounded run and the simulated clock at the
+    point the budget ran out, so callers (the campaign runner treats this
+    as a retryable job failure) can report or re-dispatch with a larger
+    budget.
     """
 
     def __init__(self, events_executed: int, now: float) -> None:
@@ -43,14 +62,51 @@ class SimulationBudgetExceeded(RuntimeError):
 
 
 class Engine:
-    """Event-heap discrete-event scheduler keyed on CPU cycles."""
+    """Discrete-event scheduler keyed on CPU cycles.
 
-    def __init__(self) -> None:
+    ``batched=True`` (the default) selects the per-timestamp bucket
+    scheduler; ``batched=False`` selects the legacy event heap.  Both obey
+    identical (time, insertion-order) execution semantics.
+    """
+
+    __slots__ = (
+        "now",
+        "_batched",
+        "_buckets",
+        "_times",
+        "_heap",
+        "_seq",
+        "_events_executed",
+        "_stopped",
+        "_budget",
+    )
+
+    def __init__(self, batched: bool = True) -> None:
         self.now: float = 0.0
+        self._batched = bool(batched)
+        # Batched mode: bucket per distinct timestamp + heap of timestamps.
+        self._buckets: Dict[float, List[Callable[[], None]]] = {}
+        self._times: List[float] = []
+        # Legacy mode: one heap entry per event.
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._events_executed = 0
         self._stopped = False
+        # Absolute events_executed ceiling set by set_event_budget(); lets
+        # budgets compose across resumed run() calls.
+        self._budget: Optional[int] = None
+
+    # -- configuration ------------------------------------------------
+
+    @property
+    def batched(self) -> bool:
+        return self._batched
+
+    def set_batched(self, flag: bool) -> None:
+        """Switch scheduler implementation (only while no events pend)."""
+        if self.pending_events:
+            raise RuntimeError("cannot switch scheduler with events pending")
+        self._batched = bool(flag)
 
     # -- scheduling ---------------------------------------------------
 
@@ -62,26 +118,127 @@ class Engine:
         ``self.now``; such sub-epsilon drift is clamped to ``now`` rather
         than aborting the run.  A genuinely past time still raises.
         """
-        if time < self.now:
-            drift = self.now - time
-            if drift <= _PAST_TOLERANCE * max(1.0, abs(self.now)):
-                time = self.now
+        now = self.now
+        if time < now:
+            drift = now - time
+            if drift <= _PAST_TOLERANCE * max(1.0, abs(now)):
+                time = now
             else:
                 raise ValueError(
-                    f"cannot schedule event in the past: {time} < {self.now}"
+                    f"cannot schedule event in the past: {time} < {now}"
                 )
-        heapq.heappush(self._heap, (time, next(self._seq), callback))
+        if self._batched:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [callback]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(callback)
+        else:
+            heapq.heappush(self._heap, (time, next(self._seq), callback))
 
     def after(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self.at(self.now + delay, callback)
+        time = self.now + delay
+        if self._batched:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [callback]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(callback)
+        else:
+            heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def post(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at the current cycle (``after(0.0, ...)``).
+
+        This is the zero-delay fast path used by wake-ups and completion
+        fan-out: in batched mode it is a single append to the live bucket.
+        """
+        time = self.now
+        if self._batched:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [callback]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(callback)
+        else:
+            heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def schedule_batch(
+        self, time: float, callbacks: Iterable[Callable[[], None]]
+    ) -> None:
+        """Schedule many callbacks at one absolute time in one operation.
+
+        The bulk analogue of :meth:`at`: the past-check runs once and the
+        callbacks land in the timestamp's bucket in iteration order.
+        """
+        now = self.now
+        if time < now:
+            drift = now - time
+            if drift <= _PAST_TOLERANCE * max(1.0, abs(now)):
+                time = now
+            else:
+                raise ValueError(
+                    f"cannot schedule event in the past: {time} < {now}"
+                )
+        if self._batched:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                bucket = []
+                self._buckets[time] = bucket
+                heapq.heappush(self._times, time)
+            bucket.extend(callbacks)
+        else:
+            heap, seq = self._heap, self._seq
+            for callback in callbacks:
+                heapq.heappush(heap, (time, next(seq), callback))
+
+    # -- budgets ------------------------------------------------------
+
+    def set_event_budget(self, max_events: Optional[int]) -> None:
+        """Cap total future event execution across :meth:`run` calls.
+
+        Unlike ``run(max_events=N)`` (a per-call bound), the budget set
+        here persists: ``set_event_budget(N)`` allows N more events in
+        total no matter how many times ``run()`` is resumed.  ``None``
+        clears the budget.
+        """
+        if max_events is None:
+            self._budget = None
+            return
+        if max_events < 0:
+            raise ValueError(f"negative event budget: {max_events}")
+        self._budget = self._events_executed + max_events
+
+    @property
+    def event_budget_remaining(self) -> Optional[int]:
+        if self._budget is None:
+            return None
+        return max(0, self._budget - self._events_executed)
 
     # -- execution ----------------------------------------------------
 
     def step(self) -> bool:
         """Run the earliest pending event.  Returns False when idle."""
+        if self._batched:
+            times = self._times
+            if not times:
+                return False
+            time = times[0]
+            bucket = self._buckets[time]
+            callback = bucket.pop(0)
+            if not bucket:
+                heapq.heappop(times)
+                del self._buckets[time]
+            self.now = time
+            self._events_executed += 1
+            callback()
+            return True
         if not self._heap:
             return False
         time, _, callback = heapq.heappop(self._heap)
@@ -90,26 +247,116 @@ class Engine:
         callback()
         return True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Drain the event heap.
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> float:
+        """Drain pending events.
 
         ``until`` bounds simulated time (events past it stay queued and the
         clock is advanced exactly to ``until``); ``max_events`` bounds the
-        number of executed events and raises
-        :class:`SimulationBudgetExceeded` when the bound is hit with events
-        still pending (a silent return here used to hide runaway
-        simulations).  Returns the final clock value.
+        number of events executed *by this call* and composes with any
+        persistent :meth:`set_event_budget` ceiling.  Hitting either bound
+        with events still pending raises :class:`SimulationBudgetExceeded`
+        (a silent return here used to hide runaway simulations).  Returns
+        the final clock value.
         """
-        executed = 0
         self._stopped = False
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0][0] > until:
+        start = self._events_executed
+        ceiling = self._budget
+        if max_events is not None:
+            call_ceiling = start + max_events
+            if ceiling is None or call_ceiling < ceiling:
+                ceiling = call_ceiling
+        if self._batched:
+            return self._run_batched(until, ceiling, start)
+        return self._run_heap(until, ceiling, start)
+
+    def _run_batched(
+        self, until: Optional[float], ceiling: Optional[int], start: int
+    ) -> float:
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        # The event counter lives in a local inside the drain (hot) loop;
+        # the finally block keeps the engine-visible count exact even when
+        # a callback raises.
+        executed = self._events_executed
+        try:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return until
+                if ceiling is not None and executed >= ceiling:
+                    raise SimulationBudgetExceeded(executed - start, self.now)
+                heappop(times)
+                bucket = buckets[time]
+                self.now = time
+                # Drain by index: callbacks that schedule at this same
+                # timestamp append to the live bucket and are picked up in
+                # insertion order, matching the legacy heap's (time, seq)
+                # key.  The IndexError probe is cheaper than a len() call
+                # per event (the try costs nothing until the batch ends).
+                i = 0
+                if ceiling is None:
+                    while True:
+                        try:
+                            callback = bucket[i]
+                        except IndexError:
+                            break
+                        i += 1
+                        executed += 1
+                        callback()
+                        if self._stopped:
+                            break
+                else:
+                    while True:
+                        if executed >= ceiling:
+                            del bucket[:i]
+                            heapq.heappush(times, time)
+                            raise SimulationBudgetExceeded(
+                                executed - start, time
+                            )
+                        try:
+                            callback = bucket[i]
+                        except IndexError:
+                            break
+                        i += 1
+                        executed += 1
+                        callback()
+                        if self._stopped:
+                            break
+                if self._stopped:
+                    if i < len(bucket):
+                        del bucket[:i]
+                        heapq.heappush(times, time)
+                    else:
+                        del buckets[time]
+                    return self.now
+                del buckets[time]
+            if until is not None and self.now < until:
                 self.now = until
-                return self.now
-            if max_events is not None and executed >= max_events:
-                raise SimulationBudgetExceeded(executed, self.now)
-            self.step()
-            executed += 1
+            return self.now
+        finally:
+            self._events_executed = executed
+
+    def _run_heap(
+        self, until: Optional[float], ceiling: Optional[int], start: int
+    ) -> float:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and not self._stopped:
+            if until is not None and heap[0][0] > until:
+                self.now = until
+                return until
+            if ceiling is not None and self._events_executed >= ceiling:
+                raise SimulationBudgetExceeded(
+                    self._events_executed - start, self.now
+                )
+            time, _, callback = heappop(heap)
+            self.now = time
+            self._events_executed += 1
+            callback()
         if until is not None and self.now < until:
             self.now = until
         return self.now
@@ -120,6 +367,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
+        if self._batched:
+            return sum(len(bucket) for bucket in self._buckets.values())
         return len(self._heap)
 
     @property
@@ -137,9 +386,11 @@ class Waiter:
     caller's stack.
     """
 
+    __slots__ = ("_engine", "_waiting")
+
     def __init__(self, engine: Engine) -> None:
         self._engine = engine
-        self._waiting: List[Callable[[], None]] = []
+        self._waiting: Deque[Callable[[], None]] = deque()
 
     def __len__(self) -> int:
         return len(self._waiting)
@@ -149,10 +400,12 @@ class Waiter:
 
     def wake_one(self) -> None:
         if self._waiting:
-            callback = self._waiting.pop(0)
-            self._engine.after(0.0, callback)
+            self._engine.post(self._waiting.popleft())
 
     def wake_all(self) -> None:
-        waiting, self._waiting = self._waiting, []
-        for callback in waiting:
-            self._engine.after(0.0, callback)
+        waiting = self._waiting
+        if not waiting:
+            return
+        engine = self._engine
+        while waiting:
+            engine.post(waiting.popleft())

@@ -20,8 +20,25 @@ from .queues import MonitoredQueue, Server
 from .request import MemRequest
 
 
+_CAS_RD_KEYS = ("unc_m_cas_count.rd", "unc_m_cas_count.all")
+_CAS_WR_KEYS = ("unc_m_cas_count.wr", "unc_m_cas_count.all")
+
+
 class _Channel:
     """One pseudo-channel: RPQ + WPQ in front of the DRAM media."""
+
+    __slots__ = (
+        "engine",
+        "timing",
+        "scope",
+        "pmu",
+        "rpq",
+        "wpq",
+        "recorder",
+        "_trailing",
+        "_rd_server",
+        "_wr_server",
+    )
 
     def __init__(
         self,
@@ -39,17 +56,19 @@ class _Channel:
         self.wpq = MonitoredQueue(engine, queue_depth, name=f"{scope}.wpq")
         # Flight recorder; None unless the profiling spec asked for tracing.
         self.recorder = None
+        self._trailing = timing.trailing_latency
+        service_cycles = timing.service_cycles
         self._rd_server = Server(
             engine,
             self.rpq,
-            service_time=lambda _: timing.service_cycles,
+            service_time=lambda _: service_cycles,
             on_done=self._read_done,
             name=f"{scope}.rd",
         )
         self._wr_server = Server(
             engine,
             self.wpq,
-            service_time=lambda _: timing.service_cycles,
+            service_time=lambda _: service_cycles,
             on_done=self._write_done,
             name=f"{scope}.wr",
         )
@@ -77,20 +96,18 @@ class _Channel:
 
     def _read_done(self, item) -> None:
         request, on_done = item
-        self.pmu.add(self.scope, "unc_m_cas_count.rd")
-        self.pmu.add(self.scope, "unc_m_cas_count.all")
+        self.pmu.add_many(self.scope, _CAS_RD_KEYS)
         if self.recorder is not None:
             self.recorder.hop(request, "IMC", "deq")
         # Media latency beyond the bandwidth-limited channel occupancy.
-        self.engine.after(self.timing.trailing_latency, lambda: on_done(request))
+        self.engine.after(self._trailing, lambda: on_done(request))
 
     def _write_done(self, item) -> None:
         request, on_done = item
-        self.pmu.add(self.scope, "unc_m_cas_count.wr")
-        self.pmu.add(self.scope, "unc_m_cas_count.all")
+        self.pmu.add_many(self.scope, _CAS_WR_KEYS)
         if self.recorder is not None:
             self.recorder.hop(request, "IMC", "deq")
-        self.engine.after(self.timing.trailing_latency, lambda: on_done(request))
+        self.engine.after(self._trailing, lambda: on_done(request))
 
     def _sync(self, now: float) -> None:
         self.rpq.stats.sync(now)
@@ -107,6 +124,8 @@ class _Channel:
 
 class IMC:
     """Socket-local memory controller with channel interleaving."""
+
+    __slots__ = ("engine", "imc_id", "timing", "channels")
 
     def __init__(
         self,

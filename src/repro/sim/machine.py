@@ -17,6 +17,7 @@ from .core import Core
 from .cxl_device import CXLDevice
 from .engine import Engine
 from .flexbus import M2PCIe
+from .hooks import EngineHooks, StagePort, iter_ports
 from .imc import IMC
 from .mesh import Mesh
 from .prefetch import CorePrefetchers
@@ -127,8 +128,13 @@ class Machine:
 
     # -- observability -------------------------------------------------------
 
-    def attach_recorder(self, recorder) -> None:
-        """Wire a :class:`repro.obs.FlightRecorder` into every stage.
+    def hook_ports(self) -> Iterator["StagePort"]:
+        """The machine's named recorder binding points (see sim.hooks)."""
+        return iter_ports(self)
+
+    def attach_recorder(self, recorder: "EngineHooks") -> None:
+        """Wire an :class:`~repro.sim.hooks.EngineHooks` implementation
+        (e.g. :class:`repro.obs.FlightRecorder`) into every stage.
 
         Components get their ``recorder`` attribute (hop/sampling sites),
         hardware FIFOs get the recorder as queue observer (fine-grained
@@ -136,31 +142,13 @@ class Machine:
         occupancy time series.  With no recorder attached (the default)
         all of these stay ``None`` and the hot path is untouched.
         """
-        for core in self.cores:
-            core.recorder = recorder
-            core.l1d.observer = recorder
-            core.l2.observer = recorder
-            recorder.watch_queue(f"core{core.core_id}.lfb", core.lfb.stats)
-            recorder.watch_queue(f"core{core.core_id}.sb", core.sb.stats)
-        self.cha.recorder = recorder
-        for cha_slice in self.cha.slices:
-            cha_slice.llc.observer = recorder
-        recorder.watch_queue("mesh", self.mesh._queue.stats)
-        for channel in self.imc.channels:
-            channel.recorder = recorder
-            for queue in (channel.rpq, channel.wpq):
-                queue.observer = recorder
-                recorder.watch_queue(queue.name, queue.stats)
-        for port in self.m2pcie.values():
-            port.recorder = recorder
-            for queue in (port.ingress, port.down_link.queue, port.up_link.queue):
-                queue.observer = recorder
-                recorder.watch_queue(queue.name, queue.stats)
-        for device in self.cxl_devices.values():
-            device.recorder = recorder
-            for queue in (device.rx_req, device.rx_data, device.mc_queue):
-                queue.observer = recorder
-                recorder.watch_queue(queue.name, queue.stats)
+        for port in self.hook_ports():
+            port.bind(recorder)
+
+    def detach_recorder(self) -> None:
+        """Unhook whatever recorder is attached; hot path goes bare again."""
+        for port in self.hook_ports():
+            port.unbind()
 
     # -- memory management helpers -------------------------------------------
 

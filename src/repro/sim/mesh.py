@@ -21,6 +21,19 @@ from .request import CACHELINE
 class Mesh:
     """Latency + shared-bandwidth model of one socket's interconnect."""
 
+    __slots__ = (
+        "engine",
+        "hop_latency",
+        "core_to_cha",
+        "cha_to_imc",
+        "cha_to_io",
+        "snc_penalty",
+        "socket_penalty",
+        "_queue",
+        "_server",
+        "transferred_lines",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -41,10 +54,11 @@ class Mesh:
         self.socket_penalty = socket_penalty
         # One aggregate pipe: generous, so it only matters under extreme load.
         self._queue = MonitoredQueue(engine, capacity=4096, name="mesh")
+        line_cycles = CACHELINE / bytes_per_cycle
         self._server = Server(
             engine,
             self._queue,
-            service_time=lambda _: CACHELINE / bytes_per_cycle,
+            service_time=lambda _: line_cycles,
             on_done=self._deliver,
             servers=8,
             name="mesh",

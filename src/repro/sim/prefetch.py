@@ -19,7 +19,7 @@ from .request import CACHELINE, Path
 _PAGE_SHIFT = 12  # stride tracking region (4 KiB, like Intel's DCU IP)
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideEntry:
     last_line: int
     stride: int = 0
@@ -44,8 +44,9 @@ class StridePrefetcher:
         self.distance = distance
         self.table_entries = table_entries
         self.min_confidence = min_confidence
+        # Insertion-ordered dict doubles as the LRU list: a touch re-inserts
+        # the key at the back, the victim is the front (first key).
         self._table: Dict[int, StrideEntry] = {}
-        self._lru: List[int] = []
         self.issued = 0
         self.trained = 0
 
@@ -53,11 +54,13 @@ class StridePrefetcher:
         """Feed one demand access; returns prefetch addresses to issue."""
         line = address // CACHELINE
         page = address >> _PAGE_SHIFT
-        entry = self._table.get(page)
+        table = self._table
+        entry = table.get(page)
         if entry is None:
             self._insert(page, StrideEntry(last_line=line))
             return []
-        self._touch(page)
+        del table[page]  # re-insert at the LRU back
+        table[page] = entry
         stride = line - entry.last_line
         if stride == 0:
             return []
@@ -81,15 +84,10 @@ class StridePrefetcher:
         return prefetches
 
     def _insert(self, page: int, entry: StrideEntry) -> None:
-        if len(self._table) >= self.table_entries:
-            victim = self._lru.pop(0)
-            del self._table[victim]
-        self._table[page] = entry
-        self._lru.append(page)
-
-    def _touch(self, page: int) -> None:
-        self._lru.remove(page)
-        self._lru.append(page)
+        table = self._table
+        if len(table) >= self.table_entries:
+            del table[next(iter(table))]
+        table[page] = entry
 
 
 class CorePrefetchers:

@@ -6,6 +6,13 @@ some hardware FIFO (RPQ/WPQ, TOR, M2PCIe ingress, CXL packing buffers).
 :class:`MonitoredQueue` provides exactly those three meters over a bounded
 FIFO; :class:`Server` adds a service process so a queue plus a server form
 one stage of the Clos network.
+
+These classes sit on the simulator's hottest path (every request crosses
+several stages), so the layout is deliberately flat: ``__slots__``
+instances, meters advanced only when the clock actually moved, and a
+pass-through fast path in :class:`Server` for the common
+empty-queue/idle-server case.  Metering and observer hooks fire in exactly
+the same order on both paths.
 """
 
 from __future__ import annotations
@@ -24,6 +31,16 @@ class QueueStats:
     depth changes or a reader syncs.
     """
 
+    __slots__ = (
+        "inserts",
+        "occupancy_integral",
+        "cycles_not_empty",
+        "cycles_full",
+        "_depth",
+        "_capacity",
+        "_last_update",
+    )
+
     def __init__(self) -> None:
         self.inserts = 0
         self.occupancy_integral = 0.0   # sum of depth over cycles
@@ -38,23 +55,36 @@ class QueueStats:
         if dt < 0:
             raise ValueError("time went backwards in queue stats")
         if dt:
-            self.occupancy_integral += self._depth * dt
-            if self._depth > 0:
+            depth = self._depth
+            self.occupancy_integral += depth * dt
+            if depth > 0:
                 self.cycles_not_empty += dt
-            if self._capacity is not None and self._depth >= self._capacity:
+            if self._capacity is not None and depth >= self._capacity:
                 self.cycles_full += dt
             self._last_update = now
 
     def on_insert(self, now: float) -> None:
-        self._advance(now)
+        if now != self._last_update:
+            self._advance(now)
         self.inserts += 1
         self._depth += 1
 
     def on_remove(self, now: float) -> None:
-        self._advance(now)
+        if now != self._last_update:
+            self._advance(now)
         if self._depth <= 0:
             raise ValueError("removing from empty queue")
         self._depth -= 1
+
+    def on_transit(self, now: float) -> None:
+        """An insert+remove pair at one instant (pass-through fast path).
+
+        Equivalent to ``on_insert(now); on_remove(now)``: one meter
+        advance, one insert, and no net depth change.
+        """
+        if now != self._last_update:
+            self._advance(now)
+        self.inserts += 1
 
     def sync(self, now: float) -> None:
         self._advance(now)
@@ -77,6 +107,16 @@ class MonitoredQueue:
     caller count a stall and park on :attr:`space_waiter`); ``pop`` frees a
     slot and wakes one parked producer.
     """
+
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "stats",
+        "_items",
+        "space_waiter",
+        "observer",
+    )
 
     def __init__(
         self,
@@ -109,7 +149,7 @@ class MonitoredQueue:
         return not self._items
 
     def try_push(self, item: Any) -> bool:
-        if self.full:
+        if self.capacity is not None and len(self._items) >= self.capacity:
             return False
         self._items.append(item)
         self.stats.on_insert(self.engine.now)
@@ -147,6 +187,19 @@ class Server:
     the simulator (DRAM channels, FlexBus link, CXL media) is expressed.
     """
 
+    __slots__ = (
+        "engine",
+        "queue",
+        "service_time",
+        "on_done",
+        "servers",
+        "name",
+        "busy",
+        "busy_integral",
+        "_last_update",
+        "completed",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -171,18 +224,48 @@ class Server:
 
     def _account(self) -> None:
         now = self.engine.now
-        self.busy_integral += self.busy * (now - self._last_update)
-        self._last_update = now
+        dt = now - self._last_update
+        if dt:
+            self.busy_integral += self.busy * dt
+            self._last_update = now
 
     def submit(self, item: Any) -> bool:
         """Enqueue ``item`` and kick a server if one is idle."""
-        if not self.queue.try_push(item):
+        queue = self.queue
+        if self.busy < self.servers and not queue._items:
+            # Pass-through fast path: the item crosses the (empty) queue
+            # into an idle server at one instant.  Meter the insert+remove
+            # pair and fire the hooks in the same order as push()+pop().
+            now = self.engine.now
+            observer = queue.observer
+            if observer is None:
+                queue.stats.on_transit(now)
+            else:
+                stats = queue.stats
+                stats.on_insert(now)
+                observer.on_queue_push(queue, item)
+                stats.on_remove(now)
+                observer.on_queue_pop(queue, item)
+            waiter = queue.space_waiter
+            if waiter._waiting:
+                waiter.wake_one()
+            dt = now - self._last_update
+            if dt:
+                self.busy_integral += self.busy * dt
+                self._last_update = now
+            self.busy += 1
+            delay = self.service_time(item)
+            if delay < 0:
+                raise ValueError(f"{self.name}: negative service time")
+            self.engine.after(delay, lambda it=item: self._finish(it))
+            return True
+        if not queue.try_push(item):
             return False
         self._dispatch()
         return True
 
     def _dispatch(self) -> None:
-        while self.busy < self.servers and not self.queue.empty:
+        while self.busy < self.servers and self.queue._items:
             item = self.queue.pop()
             self._account()
             self.busy += 1
@@ -192,11 +275,16 @@ class Server:
             self.engine.after(delay, lambda it=item: self._finish(it))
 
     def _finish(self, item: Any) -> None:
-        self._account()
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt:
+            self.busy_integral += self.busy * dt
+            self._last_update = now
         self.busy -= 1
         self.completed += 1
         self.on_done(item)
-        self._dispatch()
+        if self.queue._items:
+            self._dispatch()
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:

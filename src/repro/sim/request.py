@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 CACHELINE = 64  # bytes
@@ -88,37 +87,134 @@ class ServeLocation(enum.Enum):
 
 _req_ids = itertools.count()
 
+#: Recycled MemRequest instances (bounded so pathological bursts don't pin
+#: memory).  Pooling is hot-path-only: request classes with post-completion
+#: observers (demand loads) are never released, and traced sessions bypass
+#: the pool entirely.
+_request_pool: List["MemRequest"] = []
+_REQUEST_POOL_LIMIT = 4096
 
-@dataclass
+
 class MemRequest:
-    """One cacheline-granular memory request walking the Clos network."""
+    """One cacheline-granular memory request walking the Clos network.
 
-    address: int
-    path: Path
-    core_id: int
-    issue_time: float
-    is_store: bool = False
-    mflow_id: Optional[int] = None
-    req_id: int = field(default_factory=lambda: next(_req_ids))
+    Flat ``__slots__`` layout: requests are the simulator's most-allocated
+    objects, so they carry no dict and can be recycled through
+    :meth:`acquire`/:meth:`release` by call sites that can prove the
+    request's lifetime ended (prefetches, RFOs, write-backs).
+    """
 
-    # Outcome stamps, filled in as the request traverses the hierarchy.
-    serve_location: Optional[ServeLocation] = None
-    completion_time: Optional[float] = None
-    missed_l1: bool = False
-    missed_l2: bool = False
-    missed_llc: bool = False
-    dest_node: Optional[int] = None       # NUMA node that owns the address
-    cxl_opcode: Optional[CXLOpcode] = None
-    hops: List[Tuple[str, float]] = field(default_factory=list)
-    # Optional hook the issuing core installs; the CHA fires it the moment
-    # the LLC lookup resolves as a miss (feeds the L3-miss-outstanding meter).
-    on_llc_miss: Optional[Callable[[], None]] = None
-    # Flight-recorder slot: the FlightRecorder attaches a RequestTrace to
-    # sampled requests; every hop site checks it via the recorder.
-    trace: Optional[object] = None
+    __slots__ = (
+        "address",
+        "path",
+        "core_id",
+        "issue_time",
+        "is_store",
+        "mflow_id",
+        "req_id",
+        "serve_location",
+        "completion_time",
+        "missed_l1",
+        "missed_l2",
+        "missed_llc",
+        "dest_node",
+        "cxl_opcode",
+        "hops",
+        "on_llc_miss",
+        "trace",
+        "_completion_waiters",
+    )
 
-    def __post_init__(self) -> None:
-        self.address = line_address(self.address)
+    def __init__(
+        self,
+        address: int,
+        path: Path,
+        core_id: int,
+        issue_time: float,
+        is_store: bool = False,
+        mflow_id: Optional[int] = None,
+        req_id: Optional[int] = None,
+    ) -> None:
+        self.address = line_address(address)
+        self.path = path
+        self.core_id = core_id
+        self.issue_time = issue_time
+        self.is_store = is_store
+        self.mflow_id = mflow_id
+        self.req_id = next(_req_ids) if req_id is None else req_id
+        # Outcome stamps, filled in as the request traverses the hierarchy.
+        self.serve_location: Optional[ServeLocation] = None
+        self.completion_time: Optional[float] = None
+        self.missed_l1 = False
+        self.missed_l2 = False
+        self.missed_llc = False
+        self.dest_node: Optional[int] = None  # NUMA node owning the address
+        self.cxl_opcode: Optional[CXLOpcode] = None
+        self.hops: List[Tuple[str, float]] = []
+        # Optional hook the issuing core installs; the CHA fires it the
+        # moment the LLC lookup resolves as a miss (feeds the
+        # L3-miss-outstanding meter).
+        self.on_llc_miss: Optional[Callable[[], None]] = None
+        # Flight-recorder slot: the FlightRecorder attaches a RequestTrace
+        # to sampled requests; every hop site checks it via the recorder.
+        self.trace: Optional[object] = None
+        # Completion watchers (dependent loads, window stalls) park here.
+        self._completion_waiters: Optional[List[Callable[[], None]]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MemRequest(req_id={self.req_id}, address={self.address:#x}, "
+            f"path={self.path!r}, core_id={self.core_id}, "
+            f"serve_location={self.serve_location!r})"
+        )
+
+    # -- pooling --------------------------------------------------------
+
+    @classmethod
+    def acquire(
+        cls,
+        address: int,
+        path: Path,
+        core_id: int,
+        issue_time: float,
+        is_store: bool = False,
+    ) -> "MemRequest":
+        """Pooled constructor: reuse a released request when available."""
+        pool = _request_pool
+        if not pool:
+            return cls(address, path, core_id, issue_time, is_store=is_store)
+        self = pool.pop()
+        self.address = line_address(address)
+        self.path = path
+        self.core_id = core_id
+        self.issue_time = issue_time
+        self.is_store = is_store
+        self.mflow_id = None
+        self.req_id = next(_req_ids)
+        self.serve_location = None
+        self.completion_time = None
+        self.missed_l1 = False
+        self.missed_l2 = False
+        self.missed_llc = False
+        self.dest_node = None
+        self.cxl_opcode = None
+        self.hops.clear()
+        self.on_llc_miss = None
+        self.trace = None
+        self._completion_waiters = None
+        return self
+
+    def release(self) -> None:
+        """Return this request to the pool.
+
+        Only call when no component can still observe the request: its
+        response callback ran, it is in no queue, and no trace references
+        it.  The issuing sites for prefetches, RFOs and write-backs
+        satisfy this; demand loads do not (dependent-load watchers read
+        them after completion) and are left to the garbage collector.
+        """
+        if len(_request_pool) < _REQUEST_POOL_LIMIT:
+            _request_pool.append(self)
 
     # -- trace helpers --------------------------------------------------
 
@@ -146,7 +242,6 @@ class MemRequest:
         )
 
 
-@dataclass
 class MemOp:
     """One workload-level memory operation fed to a core.
 
@@ -156,17 +251,43 @@ class MemOp:
     ``software_prefetch`` turns the access into a non-blocking SW PF.
     """
 
-    address: int
-    is_store: bool = False
-    gap: float = 0.0
-    dependent: bool = False
-    software_prefetch: bool = False
+    __slots__ = ("address", "is_store", "gap", "dependent", "software_prefetch")
 
-    def __post_init__(self) -> None:
-        if self.gap < 0:
+    def __init__(
+        self,
+        address: int,
+        is_store: bool = False,
+        gap: float = 0.0,
+        dependent: bool = False,
+        software_prefetch: bool = False,
+    ) -> None:
+        if gap < 0:
             raise ValueError("negative compute gap")
-        if self.software_prefetch and self.is_store:
+        if software_prefetch and is_store:
             raise ValueError("software prefetch cannot be a store")
+        self.address = address
+        self.is_store = is_store
+        self.gap = gap
+        self.dependent = dependent
+        self.software_prefetch = software_prefetch
+
+    def __repr__(self) -> str:
+        return (
+            f"MemOp(address={self.address:#x}, is_store={self.is_store}, "
+            f"gap={self.gap}, dependent={self.dependent}, "
+            f"software_prefetch={self.software_prefetch})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemOp):
+            return NotImplemented
+        return (
+            self.address == other.address
+            and self.is_store == other.is_store
+            and self.gap == other.gap
+            and self.dependent == other.dependent
+            and self.software_prefetch == other.software_prefetch
+        )
 
 
 def line_address(address: int) -> int:

@@ -15,7 +15,7 @@ via ``install_interleaved``.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from ..sim.request import MemOp
 # two co-located applications never share pages by accident.
 _REGION_STRIDE_PAGES = 1 << 22
 _region_counter = itertools.count(1)
+
+#: Ops per chunk yielded by :meth:`Workload.ops_chunks`.
+CHUNK_OPS = 4096
 
 
 class Workload:
@@ -105,8 +108,24 @@ class Workload:
         """Yield the operation stream.  Subclasses implement this."""
         raise NotImplementedError
 
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        """Yield the same stream as :meth:`ops`, in lists of ops.
+
+        Consumers iterating a workload pull from these chunks, so the
+        per-op cost is a C-level list-iterator step rather than a
+        generator resume.  The default implementation slices :meth:`ops`;
+        generators with precomputable address vectors override this to
+        build each chunk in one pass.
+        """
+        ops = self.ops()
+        while True:
+            chunk = list(itertools.islice(ops, CHUNK_OPS))
+            if not chunk:
+                return
+            yield chunk
+
     def __iter__(self) -> Iterator[MemOp]:
-        return self.ops()
+        return itertools.chain.from_iterable(self.ops_chunks())
 
     def _addr(self, offset: int) -> int:
         """Turn a byte offset within the working set into a virtual address."""

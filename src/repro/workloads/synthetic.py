@@ -10,7 +10,7 @@ keeps generation cheap; streams are fully deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from ..sim.request import CACHELINE, MemOp
 from .base import Workload
 
 _BATCH = 4096
+
+# MemOp is built positionally in the chunk builders below:
+#   MemOp(address, is_store, gap, dependent, software_prefetch)
 
 
 class SequentialStream(Workload):
@@ -67,6 +70,25 @@ class SequentialStream(Workload):
                     offset += self.stride
             emitted += n
 
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        # Op k reads offset stride*(k//apl) + (k%apl)*8, so the whole
+        # address vector of a chunk is one closed-form numpy expression.
+        self.reseed()
+        base = self.base_address
+        ws = self.working_set_bytes
+        apl = self.accesses_per_line
+        stride = self.stride
+        gap = self.gap
+        emitted = 0
+        while emitted < self.num_ops:
+            n = min(_BATCH, self.num_ops - emitted)
+            stores = (self.rng.random(n) >= self.read_ratio).tolist()
+            k = np.arange(emitted, emitted + n, dtype=np.int64)
+            offsets = (k // apl) * stride + (k % apl) * 8
+            addrs = (base + (offsets % ws)).tolist()
+            yield [MemOp(addrs[i], stores[i], gap) for i in range(n)]
+            emitted += n
+
 
 class StridedStream(SequentialStream):
     """Fixed large-stride sweep (matrix column walks: roms, fotonik3d)."""
@@ -109,6 +131,28 @@ class RandomAccess(Workload):
                     gap=self.gap,
                     dependent=self.dependent and not stores[i],
                 )
+            emitted += n
+
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        self.reseed()
+        base = self.base_address
+        ws = self.working_set_bytes
+        lines = max(1, ws // CACHELINE)
+        gap = self.gap
+        dep = self.dependent
+        emitted = 0
+        while emitted < self.num_ops:
+            n = min(_BATCH, self.num_ops - emitted)
+            offsets = self.rng.integers(0, lines, n) * CACHELINE
+            stores = (self.rng.random(n) >= self.read_ratio).tolist()
+            addrs = (base + (offsets % ws)).tolist()
+            if dep:
+                yield [
+                    MemOp(addrs[i], stores[i], gap, not stores[i])
+                    for i in range(n)
+                ]
+            else:
+                yield [MemOp(addrs[i], stores[i], gap) for i in range(n)]
             emitted += n
 
 
@@ -169,6 +213,21 @@ class ZipfAccess(Workload):
                 )
             emitted += n
 
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        self.reseed()
+        base = self.base_address
+        ws = self.working_set_bytes
+        lines = max(1, ws // CACHELINE)
+        gap = self.gap
+        emitted = 0
+        while emitted < self.num_ops:
+            n = min(_BATCH, self.num_ops - emitted)
+            chosen = self._zipf_lines(n, lines)
+            stores = (self.rng.random(n) >= self.read_ratio).tolist()
+            addrs = (base + ((chosen * CACHELINE) % ws)).tolist()
+            yield [MemOp(addrs[i], stores[i], gap) for i in range(n)]
+            emitted += n
+
 
 class HotColdAccess(Workload):
     """Hot-set/cold-set mix: the paper's TPP GUPS configuration.
@@ -218,6 +277,25 @@ class HotColdAccess(Workload):
                 )
             emitted += n
 
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        self.reseed()
+        base = self.base_address
+        ws = self.working_set_bytes
+        lines = max(1, ws // CACHELINE)
+        hot_lines = max(1, int(lines * self.hot_fraction))
+        gap = self.gap
+        emitted = 0
+        while emitted < self.num_ops:
+            n = min(_BATCH, self.num_ops - emitted)
+            hot = self.rng.random(n) < self.hot_probability
+            hot_offsets = self.rng.integers(0, hot_lines, n)
+            cold_offsets = self.rng.integers(hot_lines, max(lines, hot_lines + 1), n)
+            stores = (self.rng.random(n) >= self.read_ratio).tolist()
+            chosen = np.where(hot, hot_offsets, cold_offsets)
+            addrs = (base + ((chosen * CACHELINE) % ws)).tolist()
+            yield [MemOp(addrs[i], stores[i], gap) for i in range(n)]
+            emitted += n
+
 
 class SoftwarePrefetchStream(Workload):
     """Irregular traversal with explicit SW prefetch ahead of each load.
@@ -253,6 +331,30 @@ class SoftwarePrefetchStream(Workload):
                     gap=0.0,
                 )
             yield MemOp(address=self._addr(int(sequence[i]) * CACHELINE), gap=self.gap)
+
+    def ops_chunks(self) -> Iterator[List[MemOp]]:
+        self.reseed()
+        base = self.base_address
+        ws = self.working_set_bytes
+        lines = max(1, ws // CACHELINE)
+        num_ops = self.num_ops
+        sequence = self.rng.integers(0, lines, num_ops)
+        addrs = (base + ((sequence * CACHELINE) % ws)).tolist()
+        gap = self.gap
+        dist = self.prefetch_distance_ops
+        chunk: List[MemOp] = []
+        append = chunk.append
+        for i in range(num_ops):
+            ahead = i + dist
+            if ahead < num_ops:
+                append(MemOp(addrs[ahead], False, 0.0, False, True))
+            append(MemOp(addrs[i], False, gap))
+            if len(chunk) >= _BATCH:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
 
 
 class PhasedWorkload(Workload):

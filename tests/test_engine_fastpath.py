@@ -1,0 +1,230 @@
+"""The batched scheduler must be indistinguishable from the legacy heap.
+
+The engine's bucket-batched fast path (see docs/ENGINE.md) only holds if
+three invariants survive: equal-timestamp events run in insertion (FIFO)
+order, sub-epsilon past drift is clamped rather than fatal, and an
+attached flight recorder sees the identical event stream either way.
+Budget composition across resumed ``run()`` calls rides along because the
+fast path keeps its event counter in a local.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro import api
+from repro.core import AppSpec, ProfileSpec
+from repro.core.profiler import PathFinder
+from repro.core.spec import TraceSpec
+from repro.sim import Engine, Machine, SimulationBudgetExceeded
+from repro.workloads import RandomAccess
+
+
+# -- FIFO ordering -----------------------------------------------------------
+
+
+def _record_order(engine: Engine, times):
+    """Schedule one tagged event per entry of ``times``; run; return tags."""
+    order = []
+    for seq, time in enumerate(times):
+        engine.at(time, lambda s=seq: order.append(s))
+    engine.run()
+    return order
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0]),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_equal_timestamp_events_keep_fifo_order(times):
+    batched = _record_order(Engine(batched=True), times)
+    legacy = _record_order(Engine(batched=False), times)
+    assert batched == legacy
+    # The merged order is exactly a stable sort by timestamp: FIFO within
+    # one timestamp, timestamps ascending.
+    expected = [i for i, _ in sorted(enumerate(times), key=lambda p: p[1])]
+    assert batched == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 3.0, 3.0, 5.0]),
+            st.integers(min_value=0, max_value=2),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_mid_drain_same_time_appends_keep_fifo_order(plan):
+    """Events that schedule more work at the *same* timestamp stay FIFO.
+
+    This is the regression the index-drained bucket exists for: a late
+    arrival at the live timestamp must join the back of the batch, which
+    is exactly the legacy heap's (time, seq) order.
+    """
+
+    def build(engine):
+        order = []
+        tag = 0
+        for time, extra in plan:
+            def cb(t=time, n=extra, base=tag):
+                order.append(("outer", base))
+                for k in range(n):
+                    engine.at(
+                        t, lambda b=base, kk=k: order.append(("inner", b, kk))
+                    )
+            engine.at(time, cb)
+            tag += 1
+        return order
+
+    e1, e2 = Engine(batched=True), Engine(batched=False)
+    o1, o2 = build(e1), build(e2)
+    e1.run()
+    e2.run()
+    assert o1 == o2
+
+
+def test_schedule_batch_preserves_iteration_order():
+    engine = Engine()
+    order = []
+    engine.at(2.0, lambda: order.append("pre"))
+    engine.schedule_batch(2.0, [lambda i=i: order.append(i) for i in range(5)])
+    engine.run()
+    assert order == ["pre", 0, 1, 2, 3, 4]
+
+
+# -- past-drift clamping -----------------------------------------------------
+
+
+def test_at_clamps_subepsilon_past_drift():
+    engine = Engine()
+    hit = []
+    # 0.1 is not exactly representable: 1000 * 0.1 accumulates drift, the
+    # classic way a stage chain lands a few ULPs before "now".
+    def late():
+        engine.at(engine.now - engine.now * 1e-13, lambda: hit.append(engine.now))
+
+    engine.at(100.0, late)
+    engine.run()
+    assert hit and hit[0] == 100.0
+
+
+def test_at_rejects_genuinely_past_times():
+    engine = Engine()
+    engine.at(50.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError, match="in the past"):
+        engine.at(25.0, lambda: None)
+
+
+def test_schedule_batch_clamps_and_rejects_like_at():
+    engine = Engine()
+    ran = []
+    engine.at(10.0, lambda: engine.schedule_batch(
+        10.0 - 1e-12, [lambda: ran.append(1)]))
+    engine.run()
+    assert ran == [1]
+    with pytest.raises(ValueError, match="in the past"):
+        engine.schedule_batch(1.0, [lambda: None])
+
+
+# -- budget composition ------------------------------------------------------
+
+
+def _load(engine: Engine, n: int = 50) -> None:
+    for i in range(n):
+        engine.at(float(i), lambda: None)
+
+
+def test_per_call_max_events_compose_across_resumed_runs():
+    engine = Engine()
+    _load(engine)
+    with pytest.raises(SimulationBudgetExceeded) as e1:
+        engine.run(max_events=3)
+    assert e1.value.events_executed == 3
+    assert engine.events_executed == 3
+    with pytest.raises(SimulationBudgetExceeded) as e2:
+        engine.run(max_events=3)
+    # The second bounded run gets its own fresh allowance of 3.
+    assert e2.value.events_executed == 3
+    assert engine.events_executed == 6
+
+
+def test_persistent_budget_spans_run_calls():
+    engine = Engine()
+    _load(engine)
+    engine.set_event_budget(10)
+    engine.run(until=4.5)  # executes events at t=0..4 -> 5 events
+    assert engine.events_executed == 5
+    assert engine.event_budget_remaining == 5
+    with pytest.raises(SimulationBudgetExceeded) as exc:
+        engine.run()
+    assert exc.value.events_executed == 5  # five more, then the ceiling
+    assert engine.events_executed == 10
+    assert engine.event_budget_remaining == 0
+
+
+def test_budget_exact_under_midbatch_stop():
+    """Stopping inside a bucket must not lose or double-count events."""
+    engine = Engine()
+    ran = []
+    for i in range(10):
+        engine.at(1.0, lambda i=i: ran.append(i))
+    engine.at(1.0, engine.stop)  # 11th event at the same timestamp? no: stop mid
+    engine.run()
+    # stop() aborts after the current event; everything before it ran.
+    assert ran == list(range(10))
+    assert engine.events_executed == 11
+    assert engine.pending_events == 0
+
+
+# -- recorder parity under the fast path -------------------------------------
+
+
+def _traced_result(batched: bool):
+    workload = RandomAccess(
+        "fp-rand",
+        1 << 20,
+        num_ops=1200,
+        read_ratio=0.7,
+        dependent=True,
+        seed=13,
+        vpn_base=1 << 23,
+    )
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0, membind=0)],
+        epoch_cycles=20000.0,
+        trace=TraceSpec(sample_every=4),
+    )
+    machine = Machine()
+    machine.engine.set_batched(batched)
+    return PathFinder(machine, spec).run()
+
+
+def test_recorder_samples_survive_batched_scheduler():
+    fast = _traced_result(batched=True)
+    slow = _traced_result(batched=False)
+    assert fast.trace is not None and slow.trace is not None
+    assert fast.trace.requests_seen == slow.trace.requests_seen
+    assert fast.trace.requests_traced == slow.trace.requests_traced
+    assert fast.trace.cache_lookups == slow.trace.cache_lookups
+    # Hop-for-hop identical event streams for every sampled request.
+    fast_hops = [
+        (t.local_id, t.path, [(e.component, e.kind, e.t) for e in t.events])
+        for t in fast.trace.traces
+    ]
+    slow_hops = [
+        (t.local_id, t.path, [(e.component, e.kind, e.t) for e in t.events])
+        for t in slow.trace.traces
+    ]
+    assert fast_hops == slow_hops
+    # And the PMU totals agree bit-for-bit.
+    assert api.counters(fast) == api.counters(slow)
