@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke sweeps clean
+.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke fabric-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,9 @@ serve-smoke:
 
 fleet-smoke:
 	$(PYTHON) scripts/fleet_smoke.py
+
+fabric-smoke:
+	$(PYTHON) scripts/fabric_smoke.py
 
 bench-snapshot:
 	$(PYTHON) scripts/bench_snapshot.py

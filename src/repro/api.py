@@ -38,6 +38,7 @@ from .exec.runner import (
     run_campaign,
 )
 from .options import UNSET, RunOptions, apply_trace, resolve_options
+from .sim.fabric import apply_fabric
 from .sim.machine import Machine
 from .sim.topology import MachineConfig, spr_config
 
@@ -82,6 +83,7 @@ def run(
     timeout: Optional[float] = UNSET,
     retries: int = UNSET,
     trace: Any = UNSET,
+    fabric: Any = UNSET,
 ) -> ProfileResult:
     """Profile one spec and return its :class:`ProfileResult`.
 
@@ -92,15 +94,17 @@ def run(
     ``cache=True`` (or a path / :class:`ResultCache`) to reuse and
     populate the content-addressed store; an explicit ``machine``
     disables caching because its mutated state is not part of the cache
-    key.
+    key.  ``fabric`` (a preset name or
+    :class:`~repro.sim.fabric.FabricSpec`) interposes a switched
+    multi-host fabric between the machine's root ports and its devices.
     """
     opts = resolve_options(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
-         "retries": retries, "trace": trace},
+         "retries": retries, "trace": trace, "fabric": fabric},
         api="run",
         defaults={"cache": None, "max_events": None, "timeout": None,
-                  "retries": 0, "trace": None},
+                  "retries": 0, "trace": None, "fabric": None},
     )
     spec = apply_trace(spec, opts["trace"])
     if machine is not None:
@@ -114,11 +118,19 @@ def run(
                 "timeout/retries need the campaign runner; they do not "
                 "apply to an explicit machine"
             )
+        if opts["fabric"] is not None:
+            raise ValueError(
+                "fabric requires a declarative config; attach one to an "
+                "explicit machine with repro.sim.fabric.attach_fabric"
+            )
         profiler = PathFinder(machine, spec)
         return profiler.run()
     job = CampaignJob(
         spec=spec,
-        config=config if config is not None else config_for(spec),
+        config=apply_fabric(
+            config if config is not None else config_for(spec),
+            opts["fabric"],
+        ),
         max_events=opts["max_events"],
     )
     campaign = run_campaign(
@@ -143,8 +155,11 @@ def _collect_jobs(
     """Wrap specs into jobs and fold resolved options into each job.
 
     ``trace`` rewrites the job's spec (never mutating the caller's);
-    ``max_events`` fills jobs that did not set their own budget.
+    ``max_events`` fills jobs that did not set their own budget;
+    ``fabric`` rewrites each job's machine config (a job whose config
+    already carries a different fabric is a conflict and raises).
     """
+    fabric = opts.get("fabric")
     jobs: List[CampaignJob] = []
     for i, item in enumerate(specs):
         tag = tags[i] if tags is not None else ""
@@ -157,12 +172,22 @@ def _collect_jobs(
                 changes["spec"] = spec
             if opts.get("max_events") is not None and item.max_events is None:
                 changes["max_events"] = opts["max_events"]
+            if fabric is not None:
+                if item.config.fabric is not None:
+                    raise ValueError(
+                        f"job {item.tag or i}: fabric set both on the job's "
+                        "config and via options; set it in one place"
+                    )
+                changes["config"] = apply_fabric(item.config, fabric)
             jobs.append(dataclasses.replace(item, **changes) if changes else item)
         else:
             jobs.append(
                 CampaignJob(
                     spec=apply_trace(item, opts.get("trace")),
-                    config=config if config is not None else config_for(item),
+                    config=apply_fabric(
+                        config if config is not None else config_for(item),
+                        fabric,
+                    ),
                     tag=tag,
                     max_events=opts.get("max_events"),
                 )
@@ -182,6 +207,7 @@ def run_many(
     timeout: Optional[float] = UNSET,
     retries: int = UNSET,
     trace: Any = UNSET,
+    fabric: Any = UNSET,
     tags: Optional[Sequence[str]] = None,
 ) -> CampaignResult:
     """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
@@ -197,10 +223,10 @@ def run_many(
     opts = resolve_options(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
-         "retries": retries, "trace": trace},
+         "retries": retries, "trace": trace, "fabric": fabric},
         api="run_many",
         defaults={"cache": True, "max_events": None, "timeout": None,
-                  "retries": 1, "trace": None},
+                  "retries": 1, "trace": None, "fabric": None},
     )
     jobs = _collect_jobs(specs, config, tags, opts)
     campaign = run_campaign(
@@ -252,7 +278,8 @@ def fleet_run_many(
         options,
         {},
         api="fleet_run_many",
-        defaults={"max_events": None, "timeout": None, "trace": None},
+        defaults={"max_events": None, "timeout": None, "trace": None,
+                  "fabric": None},
     )
     if opts["timeout"] is not None:
         if "job_timeout" in shard_options:

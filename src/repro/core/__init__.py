@@ -8,7 +8,14 @@ and flags the culprit path, and PFMaterializer synthesises behaviour
 across snapshots through a time-series database.
 """
 
-from .analyzer import ANALYZER_COMPONENTS, AnalyzerReport, PFAnalyzer, QueueEstimate
+from .analyzer import (
+    ANALYZER_COMPONENTS,
+    AnalyzerReport,
+    FabricDiagnosis,
+    FabricPortEstimate,
+    PFAnalyzer,
+    QueueEstimate,
+)
 from .builder import CORE_COMPONENTS, FAMILIES, PFBuilder, PathMap, UNCORE_COMPONENTS
 from .estimator import COMPONENTS as STALL_COMPONENTS
 from .diff import MetricDelta, SessionDiff, compare_sessions, render_diff
@@ -25,7 +32,15 @@ from .persistence import (
     spec_to_document,
 )
 from .profiler import EpochResult, PathFinder, ProfileResult, profile
-from .report import render_epoch, render_path_map, render_queues, render_session, render_stall_breakdown, render_trace
+from .report import (
+    render_epoch,
+    render_fabric,
+    render_path_map,
+    render_queues,
+    render_session,
+    render_stall_breakdown,
+    render_trace,
+)
 from .snapshot import Snapshot, SnapshotTaker
 from .spec import AppSpec, ProfileSpec, ProfilingMode, ReportSpec, TraceSpec
 
@@ -36,6 +51,8 @@ __all__ = [
     "CORE_COMPONENTS",
     "EpochResult",
     "FAMILIES",
+    "FabricDiagnosis",
+    "FabricPortEstimate",
     "LoadedSession",
     "LocalityReport",
     "MFlow",
@@ -70,6 +87,7 @@ __all__ = [
     "UNCORE_COMPONENTS",
     "profile",
     "render_epoch",
+    "render_fabric",
     "render_path_map",
     "render_queues",
     "render_session",

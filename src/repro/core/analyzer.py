@@ -29,8 +29,12 @@ from typing import Dict, List, Optional, Tuple
 from ..pmu.views import CHAPMUView, CXLDeviceView, CorePMUView, M2PCIeView, core_ids, cxl_node_ids
 from .snapshot import Snapshot
 
-ANALYZER_COMPONENTS = ("L1D", "LFB", "L2", "LLC", "FlexBus+MC")
+ANALYZER_COMPONENTS = ("L1D", "LFB", "L2", "LLC", "FlexBus+MC", "CXLFabric")
 ANALYZED_PATHS = ("DRd", "RFO", "HWPF")
+
+# A side must beat the other by this factor before the fabric diagnosis
+# names it; anything closer is "balanced".
+FABRIC_DIAGNOSIS_MARGIN = 1.2
 
 # Fixed tag-lookup costs (cycles): hardware constants from capacity and
 # associativity, as the paper assigns W_tag a constant value.
@@ -48,12 +52,51 @@ class QueueEstimate:
     delay: float
 
 
+@dataclass(frozen=True)
+class FabricPortEstimate:
+    """Little's-law occupancy of one switch output port.
+
+    ``queue_length`` is the time-average occupancy of the port's input
+    queue over the snapshot; ``retries`` counts credit-throttled
+    submissions (flits that found the queue full), the direct congestion
+    signal."""
+
+    switch: str
+    port: str
+    queue_length: float
+    arrival_rate: float
+    delay: float
+    forwarded: float
+    retries: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.switch}:{self.port}"
+
+
+@dataclass(frozen=True)
+class FabricDiagnosis:
+    """Where do a switched machine's CXL stalls build up?
+
+    ``verdict`` is ``"fabric-congested"`` (switch-port queues dominate),
+    ``"device-bound"`` (device pack-buffer/MC queues dominate), or
+    ``"balanced"`` when neither side beats the other by
+    :data:`FABRIC_DIAGNOSIS_MARGIN`."""
+
+    verdict: str
+    congested_port: Optional[FabricPortEstimate]
+    fabric_queue: float
+    device_queue: float
+
+
 @dataclass
 class AnalyzerReport:
     """All per-(core, path, component) queue estimates of one snapshot."""
 
     snapshot_id: int
     estimates: List[QueueEstimate] = field(default_factory=list)
+    fabric_ports: List[FabricPortEstimate] = field(default_factory=list)
+    device_queue_length: float = 0.0
 
     def queue(self, component: str, path: str, core_id: Optional[int] = None) -> float:
         total = 0.0
@@ -83,6 +126,27 @@ class AnalyzerReport:
             out[est.component] = out.get(est.component, 0.0) + est.queue_length
         return out
 
+    def fabric_diagnosis(self) -> Optional[FabricDiagnosis]:
+        """Attribute CXL stalls to fabric-port contention vs device-side
+        queues.  ``None`` when the snapshot saw no switch ports at all."""
+        if not self.fabric_ports:
+            return None
+        hot = max(self.fabric_ports, key=lambda p: p.queue_length)
+        fabric_queue = hot.queue_length
+        device_queue = self.device_queue_length
+        if fabric_queue > FABRIC_DIAGNOSIS_MARGIN * device_queue:
+            verdict = "fabric-congested"
+        elif device_queue > FABRIC_DIAGNOSIS_MARGIN * fabric_queue:
+            verdict = "device-bound"
+        else:
+            verdict = "balanced"
+        return FabricDiagnosis(
+            verdict=verdict,
+            congested_port=hot,
+            fabric_queue=fabric_queue,
+            device_queue=device_queue,
+        )
+
 
 class PFAnalyzer:
     """Runs ALG 1 over one snapshot."""
@@ -103,6 +167,11 @@ class PFAnalyzer:
                     self._per_core_estimates(view, cha, path, clocks, delays)
                 )
         report.estimates.extend(self._flexbus_estimates(snapshot, cha, clocks))
+        report.fabric_ports = self._fabric_ports(delta, clocks)
+        report.device_queue_length = self._device_queue(delta, clocks)
+        report.estimates.extend(
+            self._fabric_estimates(report.fabric_ports, cha, clocks)
+        )
         return report
 
     # -- delays ------------------------------------------------------------
@@ -240,4 +309,135 @@ class PFAnalyzer:
                         delay=w_hit,
                     )
                 )
+        return out
+
+    # -- CXL fabric (switch ports as middle Clos stages) ---------------------
+
+    def _fabric_ports(
+        self, delta: Dict[Tuple[str, str], float], clocks: float
+    ) -> List[FabricPortEstimate]:
+        """One estimate per switch output port, from ``unc_cxlsw_*``.
+
+        Understands both counter layouts: the multi-host fabric's
+        per-port events (scope ``cxlsw.<switch>``, ``unc_cxlsw_fwd.<port>``)
+        and the one-tier :class:`~repro.sim.cxl_switch.CXLSwitch`'s
+        directional events (scope-level ``unc_cxlsw_fwd_{down,up}``
+        apportioned over that direction's ports by occupancy share)."""
+        scopes: Dict[str, Dict[str, float]] = {}
+        for (scope, event), value in delta.items():
+            if scope.startswith("cxlsw"):
+                scopes.setdefault(scope, {})[event] = value
+        out: List[FabricPortEstimate] = []
+        for scope in sorted(scopes):
+            events = scopes[scope]
+            switch = scope.split(".", 1)[1] if "." in scope else scope
+            per_port: Dict[str, Dict[str, float]] = {}
+            legacy: Dict[str, List[str]] = {"down": [], "up": []}
+            for event, value in events.items():
+                if "." not in event:
+                    continue
+                stem, port = event.split(".", 1)
+                if stem.startswith("unc_cxlsw_down_") or stem.startswith(
+                    "unc_cxlsw_up_"
+                ):
+                    _, _, direction, measure = stem.split("_", 3)
+                    port_key = f"{direction}.{port}"
+                    if port_key not in per_port:
+                        per_port[port_key] = {}
+                        legacy[direction].append(port_key)
+                    per_port[port_key][measure] = value
+                else:
+                    measure = stem[len("unc_cxlsw_"):]
+                    per_port.setdefault(port, {})[measure] = value
+            # Legacy scopes publish forwarded/retry per direction only:
+            # spread the aggregate over that direction's ports by
+            # occupancy share (equal split when all ports sat empty).
+            for direction, port_keys in legacy.items():
+                if not port_keys:
+                    continue
+                fwd = events.get(f"unc_cxlsw_fwd_{direction}", 0.0)
+                retry = events.get(f"unc_cxlsw_retry_{direction}", 0.0)
+                occ_total = sum(
+                    per_port[k].get("occupancy", 0.0) for k in port_keys
+                )
+                for key in port_keys:
+                    occ = per_port[key].get("occupancy", 0.0)
+                    share = (
+                        occ / occ_total if occ_total > 0
+                        else 1.0 / len(port_keys)
+                    )
+                    per_port[key]["fwd"] = fwd * share
+                    per_port[key]["retry"] = retry * share
+            for port in sorted(per_port):
+                measures = per_port[port]
+                occupancy = measures.get("occupancy", 0.0)
+                forwarded = measures.get("fwd", 0.0)
+                queue_length = occupancy / clocks
+                delay = occupancy / forwarded if forwarded > 0 else 0.0
+                if not math.isfinite(queue_length) or not math.isfinite(delay):
+                    continue
+                out.append(
+                    FabricPortEstimate(
+                        switch=switch,
+                        port=port,
+                        queue_length=queue_length,
+                        arrival_rate=forwarded / clocks,
+                        delay=delay,
+                        forwarded=forwarded,
+                        retries=measures.get("retry", 0.0),
+                    )
+                )
+        return out
+
+    def _device_queue(
+        self, delta: Dict[Tuple[str, str], float], clocks: float
+    ) -> float:
+        """Time-average occupancy of all device-side queues (pack buffers
+        + device MC) - the fabric diagnosis's other scale pan."""
+        total = 0.0
+        for node in cxl_node_ids(delta):
+            device = CXLDeviceView(delta, node)
+            total += (
+                device.pack_buf_occupancy("mem_req")
+                + device.pack_buf_occupancy("mem_data")
+                + device.mc_occupancy
+            )
+        return total / clocks
+
+    def _fabric_estimates(
+        self,
+        ports: List[FabricPortEstimate],
+        cha: CHAPMUView,
+        clocks: float,
+    ) -> List[QueueEstimate]:
+        """Fold the fabric into the per-path culprit competition.
+
+        The whole fabric contributes one "CXLFabric" estimate per path,
+        weighted by the same miss_cxl TOR shares as FlexBus+MC, so a
+        congested switch port can win ``culprit()`` outright."""
+        total_queue = sum(p.queue_length for p in ports)
+        total_fwd = sum(p.forwarded for p in ports)
+        if total_queue <= 0.0 or total_fwd <= 0.0:
+            return []
+        delay = total_queue * clocks / total_fwd
+        read_weights = {
+            path: cha.tor_inserts(path, "miss_cxl") for path in ANALYZED_PATHS
+        }
+        total_reads = sum(read_weights.values())
+        out: List[QueueEstimate] = []
+        for path, weight in read_weights.items():
+            share = weight / total_reads if total_reads > 0 else 0.0
+            rate = total_fwd * share / clocks
+            if not (rate > 0.0) or not math.isfinite(rate):
+                continue
+            out.append(
+                QueueEstimate(
+                    component="CXLFabric",
+                    path=path,
+                    core_id=-1,
+                    queue_length=rate * delay,
+                    arrival_rate=rate,
+                    delay=delay,
+                )
+            )
         return out

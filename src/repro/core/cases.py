@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..sim.fabric import apply_fabric, preset_fabric
 from ..sim.machine import Machine
 from ..sim.topology import spr_config
 from ..tiering import TPP, TPPConfig
@@ -191,6 +192,50 @@ def case7_tpp(ops: int = 12000) -> None:
     print("-> promotion of the hot set collapses CXL traffic (paper: 3.0x).")
 
 
+def case8_fabric(ops: int = 4000) -> None:
+    """Case 8 (beyond the paper): fabric-congested vs device-bound pools.
+
+    The same workload runs twice over a 2-host pooled fabric: once behind
+    an undersized switch port (congestion builds in the fabric) and once
+    behind a healthy switch but a slow CXL DIMM (stalls stay device-side).
+    The analyzer's fabric diagnosis separates the two - a distinction no
+    single-host profile can make.
+    """
+    from ..sim.dram import DRAMTiming
+    from .report import render_fabric
+
+    scenarios = (
+        ("fabric-congested", apply_fabric(
+            spr_config(num_cores=2),
+            preset_fabric("undersized", inject_ops=20_000))),
+        ("device-bound", apply_fabric(
+            spr_config(
+                num_cores=2,
+                cxl_dram=DRAMTiming(
+                    access_latency=1400.0, bytes_per_cycle=2.0, channels=1
+                ),
+                cxl_mc_queue_depth=8,
+            ),
+            # Few injected ops: the pool stays healthy, the DIMM does not.
+            preset_fabric("pooled", inject_ops=2_000),
+        )),
+    )
+    for label, config in scenarios:
+        machine = Machine(config)
+        stream = SequentialStream(name="s", num_ops=ops,
+                                  working_set_bytes=1 << 20, gap=1.0, seed=7)
+        app = AppSpec(workload=stream, core=0,
+                      membind=machine.cxl_node.node_id)
+        result = _profile(machine, [app])
+        diagnosis = result.final.queues.fabric_diagnosis()
+        print(f"--- scenario: {label} ---")
+        print(render_fabric(result.final.queues))
+        assert diagnosis is not None
+        print(f"expected {label}, diagnosed {diagnosis.verdict}\n")
+    print("-> the switch-port counters separate fabric congestion from "
+          "device-side queueing on identical workloads.")
+
+
 CASES: Dict[int, Callable[[], None]] = {
     1: case1_path_classification,
     2: case2_stall_breakdown,
@@ -199,12 +244,13 @@ CASES: Dict[int, Callable[[], None]] = {
     5: case5_bandwidth,
     6: case6_locality,
     7: case7_tpp,
+    8: case8_fabric,
 }
 
 
 def run_case(case_id: int) -> None:
     if case_id not in CASES:
-        raise KeyError(f"unknown case {case_id}; choose 1-7")
+        raise KeyError(f"unknown case {case_id}; choose 1-8")
     fn = CASES[case_id]
     print(f"### Case {case_id}: {fn.__doc__.splitlines()[0]}\n")
     fn()

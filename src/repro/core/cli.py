@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from ..pmu.events import ALL_EVENTS, events_in_group
+from ..sim.fabric import FABRIC_PRESETS, apply_fabric
 from ..sim.machine import Machine
 from ..sim.topology import emr_config, spr_config
 from ..workloads.suites import APPLICATIONS, build_app, suite_names
@@ -52,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--per-epoch", action="store_true",
                      help="print every epoch, not just the final one")
+    run.add_argument(
+        "--fabric", choices=list(FABRIC_PRESETS), default=None,
+        help="route CXL traffic through a switched multi-host fabric "
+             "preset (see docs/FABRIC.md)",
+    )
 
     apps = sub.add_parser("list-apps", help="show the application catalog")
     apps.add_argument("--suite", default=None)
@@ -62,9 +68,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     case = sub.add_parser(
-        "case", help="run a compact version of one paper case study (1-7)"
+        "case", help="run a compact version of one case study (1-8)"
     )
-    case.add_argument("--id", type=int, required=True, choices=range(1, 8))
+    case.add_argument("--id", type=int, required=True, choices=range(1, 9))
 
     campaign = sub.add_parser(
         "campaign",
@@ -95,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="per-job wall-clock limit in seconds")
     campaign.add_argument("--retries", type=int, default=1,
                           help="extra attempts per failed job")
+    campaign.add_argument(
+        "--fabric", action="append", choices=list(FABRIC_PRESETS),
+        default=None, metavar="PRESET",
+        help="also grid over switched-fabric preset(s) (repeatable; "
+             "jobs run app x node x {direct, presets...})",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -254,7 +266,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
     cores = args.cores or max(2, len(args.app))
     config_fn = spr_config if args.machine == "spr" else emr_config
-    machine = Machine(config_fn(num_cores=cores))
+    config = config_fn(num_cores=cores)
+    if args.fabric:
+        config = apply_fabric(config, args.fabric)
+    machine = Machine(config)
     node = (
         machine.cxl_node.node_id if args.node == "cxl"
         else machine.local_node.node_id
@@ -268,6 +283,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.per_epoch:
         for epoch_result in result.epochs:
             print(render_epoch(epoch_result))
+    # render_session already appends the CXL fabric section when the
+    # final snapshot carries switch-port estimates.
     print(render_session(result))
     return 0
 
@@ -284,17 +301,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     config_fn = spr_config if args.machine == "spr" else emr_config
     config = config_fn(num_cores=2)
     node_ids = {"local": local_node_id(config), "cxl": cxl_node_id(config)}
+    fabrics = [None] + list(args.fabric or [])
     jobs = []
     for name in args.app:
         for node in args.node or ["local", "cxl"]:
-            workload = build_app(name, num_ops=args.ops, seed=args.seed)
-            spec = ProfileSpec(
-                apps=[AppSpec(workload=workload, core=0,
-                              membind=node_ids[node])],
-                epoch_cycles=args.epoch,
-            )
-            jobs.append(CampaignJob(spec=spec, config=config,
-                                    tag=f"{name}@{node}"))
+            for fabric in fabrics:
+                if fabric is not None and node != "cxl":
+                    continue  # fabric variants only matter for CXL traffic
+                workload = build_app(name, num_ops=args.ops, seed=args.seed)
+                spec = ProfileSpec(
+                    apps=[AppSpec(workload=workload, core=0,
+                                  membind=node_ids[node])],
+                    epoch_cycles=args.epoch,
+                )
+                tag = f"{name}@{node}" + (f"+{fabric}" if fabric else "")
+                jobs.append(CampaignJob(spec=spec,
+                                        config=apply_fabric(config, fabric),
+                                        tag=tag))
     cache = False if args.no_cache else (args.cache_dir or True)
     campaign = api.run_many(
         jobs,

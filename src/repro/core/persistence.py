@@ -278,6 +278,10 @@ def config_from_document(document: Optional[Dict]):
     for timing in ("local_dram", "cxl_dram"):
         if isinstance(data.get(timing), dict):
             data[timing] = DRAMTiming(**data[timing])
+    if isinstance(data.get("fabric"), dict):
+        from ..sim.fabric import FabricSpec
+
+        data["fabric"] = FabricSpec.from_document(data["fabric"])
     return MachineConfig(**data)
 
 

@@ -76,6 +76,36 @@ def render_queues(report: AnalyzerReport, top_n: int = 5) -> str:
     return "\n".join(lines)
 
 
+def render_fabric(report: AnalyzerReport, top_n: int = 5) -> str:
+    """Switch-port occupancy table plus the fabric-vs-device verdict."""
+    lines = [f"CXL fabric (snapshot {report.snapshot_id})"]
+    if not report.fabric_ports:
+        lines.append("  no switch ports observed (direct-attached CXL)")
+        return "\n".join(lines)
+    ranked = sorted(
+        report.fabric_ports, key=lambda p: p.queue_length, reverse=True
+    )[:top_n]
+    lines.append(
+        "  port                          L    fwd    retry       W"
+    )
+    for port in ranked:
+        lines.append(
+            f"  {port.name:<24}{port.queue_length:8.3f}"
+            f" {port.forwarded:6.0f} {port.retries:8.0f}"
+            f" {port.delay:7.1f}"
+        )
+    diagnosis = report.fabric_diagnosis()
+    if diagnosis is not None:
+        hot = diagnosis.congested_port
+        lines.append(
+            f"verdict: {diagnosis.verdict}"
+            f" (fabric L={diagnosis.fabric_queue:.3f}"
+            f" at {hot.name if hot else '-'},"
+            f" device L={diagnosis.device_queue:.3f})"
+        )
+    return "\n".join(lines)
+
+
 def render_epoch(result: EpochResult, core_id: int = 0) -> str:
     parts = [
         f"=== epoch {result.epoch} (t={result.snapshot.t_start:.0f}"
@@ -84,6 +114,8 @@ def render_epoch(result: EpochResult, core_id: int = 0) -> str:
         render_stall_breakdown(result.stalls),
         render_queues(result.queues),
     ]
+    if result.queues.fabric_ports:
+        parts.append(render_fabric(result.queues))
     return "\n".join(parts)
 
 

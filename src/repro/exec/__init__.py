@@ -36,6 +36,7 @@ from .runner import (
     run_campaign,
     run_single_job,
 )
+from .scenarios import congestion_ab_jobs, fabric_matrix_jobs
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -49,9 +50,11 @@ __all__ = [
     "canonical_spec",
     "code_fingerprint",
     "coerce_cache",
+    "congestion_ab_jobs",
     "cxl_node_id",
     "default_cache",
     "expand_duplicates",
+    "fabric_matrix_jobs",
     "job_key",
     "local_node_id",
     "run_campaign",

@@ -1,0 +1,115 @@
+"""Scenario-matrix campaigns over switched CXL fabrics.
+
+Builders that expand a (workload x topology) grid into tagged
+:class:`~repro.exec.runner.CampaignJob` lists, ready for
+:func:`repro.api.run_many`, :mod:`repro.serve` submission or
+:func:`repro.api.fleet_run_many` sharding.  Jobs are fully declarative
+(config-embedded :class:`~repro.sim.fabric.FabricSpec`), so they cache,
+serialise over HTTP and shard across a fleet like any other campaign.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..core.spec import AppSpec, ProfileSpec
+from ..sim.dram import DRAMTiming
+from ..sim.fabric import FABRIC_PRESETS, FabricSpec, apply_fabric
+from ..sim.topology import MachineConfig, spr_config
+from ..workloads.suites import build_app
+from .hashing import cxl_node_id
+from .runner import CampaignJob
+
+__all__ = ["fabric_matrix_jobs", "congestion_ab_jobs"]
+
+
+def _spec_for(app: str, config: MachineConfig, ops: int, seed: int,
+              epoch_cycles: float) -> ProfileSpec:
+    workload = build_app(app, num_ops=ops, seed=seed)
+    return ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0,
+                      membind=cxl_node_id(config))],
+        epoch_cycles=epoch_cycles,
+    )
+
+
+def fabric_matrix_jobs(
+    apps: Sequence[str],
+    topologies: Optional[Sequence[Union[str, FabricSpec]]] = None,
+    *,
+    config: Optional[MachineConfig] = None,
+    ops: int = 6000,
+    seed: int = 1,
+    epoch_cycles: float = 50_000.0,
+) -> List[CampaignJob]:
+    """The topology x workload scenario matrix.
+
+    Every app from the Table 6 catalog runs CXL-bound once per topology
+    (preset name or full :class:`FabricSpec`; ``None`` in the list =
+    direct attach).  Tags read ``app@fabric:<name>``.
+    """
+    base = config if config is not None else spr_config(num_cores=2)
+    if topologies is None:
+        topologies = [None] + list(FABRIC_PRESETS)
+    jobs: List[CampaignJob] = []
+    for app in apps:
+        for topology in topologies:
+            cfg = apply_fabric(base, topology)
+            if isinstance(topology, FabricSpec):
+                label = f"{len(topology.hosts)}h{len(topology.switches)}s"
+            else:
+                label = topology or "direct"
+            jobs.append(
+                CampaignJob(
+                    spec=_spec_for(app, cfg, ops, seed, epoch_cycles),
+                    config=cfg,
+                    tag=f"{app}@fabric:{label}",
+                )
+            )
+    return jobs
+
+
+def congestion_ab_jobs(
+    app: str,
+    *,
+    ops: int = 6000,
+    seed: int = 1,
+    epoch_cycles: float = 25_000.0,
+) -> List[CampaignJob]:
+    """The acceptance A/B pair: one workload, two failure modes.
+
+    Job A ("fabric-congested") puts the pooled devices behind an
+    undersized switch port; job B ("device-bound") keeps the fabric
+    healthy but slows the CXL DIMM and shrinks its MC queue.  The
+    analyzer's :meth:`~repro.core.analyzer.AnalyzerReport.fabric_diagnosis`
+    should name a different side for each.
+    """
+    from ..sim.fabric import preset_fabric
+
+    congested = apply_fabric(
+        spr_config(num_cores=2),
+        preset_fabric("undersized", inject_ops=20_000),
+    )
+    device_bound = apply_fabric(
+        spr_config(
+            num_cores=2,
+            cxl_dram=DRAMTiming(
+                access_latency=1400.0, bytes_per_cycle=2.0, channels=1
+            ),
+            cxl_mc_queue_depth=8,
+        ),
+        # Few injected ops: the pool stays healthy, the DIMM does not.
+        preset_fabric("pooled", inject_ops=2_000),
+    )
+    return [
+        CampaignJob(
+            spec=_spec_for(app, congested, ops, seed, epoch_cycles),
+            config=congested,
+            tag="fabric-congested",
+        ),
+        CampaignJob(
+            spec=_spec_for(app, device_bound, ops, seed, epoch_cycles),
+            config=device_bound,
+            tag="device-bound",
+        ),
+    ]

@@ -76,6 +76,10 @@ class RunOptions:
     * ``retries`` - additional attempts for failed jobs.
     * ``trace`` - flight-recorder config: ``True``, a sample-1-in-N
       ``int``, or a :class:`~repro.core.spec.TraceSpec`.
+    * ``fabric`` - switched multi-host CXL fabric between root ports and
+      devices: a preset name from
+      :data:`~repro.sim.fabric.FABRIC_PRESETS` or a full
+      :class:`~repro.sim.fabric.FabricSpec`; ``None`` = direct attach.
     """
 
     cache: Any = UNSET
@@ -83,6 +87,7 @@ class RunOptions:
     timeout: Any = UNSET
     retries: Any = UNSET
     trace: Any = UNSET
+    fabric: Any = UNSET
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -122,6 +127,20 @@ def _validate(field: str, value: Any) -> Any:
             raise ValueError(f"retries must be a non-negative int, got {value!r}")
     elif field == "trace":
         value = coerce_trace(value)
+    elif field == "fabric":
+        from .sim.fabric import FABRIC_PRESETS, FabricSpec
+
+        if isinstance(value, str):
+            if value not in FABRIC_PRESETS:
+                raise ValueError(
+                    f"unknown fabric preset {value!r}; choose from "
+                    f"{FABRIC_PRESETS}"
+                )
+        elif not isinstance(value, FabricSpec):
+            raise ValueError(
+                f"fabric must be None, a preset name or a FabricSpec, "
+                f"got {value!r}"
+            )
     return value
 
 

@@ -189,6 +189,29 @@ UNCORE_EVENTS: List[EventSpec] = [
     _E("unc_cxlsw_fwd_up", "uncore", "per-socket", "event",
        ("DRd", "RFO", "HWPF", "DWr"),
        "Fabric-switch flits forwarded toward hosts (extension)"),
+    _E("unc_cxlsw_retry_down", "uncore", "per-socket", "event",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Device-direction submissions throttled by full port queues"
+       " (extension)"),
+    _E("unc_cxlsw_retry_up", "uncore", "per-socket", "event",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Host-direction submissions throttled by full port queues"
+       " (extension)"),
+    _E("unc_cxlsw_occupancy", "uncore", "per-switch-port", "occupancy",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Fabric switch output-port queue occupancy, per port (extension)"),
+    _E("unc_cxlsw_cycles_ne", "uncore", "per-switch-port", "cycles",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Cycles a fabric switch output-port queue was not empty"
+       " (extension)"),
+    _E("unc_cxlsw_fwd", "uncore", "per-switch-port", "event",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Flits a fabric switch forwarded out of one port; equals delivered"
+       " flits, never attempts (extension)"),
+    _E("unc_cxlsw_retry", "uncore", "per-switch-port", "event",
+       ("DRd", "RFO", "HWPF", "DWr"),
+       "Credit-throttled submissions at one fabric switch port"
+       " (extension)"),
 ]
 
 CXL_EVENTS: List[EventSpec] = [

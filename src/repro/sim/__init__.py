@@ -11,6 +11,16 @@ from .address import AddressSpace, NodeKind, NumaNode, PAGE_SIZE, build_address_
 from .cache import Cache, MESIF
 from .engine import Engine, SimulationBudgetExceeded, Waiter
 from .cxl_switch import CXLSwitch, attach_switch
+from .fabric import (
+    FABRIC_PRESETS,
+    Fabric,
+    FabricSpec,
+    HostSpec,
+    SwitchSpec,
+    apply_fabric,
+    attach_fabric,
+    preset_fabric,
+)
 from .hooks import EngineHooks, StagePort
 from .machine import Machine
 from .qos import DevLoadThrottler, QoSConfig
@@ -34,8 +44,12 @@ __all__ = [
     "DevLoadThrottler",
     "Engine",
     "EngineHooks",
+    "FABRIC_PRESETS",
     "FLIT_MODES",
+    "Fabric",
+    "FabricSpec",
     "FlitMode",
+    "HostSpec",
     "MESIF",
     "Machine",
     "MachineConfig",
@@ -50,9 +64,13 @@ __all__ = [
     "ServeLocation",
     "SimulationBudgetExceeded",
     "StagePort",
+    "SwitchSpec",
     "Waiter",
+    "apply_fabric",
+    "attach_fabric",
     "attach_switch",
     "build_address_space",
     "emr_config",
+    "preset_fabric",
     "spr_config",
 ]

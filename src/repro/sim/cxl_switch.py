@@ -84,6 +84,8 @@ class CXLSwitch:
         self.up_ports: Dict[str, SwitchPort] = {}     # towards hosts
         self.forwarded_down = 0
         self.forwarded_up = 0
+        self.retried_down = 0
+        self.retried_up = 0
         pmu.on_sync(self._sync)
 
     def _port(self, ports: Dict[str, SwitchPort], key: str) -> SwitchPort:
@@ -103,10 +105,15 @@ class CXLSwitch:
     def forward_to_device(
         self, device_key: str, flit_bytes: float, deliver: Callable[[], None]
     ) -> None:
-        self.forwarded_down += 1
         port = self._port(self.down_ports, device_key)
-        if not port.send(flit_bytes, deliver):
+        if port.send(flit_bytes, deliver):
+            # Count accepted flits only: under saturation the retry path
+            # re-enters this method, and counting on entry would inflate
+            # unc_cxlsw_fwd_down by one per throttled attempt.
+            self.forwarded_down += 1
+        else:
             # Input queue full: fabric credits throttle; retry shortly.
+            self.retried_down += 1
             self.engine.after(
                 4.0, lambda: self.forward_to_device(device_key, flit_bytes, deliver)
             )
@@ -114,9 +121,11 @@ class CXLSwitch:
     def forward_to_host(
         self, host_key: str, flit_bytes: float, deliver: Callable[[], None]
     ) -> None:
-        self.forwarded_up += 1
         port = self._port(self.up_ports, host_key)
-        if not port.send(flit_bytes, deliver):
+        if port.send(flit_bytes, deliver):
+            self.forwarded_up += 1
+        else:
+            self.retried_up += 1
             self.engine.after(
                 4.0, lambda: self.forward_to_host(host_key, flit_bytes, deliver)
             )
@@ -137,6 +146,8 @@ class CXLSwitch:
                 )
         self.pmu.set(self.scope, "unc_cxlsw_fwd_down", float(self.forwarded_down))
         self.pmu.set(self.scope, "unc_cxlsw_fwd_up", float(self.forwarded_up))
+        self.pmu.set(self.scope, "unc_cxlsw_retry_down", float(self.retried_down))
+        self.pmu.set(self.scope, "unc_cxlsw_retry_up", float(self.retried_up))
 
 
 class _SwitchedEndpoint:
@@ -188,7 +199,31 @@ def attach_switch(
 ) -> CXLSwitch:
     """Interpose a fabric switch between a machine's root ports and its
     CXL devices.  Every CXL access afterwards pays the switch traversal
-    (two crossings) - the "switched pooling case" of section 2.3."""
+    (two crossings) - the "switched pooling case" of section 2.3.
+
+    Attaching twice would re-register the PMU sync hook and wrap the
+    already-wrapped endpoints (double-charging traversal latency), so a
+    second call - or a call on a machine already routing through a
+    multi-host fabric - raises instead.
+    """
+    if getattr(machine, "cxl_switch", None) is not None:
+        raise RuntimeError(
+            "machine already has a CXL switch attached; attach_switch is "
+            "not idempotent (it would double-wrap the device endpoints)"
+        )
+    if getattr(machine, "fabric", None) is not None:
+        raise RuntimeError(
+            "machine already routes CXL traffic through a multi-host "
+            "fabric; a one-tier switch cannot be layered on top"
+        )
+    if any(
+        isinstance(port.device, _SwitchedEndpoint)
+        for port in machine.m2pcie.values()
+    ):
+        raise RuntimeError(
+            "machine's CXL endpoints are already switched; refusing to "
+            "wrap them again"
+        )
     switch = CXLSwitch(
         machine.engine,
         machine.pmu,
@@ -196,13 +231,15 @@ def attach_switch(
         forward_latency=forward_latency,
         queue_depth=queue_depth,
     )
+    host_key = getattr(machine, "host_id", "host0")
     for node_id, port in machine.m2pcie.items():
         device = machine.cxl_devices[node_id]
         port.device = _SwitchedEndpoint(
             switch,
             device,
-            host_key="host0",
+            host_key=host_key,
             device_key=f"dev{node_id}",
             port=port,
         )
+    machine.cxl_switch = switch
     return switch

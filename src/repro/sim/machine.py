@@ -47,6 +47,7 @@ class Machine:
 
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or spr_config()
+        self.host_id = self.config.host_id
         self.engine = Engine()
         self.pmu = CounterRegistry()
         self.address_space = AddressSpace(_build_nodes(self.config))
@@ -125,6 +126,13 @@ class Machine:
             for core_id in range(self.config.num_cores)
         ]
         self._active = 0
+        # CXL interconnect attachments (at most one of the two).
+        self.cxl_switch = None
+        self.fabric = None
+        if self.config.fabric is not None:
+            from .fabric import attach_fabric
+
+            attach_fabric(self, self.config.fabric)
 
     # -- observability -------------------------------------------------------
 

@@ -20,9 +20,10 @@ paper's section 2.3 MLC measurements (local 103.2 ns / 131.1 GB/s, CXL
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from .dram import DRAMTiming
+from .fabric import FabricSpec
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,9 @@ class MachineConfig:
     """Everything needed to assemble a :class:`~repro.sim.machine.Machine`."""
 
     name: str = "spr"
+    # This machine's identity on a multi-host fabric (numactl -H hostname
+    # analogue); attach_switch/attach_fabric key upstream traffic by it.
+    host_id: str = "host0"
     frequency_ghz: float = 2.0
     num_cores: int = 4
     # Private caches (per core).
@@ -112,6 +116,9 @@ class MachineConfig:
     cxl_controller_latency: float = 110.0
     # Mesh.
     mesh_hop_latency: float = 4.0
+    # Optional switched multi-host fabric between the root ports and the
+    # device pool (see repro.sim.fabric); None = direct attach.
+    fabric: Optional[FabricSpec] = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -124,6 +131,12 @@ class MachineConfig:
             raise ValueError(
                 f"unknown flit mode {self.flit_mode!r};"
                 f" choose from {sorted(FLIT_MODES)}"
+            )
+        if self.fabric is not None and len(self.fabric.devices) != self.num_cxl_devices:
+            raise ValueError(
+                f"fabric names {len(self.fabric.devices)} device(s) but "
+                f"num_cxl_devices={self.num_cxl_devices}; use "
+                "repro.sim.fabric.apply_fabric to keep them in sync"
             )
 
     @property

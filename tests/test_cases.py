@@ -6,8 +6,8 @@ from repro.core.cases import CASES, run_case
 from repro.core.cli import main
 
 
-def test_case_registry_covers_all_seven():
-    assert sorted(CASES) == [1, 2, 3, 4, 5, 6, 7]
+def test_case_registry_covers_all_cases():
+    assert sorted(CASES) == [1, 2, 3, 4, 5, 6, 7, 8]
 
 
 def test_run_case_unknown_id():

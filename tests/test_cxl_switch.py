@@ -74,6 +74,71 @@ def test_switch_routes_multiple_devices():
     assert all(v > 0 for v in per_device)
 
 
+def test_switch_accounting_under_saturation():
+    """unc_cxlsw_fwd_* counts delivered flits, never attempts: a port
+    driven past queue_depth must retry without re-counting, and the retry
+    counters tick instead."""
+    machine = Machine(spr_config(num_cores=2))
+    switch = attach_switch(machine, bytes_per_cycle=1.0, queue_depth=2)
+    workload = SequentialStream(
+        num_ops=1500, working_set_bytes=1 << 21, gap=0.5, seed=11,
+    )
+    workload.install(machine, machine.cxl_node.node_id)
+    machine.pin(0, iter(workload))
+    machine.run(max_events=40_000_000)
+    assert machine.all_idle
+    snap = machine.snapshot_counters()
+    inserts = sum(
+        v for (s, e), v in snap.items() if e == "unc_m2p_rxc_inserts.all"
+    )
+    # Exactly one forward per flit the root port sent, despite retries.
+    assert switch.forwarded_down == inserts
+    assert switch.retried_down > 0
+    assert snap.get(("cxlsw0", "unc_cxlsw_retry_down"), 0.0) == (
+        switch.retried_down
+    )
+    assert snap.get(("cxlsw0", "unc_cxlsw_fwd_down"), 0.0) == (
+        switch.forwarded_down
+    )
+
+
+def test_switch_retry_counters_monotone():
+    """Retry counters never decrease across successive PMU snapshots."""
+    machine = Machine(spr_config(num_cores=2))
+    attach_switch(machine, bytes_per_cycle=1.0, queue_depth=2)
+    workload = SequentialStream(
+        num_ops=1500, working_set_bytes=1 << 21, gap=0.5, seed=11,
+    )
+    workload.install(machine, machine.cxl_node.node_id)
+    machine.pin(0, iter(workload))
+    last = 0.0
+    for _ in range(40):
+        machine.run(until=machine.now + 5_000.0)
+        snap = machine.snapshot_counters()
+        current = snap.get(("cxlsw0", "unc_cxlsw_retry_down"), 0.0)
+        assert current >= last
+        last = current
+        if machine.all_idle:
+            break
+    assert machine.all_idle
+    assert last > 0
+
+
+def test_double_attach_switch_raises():
+    machine = Machine(spr_config(num_cores=2))
+    first = attach_switch(machine)
+    assert machine.cxl_switch is first
+    with pytest.raises(RuntimeError):
+        attach_switch(machine)
+
+
+def test_attach_switch_uses_machine_host_identity():
+    machine = Machine(spr_config(num_cores=2, host_id="hostA"))
+    attach_switch(machine)
+    endpoint = next(iter(machine.m2pcie.values())).device
+    assert endpoint.host_key == "hostA"
+
+
 def test_profiler_runs_unchanged_over_switched_fabric():
     """PathFinder needs no changes: the switch is just more uncore latency
     visible through the same counters."""

@@ -1,0 +1,365 @@
+"""Tests for the multi-host switched CXL fabric (repro.sim.fabric)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AppSpec, PathFinder, ProfileSpec
+from repro.pmu.registry import CounterRegistry
+from repro.sim import (
+    Engine,
+    FabricSpec,
+    HostSpec,
+    Machine,
+    SwitchSpec,
+    apply_fabric,
+    attach_fabric,
+    attach_switch,
+    preset_fabric,
+    spr_config,
+)
+from repro.workloads import SequentialStream
+
+
+def one_switch_spec(**switch_overrides) -> FabricSpec:
+    return FabricSpec(
+        hosts=(HostSpec("host0"), HostSpec("host1")),
+        switches=(SwitchSpec("sw0", **switch_overrides),),
+        devices=("dev0",),
+        links=(("host0", "sw0"), ("host1", "sw0"), ("sw0", "dev0")),
+    )
+
+
+# -- spec validation ---------------------------------------------------------
+
+
+def test_spec_rejects_empty_topologies():
+    with pytest.raises(ValueError):
+        FabricSpec(hosts=(), switches=(SwitchSpec("sw0"),),
+                   devices=("dev0",), links=(("sw0", "dev0"),))
+    with pytest.raises(ValueError):
+        FabricSpec(hosts=(HostSpec("host0"),), switches=(),
+                   devices=("dev0",), links=())
+
+
+def test_spec_rejects_link_bypassing_switches():
+    with pytest.raises(ValueError, match="bypasses"):
+        FabricSpec(
+            hosts=(HostSpec("host0"),),
+            switches=(SwitchSpec("sw0"),),
+            devices=("dev0",),
+            links=(("host0", "dev0"), ("host0", "sw0"), ("sw0", "dev0")),
+        )
+
+
+def test_spec_rejects_unknown_link_endpoint():
+    with pytest.raises(ValueError, match="unknown node"):
+        FabricSpec(
+            hosts=(HostSpec("host0"),),
+            switches=(SwitchSpec("sw0"),),
+            devices=("dev0",),
+            links=(("host0", "sw0"), ("sw0", "ghost")),
+        )
+
+
+def test_spec_rejects_unreachable_device():
+    with pytest.raises(ValueError, match="cannot reach"):
+        FabricSpec(
+            hosts=(HostSpec("host0"),),
+            switches=(SwitchSpec("sw0"), SwitchSpec("sw1")),
+            devices=("dev0",),
+            links=(("host0", "sw0"), ("sw1", "dev0")),
+        )
+
+
+def test_spec_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="unique"):
+        FabricSpec(
+            hosts=(HostSpec("x"),),
+            switches=(SwitchSpec("x"),),
+            devices=("dev0",),
+            links=(("x", "dev0"),),
+        )
+
+
+def test_spec_normalises_plain_strings():
+    spec = FabricSpec(
+        hosts=("host0",), switches=("sw0",), devices=("dev0",),
+        links=(("host0", "sw0"), ("sw0", "dev0")),
+    )
+    assert spec.hosts[0] == HostSpec("host0")
+    assert spec.switches[0].queue_depth == 128
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(KeyError):
+        preset_fabric("nonsense")
+
+
+# -- serde -------------------------------------------------------------------
+
+
+def test_fabric_spec_round_trips_through_json():
+    spec = preset_fabric("two-tier", num_devices=2)
+    document = json.loads(json.dumps(spec.to_document()))
+    assert FabricSpec.from_document(document) == spec
+
+
+def test_machine_config_round_trips_with_fabric():
+    from repro.core import config_from_document, config_to_document
+
+    config = apply_fabric(spr_config(num_cores=2), "pooled")
+    document = json.loads(json.dumps(config_to_document(config)))
+    rebuilt = config_from_document(document)
+    assert rebuilt == config
+    assert rebuilt.fabric == config.fabric
+
+
+# -- routing -----------------------------------------------------------------
+
+
+def test_route_hop_counts():
+    pooled = preset_fabric("pooled")
+    assert pooled.hops("host0", "dev0") == 1
+    two_tier = preset_fabric("two-tier")
+    assert two_tier.hops("host0", "dev0") == 2
+
+
+def test_compiled_routes_are_symmetric():
+    engine, pmu = Engine(), CounterRegistry()
+    fabric = preset_fabric("two-tier").compile(engine, pmu)
+    down = fabric.route("host0", "dev0")
+    up = fabric.route("dev0", "host0")
+    assert down == tuple(reversed(up))
+    assert down[0] == "host0" and down[-1] == "dev0"
+    assert down[1:-1] == ("sw0", "sw1")
+
+
+def test_two_tier_delivery_is_slower_than_one_tier():
+    def transit(spec: FabricSpec) -> float:
+        engine, pmu = Engine(), CounterRegistry()
+        fabric = spec.compile(engine, pmu)
+        done = []
+        fabric.send("host0", "dev0", 68.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done
+        return done[0]
+
+    assert transit(preset_fabric("two-tier")) > transit(
+        preset_fabric("pooled")
+    )
+
+
+# -- forwarding accounting ---------------------------------------------------
+
+
+def test_fwd_counters_equal_delivered_flits_under_saturation():
+    """The acceptance invariant: with a port driven far past its queue
+    depth, unc_cxlsw_fwd.* still equals delivered flits exactly (retries
+    are counted separately)."""
+    engine, pmu = Engine(), CounterRegistry()
+    spec = one_switch_spec(bytes_per_cycle=1.0, queue_depth=4)
+    fabric = spec.compile(engine, pmu)
+    total = 300
+    delivered = []
+    for i in range(total):
+        fabric.send("host0", "dev0", 68.0, lambda i=i: delivered.append(i))
+    engine.run()
+    assert len(delivered) == total
+    switch = fabric.switches["sw0"]
+    assert switch.forwarded["dev0"] == total
+    assert switch.total_retries > 0
+    assert fabric.delivered[("host0", "dev0")] == total
+    snap = pmu.snapshot(engine.now)
+    assert snap.get(("cxlsw.sw0", "unc_cxlsw_fwd.dev0")) == total
+    assert snap.get(("cxlsw.sw0", "unc_cxlsw_retry.dev0")) == (
+        switch.retries["dev0"]
+    )
+
+
+def test_retry_counters_monotone_across_snapshots():
+    engine, pmu = Engine(), CounterRegistry()
+    fabric = one_switch_spec(bytes_per_cycle=1.0, queue_depth=4).compile(
+        engine, pmu
+    )
+    for _ in range(300):
+        fabric.send("host0", "dev0", 68.0, lambda: None)
+    last = 0.0
+    for _ in range(50):
+        engine.run(until=engine.now + 200.0)
+        current = pmu.snapshot(engine.now).get(
+            ("cxlsw.sw0", "unc_cxlsw_retry.dev0"), 0.0
+        )
+        assert current >= last
+        last = current
+    assert last > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sends=st.lists(
+        st.tuples(
+            st.sampled_from(["host0", "host1"]),
+            st.floats(min_value=8.0, max_value=256.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_fabric_preserves_fifo_order_per_src_dst(sends):
+    """Routing preserves per-(src, dst) FIFO delivery order even under
+    credit backpressure, whatever the flit mix."""
+    engine, pmu = Engine(), CounterRegistry()
+    fabric = one_switch_spec(bytes_per_cycle=2.0, queue_depth=3).compile(
+        engine, pmu
+    )
+    received = {}
+    for seq, (src, flit_bytes) in enumerate(sends):
+        fabric.send(
+            src, "dev0", flit_bytes,
+            lambda src=src, seq=seq: received.setdefault(src, []).append(seq),
+        )
+    engine.run()
+    assert sum(len(v) for v in received.values()) == len(sends)
+    for order in received.values():
+        assert order == sorted(order)
+
+
+# -- machine integration -----------------------------------------------------
+
+
+def test_attach_fabric_is_exclusive():
+    machine = Machine(spr_config(num_cores=2))
+    attach_fabric(machine, preset_fabric("pooled"))
+    with pytest.raises(RuntimeError):
+        attach_fabric(machine, preset_fabric("pooled"))
+    with pytest.raises(RuntimeError):
+        attach_switch(machine)
+
+    switched = Machine(spr_config(num_cores=2))
+    attach_switch(switched)
+    with pytest.raises(RuntimeError):
+        attach_fabric(switched, preset_fabric("pooled"))
+
+
+def test_attach_fabric_checks_device_count():
+    machine = Machine(spr_config(num_cores=2, num_cxl_devices=2))
+    with pytest.raises(ValueError, match="device"):
+        attach_fabric(machine, preset_fabric("pooled", num_devices=1))
+
+
+def test_apply_fabric_grows_device_count():
+    config = apply_fabric(
+        spr_config(num_cores=2), preset_fabric("pooled", num_devices=3)
+    )
+    assert config.num_cxl_devices == 3
+    assert apply_fabric(config, None) is config
+
+
+def _fabric_session(inject_ops: int):
+    spec = FabricSpec(
+        hosts=(
+            HostSpec("host0"),
+            HostSpec("host1", inject_ops=inject_ops, inject_gap=4.0),
+        ),
+        switches=(SwitchSpec("sw0", bytes_per_cycle=4.0),),
+        devices=("dev0",),
+        links=(("host0", "sw0"), ("host1", "sw0"), ("sw0", "dev0")),
+    )
+    machine = Machine(apply_fabric(spr_config(num_cores=2), spec))
+    workload = SequentialStream(
+        num_ops=2000, working_set_bytes=1 << 20, gap=2.0, seed=3,
+    )
+    app = AppSpec(workload=workload, core=0,
+                  membind=machine.cxl_node.node_id)
+    result = PathFinder(
+        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0)
+    ).run()
+    snap = machine.snapshot_counters()
+    count = snap.get(("core0", "lat_sample.CXL_DRAM.count"), 0.0)
+    total = snap.get(("core0", "lat_sample.CXL_DRAM.sum"), 0.0)
+    assert count > 0
+    return machine, result, total / count
+
+
+def test_pooling_neighbour_inflates_cxl_latency():
+    """A neighbour host hammering the shared pool slows the primary
+    host's CXL loads - the cross-host interference direct attach can
+    never show."""
+    _machine, _result, quiet = _fabric_session(inject_ops=0)
+    machine, _result, noisy = _fabric_session(inject_ops=30_000)
+    assert noisy > quiet + 25.0
+    assert machine.fabric.injectors[0].sent > 0
+
+
+def test_fabric_counters_reach_pmu_and_analyzer():
+    machine, result, _lat = _fabric_session(inject_ops=10_000)
+    snap = machine.snapshot_counters()
+    fwd = {
+        (s, e): v for (s, e), v in snap.items()
+        if s == "cxlsw.sw0" and e.startswith("unc_cxlsw_fwd.")
+    }
+    assert fwd and any(v > 0 for v in fwd.values())
+    assert snap.get(("fabric", "host_injected.host1"), 0.0) > 0
+    report = result.final.queues
+    assert report.fabric_ports
+    assert {p.switch for p in report.fabric_ports} == {"sw0"}
+    assert report.fabric_diagnosis() is not None
+
+
+def test_direct_attach_has_no_fabric_diagnosis():
+    machine = Machine(spr_config(num_cores=2))
+    workload = SequentialStream(
+        num_ops=1500, working_set_bytes=1 << 20, gap=2.0, seed=3,
+    )
+    app = AppSpec(workload=workload, core=0,
+                  membind=machine.cxl_node.node_id)
+    result = PathFinder(
+        machine, ProfileSpec(apps=[app], epoch_cycles=25_000.0)
+    ).run()
+    report = result.final.queues
+    assert not report.fabric_ports
+    assert report.fabric_diagnosis() is None
+
+
+# -- the acceptance A/B campaign --------------------------------------------
+
+
+def test_campaign_distinguishes_fabric_congestion_from_device_bound():
+    """The acceptance criterion: one workload, two topologies, run
+    through api.run_many - the report names the fabric in one scenario
+    and the device in the other."""
+    from repro import api
+    from repro.exec import congestion_ab_jobs
+
+    jobs = congestion_ab_jobs("fft", ops=2000)
+    campaign = api.run_many(jobs, parallel=False, cache=False, retries=0)
+    assert all(record.ok for record in campaign.jobs)
+    verdicts = {}
+    for record, result in zip(campaign.jobs, campaign.results):
+        diagnosis = result.final.queues.fabric_diagnosis()
+        assert diagnosis is not None
+        verdicts[record.tag] = diagnosis
+    assert verdicts["fabric-congested"].verdict == "fabric-congested"
+    assert verdicts["fabric-congested"].congested_port.switch == "sw0"
+    assert verdicts["device-bound"].verdict == "device-bound"
+
+
+def test_run_options_fabric_plumbs_through():
+    from repro import api
+    from repro.options import RunOptions
+
+    workload = SequentialStream(
+        num_ops=800, working_set_bytes=1 << 20, gap=2.0, seed=3,
+    )
+    spec = ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0, membind=1)],
+        epoch_cycles=25_000.0,
+    )
+    result = api.run(spec, options=RunOptions(fabric="pooled"))
+    assert result.final.queues.fabric_ports
+
+    with pytest.raises(ValueError):
+        api.run(spec, options=RunOptions(fabric="no-such-preset"))

@@ -147,6 +147,24 @@ def test_config_round_trip_is_exact(config_fn):
     assert job_key(_spec(), rebuilt) == job_key(_spec(), config)
 
 
+def test_config_with_fabric_round_trip_preserves_job_key():
+    from repro.sim import apply_fabric, preset_fabric
+
+    config = apply_fabric(
+        spr_config(num_cores=2), preset_fabric("two-tier", num_devices=2)
+    )
+    import json
+
+    document = json.loads(json.dumps(config_to_document(config)))
+    rebuilt = config_from_document(document)
+    assert rebuilt == config
+    assert rebuilt.fabric == config.fabric
+    assert job_key(_spec(), rebuilt) == job_key(_spec(), config)
+    # A different topology must hash to a different job.
+    other = apply_fabric(spr_config(num_cores=2), "pooled")
+    assert job_key(_spec(), other) != job_key(_spec(), config)
+
+
 def test_config_none_passthrough_and_unknown_field_rejection():
     assert config_from_document(None) is None
     document = config_to_document(spr_config())
