@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke fabric-smoke sweeps clean
+.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke fabric-smoke durable-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,9 @@ fleet-smoke:
 
 fabric-smoke:
 	$(PYTHON) scripts/fabric_smoke.py
+
+durable-smoke:
+	$(PYTHON) scripts/durable_smoke.py
 
 bench-snapshot:
 	$(PYTHON) scripts/bench_snapshot.py

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI smoke test for the repro.durable serving stack.
+
+Exercises the durability + tenancy subsystem the way an operator would,
+over real processes and plain HTTP:
+
+* boots ``pathfinder serve`` with a write-ahead journal, a shared
+  pull-through store and two weighted tenants;
+* submits a batch of jobs, waits until one is mid-flight, then SIGKILLs
+  the daemon -- the crash the journal exists for;
+* restarts the daemon on the same directories and checks the replay
+  re-enqueues everything owed and completes each admitted job exactly
+  once (``jobs_recovered`` == completions on the replacement);
+* boots a second, cold member against the same shared store and checks
+  the crashed batch's results are served born-done via pull-through
+  hydration instead of being recomputed;
+* checks ``/v1/tenants`` reports the configured weights.
+
+Exit code 0 on success.
+
+Usage:  python scripts/durable_smoke.py [--ops N] [--timeout S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.exec import cxl_node_id  # noqa: E402
+from repro.serve import ServeClient, ServeError  # noqa: E402
+from repro.sim import spr_config  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+
+def make_spec(seed: int, num_ops: int) -> ProfileSpec:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+def boot_daemon(cache_dir: str, journal_dir: str, shared_dir: str,
+                timeout: float) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.cli", "serve",
+         "--port", "0", "--workers", "1",
+         "--cache-dir", cache_dir,
+         "--journal-dir", journal_dir,
+         "--shared-cache", shared_dir,
+         "--tenant", "A:3", "--tenant", "B:1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(ROOT),
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon exited before listening")
+        print(f"  [daemon] {line.rstrip()}")
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return proc, port
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon did not start in time")
+
+
+def stop(proc) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    if proc.stdout:
+        proc.stdout.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=2000)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="pf-durable-") as root:
+        cache_dir = os.path.join(root, "cache")
+        journal_dir = os.path.join(root, "journal")
+        shared_dir = os.path.join(root, "shared")
+
+        print("booting journaled daemon ...")
+        proc, port = boot_daemon(cache_dir, journal_dir, shared_dir,
+                                 args.timeout)
+        client = ServeClient(port=port, timeout=args.timeout, tenant="A")
+        try:
+            print("submitting 3 jobs, then SIGKILL mid-flight ...")
+            ids = [client.submit_run(make_spec(70 + i, args.ops))["job_id"]
+                   for i in range(3)]
+            deadline = time.monotonic() + args.timeout
+            while client.metrics()["queue"]["in_flight"] < 1:
+                if time.monotonic() > deadline:
+                    print("FAIL: no job ever started")
+                    return 1
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+            print(f"  killed daemon (pid {proc.pid}); jobs owed: {ids}")
+        finally:
+            stop(proc)
+
+        print("restarting on the same journal ...")
+        proc, port = boot_daemon(cache_dir, journal_dir, shared_dir,
+                                 args.timeout)
+        try:
+            client = ServeClient(port=port, timeout=args.timeout, tenant="A")
+            recovered = client.metrics()["counters"].get("jobs_recovered", 0)
+            print(f"  journal replay re-enqueued {recovered} jobs")
+            if recovered < 2:
+                print("FAIL: expected >= 2 recovered jobs (2 were queued)")
+                return 1
+            finished_here = 0
+            for job_id in ids:
+                try:
+                    final = client.wait(job_id, timeout=args.timeout)
+                except ServeError as exc:
+                    if exc.status != 404:
+                        raise
+                    continue  # journaled terminal before the kill
+                if final["state"] != "done":
+                    print(f"FAIL: recovered job {job_id} -> {final}")
+                    return 1
+                finished_here += 1
+            counters = client.metrics()["counters"]
+            if finished_here != recovered \
+                    or counters["jobs_completed"] != recovered:
+                print(f"FAIL: exactly-once violated: recovered={recovered} "
+                      f"finished={finished_here} counters={counters}")
+                return 1
+            print(f"  all {finished_here} recovered jobs completed "
+                  f"exactly once")
+
+            tenants = client.tenants()
+            if tenants.get("A", {}).get("policy", {}).get("weight") != 3.0:
+                print(f"FAIL: /v1/tenants missing tenant A: {tenants}")
+                return 1
+            print(f"  /v1/tenants: {sorted(tenants)}")
+        finally:
+            stop(proc)
+
+        print("booting a cold member on the shared store ...")
+        proc, port = boot_daemon(os.path.join(root, "cache2"),
+                                 os.path.join(root, "journal2"),
+                                 shared_dir, args.timeout)
+        try:
+            client = ServeClient(port=port, timeout=args.timeout, tenant="B")
+            reply = client.submit_run(make_spec(70, args.ops))
+            if not (reply["state"] == "done" and reply["cache_hit"]):
+                print(f"FAIL: expected pull-through cache hit, got {reply}")
+                return 1
+            stats = client.metrics()["cache"]
+            if stats.get("remote_hits", 0) < 1:
+                print(f"FAIL: no remote hit recorded: {stats}")
+                return 1
+            print(f"  rewarmed from shared store "
+                  f"(remote_hits={stats['remote_hits']})")
+        finally:
+            stop(proc)
+
+    print("\nOK: journal replay exactly-once, tenants visible, "
+          "shared-store rewarm")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,21 @@ __all__ = ["run", "run_many", "fleet_run_many", "compare", "counters",
            "config_for", "RunOptions"]
 
 
+def _tiered_cache(cache: Any, shared: Any) -> Optional[ResultCache]:
+    """The resolved cache, wrapped in a pull-through tier when shared."""
+    resolved = coerce_cache(cache)
+    if shared is None:
+        return resolved
+    if resolved is None:
+        raise ValueError(
+            "shared_cache needs a local cache tier to hydrate; enable "
+            "cache= as well"
+        )
+    from .durable.store import PullThroughCache
+
+    return PullThroughCache(resolved.root, shared)
+
+
 def config_for(spec: ProfileSpec) -> MachineConfig:
     """A default machine sized to fit the spec's pinned cores *and* nodes.
 
@@ -84,6 +99,7 @@ def run(
     retries: int = UNSET,
     trace: Any = UNSET,
     fabric: Any = UNSET,
+    shared_cache: Any = UNSET,
 ) -> ProfileResult:
     """Profile one spec and return its :class:`ProfileResult`.
 
@@ -101,14 +117,16 @@ def run(
     opts = resolve_options(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
-         "retries": retries, "trace": trace, "fabric": fabric},
+         "retries": retries, "trace": trace, "fabric": fabric,
+         "shared_cache": shared_cache},
         api="run",
         defaults={"cache": None, "max_events": None, "timeout": None,
-                  "retries": 0, "trace": None, "fabric": None},
+                  "retries": 0, "trace": None, "fabric": None,
+                  "shared_cache": None},
     )
     spec = apply_trace(spec, opts["trace"])
     if machine is not None:
-        if opts["cache"]:
+        if opts["cache"] or opts["shared_cache"] is not None:
             raise ValueError(
                 "cache requires a declarative config; an explicit machine's "
                 "state is not captured by the cache key"
@@ -136,7 +154,7 @@ def run(
     campaign = run_campaign(
         [job],
         parallel=False,
-        cache=coerce_cache(opts["cache"]),
+        cache=_tiered_cache(opts["cache"], opts["shared_cache"]),
         timeout=opts["timeout"],
         retries=opts["retries"],
     )
@@ -208,6 +226,7 @@ def run_many(
     retries: int = UNSET,
     trace: Any = UNSET,
     fabric: Any = UNSET,
+    shared_cache: Any = UNSET,
     tags: Optional[Sequence[str]] = None,
 ) -> CampaignResult:
     """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
@@ -223,17 +242,19 @@ def run_many(
     opts = resolve_options(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
-         "retries": retries, "trace": trace, "fabric": fabric},
+         "retries": retries, "trace": trace, "fabric": fabric,
+         "shared_cache": shared_cache},
         api="run_many",
         defaults={"cache": True, "max_events": None, "timeout": None,
-                  "retries": 1, "trace": None, "fabric": None},
+                  "retries": 1, "trace": None, "fabric": None,
+                  "shared_cache": None},
     )
     jobs = _collect_jobs(specs, config, tags, opts)
     campaign = run_campaign(
         jobs,
         workers=workers,
         parallel=parallel,
-        cache=opts["cache"],
+        cache=_tiered_cache(opts["cache"], opts["shared_cache"]),
         timeout=opts["timeout"],
         retries=opts["retries"],
     )

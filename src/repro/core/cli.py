@@ -97,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="result cache directory (default results/cache)")
     campaign.add_argument("--no-cache", action="store_true",
                           help="always recompute, never touch the cache")
+    campaign.add_argument("--shared-cache", default=None, metavar="DIR",
+                          help="shared pull-through store the local cache "
+                               "hydrates from and publishes to")
     campaign.add_argument("--timeout", type=float, default=None,
                           help="per-job wall-clock limit in seconds")
     campaign.add_argument("--retries", type=int, default=1,
@@ -158,6 +161,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default per-job simulation event budget")
     serve.add_argument("--retries", type=int, default=0,
                        help="extra attempts per failed job")
+    serve.add_argument("--journal-dir", default=None,
+                       help="write-ahead job journal directory; on restart "
+                            "unfinished jobs are replayed from it")
+    serve.add_argument("--shared-cache", default=None, metavar="DIR",
+                       help="shared pull-through store the local cache "
+                            "hydrates from and publishes to")
+    serve.add_argument(
+        "--tenant", action="append", default=None, metavar="SPEC",
+        help="tenant policy 'name:weight=2,max_queued=16,"
+             "max_in_flight=2,rate=5,burst=10' (repeatable; "
+             "'name:3' is weight shorthand)",
+    )
+    serve.add_argument("--max-terminal-jobs", type=int, default=1024,
+                       help="terminal job records kept in memory before "
+                            "oldest-first pruning")
+    serve.add_argument("--job-retention-s", type=float, default=None,
+                       help="also prune terminal job records older than "
+                            "this many seconds")
 
     submit = sub.add_parser(
         "submit", help="submit a profiling job to a running daemon"
@@ -227,6 +248,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="per-job wall-clock limit in seconds")
     fleet_run.add_argument("--stream", action="store_true",
                            help="print the merged NDJSON progress stream")
+    fleet_run.add_argument("--tenant", default=None, metavar="NAME",
+                           help="submit the campaign as this tenant")
 
     fleet_status = fleet_sub.add_parser(
         "status", help="fleet-wide /metricsz rollup as JSON"
@@ -242,6 +265,18 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_drain.add_argument(
         "--member", action="append", required=True, metavar="HOST:PORT",
         help="a running daemon to drain (repeatable)",
+    )
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="per-tenant usage of one daemon (or a fleet rollup)",
+    )
+    tenants.add_argument("--host", default="127.0.0.1")
+    tenants.add_argument("--port", type=int, default=8023)
+    tenants.add_argument(
+        "--member", action="append", default=None, metavar="HOST:PORT",
+        help="roll up these fleet members instead of --host/--port "
+             "(repeatable)",
     )
 
     cache = sub.add_parser(
@@ -324,6 +359,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         workers=args.workers,
         cache=cache,
+        shared_cache=args.shared_cache,
         timeout=args.timeout,
         retries=args.retries,
     )
@@ -396,6 +432,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         timeout=args.timeout,
         max_events=args.max_events,
+        journal_dir=args.journal_dir,
+        shared_cache=args.shared_cache,
+        tenants=args.tenant,
+        max_terminal_jobs=args.max_terminal_jobs,
+        job_retention_s=args.job_retention_s,
     )
 
     async def _main() -> None:
@@ -527,8 +568,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     if args.local:
         with LocalFleet(size=args.local, workers=args.workers) as fleet:
+            fleet.coordinator.tenant = args.tenant
+            if args.tenant:
+                for member in fleet.coordinator.members():
+                    member.client.tenant = args.tenant
             return _run(fleet.coordinator)
-    return _run(FleetCoordinator(args.member))
+    return _run(FleetCoordinator(args.member, tenant=args.tenant))
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import json
+
+    from ..serve import ServeClient
+
+    if args.member:
+        from ..fleet import FleetCoordinator
+
+        rollup = FleetCoordinator(args.member).metrics()
+        print(json.dumps({
+            "members_reachable": rollup["members_reachable"],
+            "members_total": rollup["members_total"],
+            "tenants": rollup["tenants"],
+        }, indent=2))
+        return 0 if rollup["members_reachable"] else 1
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        print(json.dumps(client.tenants(), indent=2))
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach daemon at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -590,6 +660,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "tenants":
+        return _cmd_tenants(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "list-apps":

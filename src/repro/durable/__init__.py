@@ -1,0 +1,55 @@
+"""Durability and tenancy for the serving tier.
+
+Three pillars (see each module's docstring):
+
+* :mod:`repro.durable.journal` -- the write-ahead job journal the
+  daemon appends to before acking a submit and replays on restart;
+* :mod:`repro.durable.tenants` -- per-tenant quotas and the
+  weighted-fair scheduler that replaces the raw priority queue;
+* :mod:`repro.durable.store` -- the shared pull-through cache tier
+  fleet members hydrate from and publish back to.
+"""
+
+from .journal import (
+    ADMITTED,
+    ALL_KINDS,
+    COMPLETED,
+    FAILED,
+    HANDOFF,
+    JOURNAL_FORMAT,
+    STARTED,
+    TERMINAL_KINDS,
+    JobJournal,
+    JournalRecovery,
+    decode_record,
+    encode_record,
+)
+from .store import PullThroughCache
+from .tenants import (
+    DEFAULT_TENANT,
+    QuotaExceeded,
+    TenantPolicy,
+    TenantRegistry,
+    WeightedFairQueue,
+)
+
+__all__ = [
+    "ADMITTED",
+    "ALL_KINDS",
+    "COMPLETED",
+    "DEFAULT_TENANT",
+    "FAILED",
+    "HANDOFF",
+    "JOURNAL_FORMAT",
+    "JobJournal",
+    "JournalRecovery",
+    "PullThroughCache",
+    "QuotaExceeded",
+    "STARTED",
+    "TERMINAL_KINDS",
+    "TenantPolicy",
+    "TenantRegistry",
+    "WeightedFairQueue",
+    "decode_record",
+    "encode_record",
+]

@@ -1,0 +1,352 @@
+"""Write-ahead job journal: crash-durable record of every admitted job.
+
+The serving daemon is long-lived but was, until this module, entirely
+in-memory: a crash (or SIGKILL) lost every queued and in-flight job.
+:class:`JobJournal` is an append-only NDJSON write-ahead log of job
+lifecycle records -- ``admitted`` (carrying the full submission document
+so the job can be rebuilt), ``started``, ``completed``, ``failed`` and
+``handoff`` -- that the daemon writes *before* acknowledging a submit.
+On restart, :meth:`JobJournal.recover` replays every segment and returns
+the jobs whose latest record is non-terminal, in admit order, so the
+daemon re-enqueues exactly the work it still owes.
+
+Durability properties:
+
+* every line carries a CRC32 over its canonical JSON payload; torn or
+  bit-flipped lines (a crash mid-write) are skipped and counted, never
+  fatal;
+* the log is segmented (``wal-NNNNNNNN.ndjson``); the active segment
+  rotates at a byte threshold and rotation triggers compaction once
+  enough sealed segments pile up;
+* compaction rewrites the whole log keeping only the records of
+  unfinished jobs, via write-new-then-unlink-old, so a crash mid-compact
+  leaves duplicate (idempotent on replay) records rather than lost ones;
+* terminal records are appended *after* the result reaches the cache, so
+  the worst crash window (result cached, terminal record lost) replays
+  into an idempotent cache hit -- every admitted job completes exactly
+  once in effect.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_FORMAT = 1
+
+#: Record kinds, in lifecycle order.
+ADMITTED = "admitted"
+STARTED = "started"
+COMPLETED = "completed"
+FAILED = "failed"
+#: A draining daemon relinquished the job without running it; replay
+#: treats it exactly like an admitted-but-unfinished job.
+HANDOFF = "handoff"
+
+TERMINAL_KINDS = (COMPLETED, FAILED)
+ALL_KINDS = (ADMITTED, STARTED, COMPLETED, FAILED, HANDOFF)
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".ndjson"
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One journal line: ``{"crc": ..., "rec": {...}}`` + newline."""
+    payload = _canonical(record)
+    return json.dumps({"crc": _checksum(payload), "rec": record},
+                      sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_record(line: str) -> Optional[Dict[str, Any]]:
+    """The verified record on a journal line, or None if torn/corrupt."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        envelope = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    record = envelope.get("rec")
+    crc = envelope.get("crc")
+    if not isinstance(record, dict) or not isinstance(crc, str):
+        return None
+    if _checksum(_canonical(record)) != crc:
+        return None
+    return record
+
+
+@dataclass
+class JournalRecovery:
+    """What a replay of the whole journal found."""
+
+    #: ``(job_id, admitted submission document)`` for every job whose
+    #: latest record is non-terminal, in admit order -- the work a
+    #: restarted daemon must re-enqueue.
+    unfinished: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+    #: Latest record kind per job id.
+    states: Dict[str, str] = field(default_factory=dict)
+    #: Total records successfully decoded.
+    records: int = 0
+    #: Lines skipped as torn or checksum-corrupt.
+    corrupt: int = 0
+    #: Segments scanned.
+    segments: int = 0
+
+    @property
+    def terminal(self) -> List[str]:
+        return [job_id for job_id, kind in self.states.items()
+                if kind in TERMINAL_KINDS]
+
+
+class JobJournal:
+    """An append-only, checksummed, segmented NDJSON write-ahead log.
+
+    Thread-safe: the daemon appends from its event loop and workers may
+    append transitions concurrently; one lock serialises all writes,
+    rotation and compaction.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_segment_bytes: int = 4 << 20,
+        compact_after_segments: int = 4,
+        fsync: bool = True,
+    ) -> None:
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        self.compact_after_segments = max(2, compact_after_segments)
+        self.fsync = fsync
+        self._lock = threading.RLock()
+        self._active = None
+        self._active_path: Optional[Path] = None
+        self._active_bytes = 0
+        self._appended = 0
+        self._compactions = 0
+        self._open_active_locked()
+
+    # -- segments --------------------------------------------------------
+
+    def _segments(self) -> List[Path]:
+        return sorted(self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+    @staticmethod
+    def _segment_index(path: Path) -> int:
+        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError:
+            return 0
+
+    def _segment_path(self, index: int) -> Path:
+        return self.root / f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+    def _open_active_locked(self, index: Optional[int] = None) -> None:
+        if index is None:
+            segments = self._segments()
+            index = self._segment_index(segments[-1]) if segments else 1
+        self._active_path = self._segment_path(index)
+        self._active = open(self._active_path, "a", encoding="utf-8")
+        self._active_bytes = self._active_path.stat().st_size
+
+    def _rotate_locked(self) -> None:
+        self._active.close()
+        next_index = self._segment_index(self._active_path) + 1
+        self._open_active_locked(next_index)
+        # Rotation sealed a segment; compact once enough pile up.
+        if len(self._segments()) > self.compact_after_segments:
+            self._compact_locked()
+
+    # -- write -----------------------------------------------------------
+
+    def append(self, kind: str, job_id: str,
+               data: Optional[Dict[str, Any]] = None) -> None:
+        """Durably append one lifecycle record."""
+        if kind not in ALL_KINDS:
+            raise ValueError(f"unknown journal record kind: {kind!r}")
+        record: Dict[str, Any] = {
+            "format": JOURNAL_FORMAT,
+            "kind": kind,
+            "job_id": job_id,
+            "ts": time.time(),
+        }
+        if data is not None:
+            record["data"] = data
+        line = encode_record(record)
+        with self._lock:
+            if self._active is None:
+                raise ValueError("journal is closed")
+            self._active.write(line)
+            self._active.flush()
+            if self.fsync:
+                try:
+                    import os
+
+                    os.fsync(self._active.fileno())
+                except OSError:  # pragma: no cover - fs without fsync
+                    pass
+            self._active_bytes += len(line)
+            self._appended += 1
+            if self._active_bytes >= self.max_segment_bytes:
+                self._rotate_locked()
+
+    # -- read ------------------------------------------------------------
+
+    def _scan_locked(self) -> Tuple[List[Dict[str, Any]], int, int]:
+        """Every decodable record in order + (corrupt, segments) counts."""
+        if self._active is not None:
+            self._active.flush()
+        records: List[Dict[str, Any]] = []
+        corrupt = 0
+        segments = self._segments()
+        for path in segments:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                record = decode_record(line)
+                if record is None:
+                    corrupt += 1
+                    continue
+                records.append(record)
+        return records, corrupt, len(segments)
+
+    def recover(self) -> JournalRecovery:
+        """Replay the whole journal; see :class:`JournalRecovery`.
+
+        Duplicate records for one job (a crash mid-compaction can leave
+        them) are idempotent: the first ``admitted`` document wins and
+        the latest kind decides terminal-ness.
+        """
+        with self._lock:
+            records, corrupt, segments = self._scan_locked()
+        recovery = JournalRecovery(corrupt=corrupt, segments=segments,
+                                   records=len(records))
+        admitted_docs: Dict[str, Dict[str, Any]] = {}
+        admit_order: List[str] = []
+        for record in records:
+            job_id = record.get("job_id")
+            kind = record.get("kind")
+            if not isinstance(job_id, str) or kind not in ALL_KINDS:
+                recovery.corrupt += 1
+                continue
+            if kind == ADMITTED and job_id not in admitted_docs:
+                data = record.get("data")
+                if isinstance(data, dict):
+                    admitted_docs[job_id] = data
+                    admit_order.append(job_id)
+            recovery.states[job_id] = kind
+        for job_id in admit_order:
+            if recovery.states.get(job_id) not in TERMINAL_KINDS:
+                recovery.unfinished.append((job_id, admitted_docs[job_id]))
+        return recovery
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self) -> Dict[str, Any]:
+        """Drop every record of terminal jobs; returns before/after stats."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, Any]:
+        records, corrupt, _ = self._scan_locked()
+        states: Dict[str, str] = {}
+        for record in records:
+            job_id = record.get("job_id")
+            kind = record.get("kind")
+            if isinstance(job_id, str) and kind in ALL_KINDS:
+                states[job_id] = kind
+        live = [
+            record for record in records
+            if states.get(record.get("job_id")) not in TERMINAL_KINDS
+        ]
+        old_segments = self._segments()
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+        next_index = (self._segment_index(old_segments[-1]) + 1
+                      if old_segments else 1)
+        compacted_path = self._segment_path(next_index)
+        tmp_path = compacted_path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in live:
+                handle.write(encode_record(record))
+            handle.flush()
+            if self.fsync:
+                try:
+                    import os
+
+                    os.fsync(handle.fileno())
+                except OSError:  # pragma: no cover
+                    pass
+        tmp_path.replace(compacted_path)
+        # Only after the compacted segment is durable do the old ones go.
+        for path in old_segments:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._open_active_locked(next_index + 1)
+        self._compactions += 1
+        return {
+            "records_before": len(records),
+            "records_after": len(live),
+            "dropped": len(records) - len(live),
+            "corrupt": corrupt,
+        }
+
+    # -- ops -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            segments = self._segments()
+            total = 0
+            for path in segments:
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+            return {
+                "root": str(self.root),
+                "segments": len(segments),
+                "total_bytes": total,
+                "appended": self._appended,
+                "compactions": self._compactions,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active is not None:
+                self._active.close()
+                self._active = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

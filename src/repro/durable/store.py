@@ -1,0 +1,95 @@
+"""A shared pull-through cache tier over the local result cache.
+
+:class:`PullThroughCache` generalises the content-addressed, hard-link
+first-writer-wins :class:`~repro.exec.cache.ResultCache` into a two-level
+hierarchy: every fleet member keeps its private local cache directory,
+and all members share one *store* directory (typically on a common
+filesystem).  A local miss probes the shared store and, on a hit,
+hydrates the local tier with a hard link (copy across filesystems); a
+completed job is published back to the store, first writer wins.  A
+rebuilt or freshly added member therefore rewarms from its peers'
+completed work instead of recomputing it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..exec.cache import ResultCache, link_or_copy
+
+__all__ = ["PullThroughCache"]
+
+
+class PullThroughCache(ResultCache):
+    """A :class:`ResultCache` backed by a shared second-tier store.
+
+    ``root`` is this member's private cache directory; ``shared`` is the
+    store every member publishes to (a path, or a :class:`ResultCache`
+    to share one instance in-process).  All the parent's semantics --
+    content-addressed keys, entry format validation, LRU pruning of the
+    *local* tier -- are inherited unchanged; only miss and publish paths
+    differ.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        shared: Union[str, Path, ResultCache],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(root, **kwargs)
+        if isinstance(shared, ResultCache):
+            self.shared = shared
+        else:
+            self.shared = ResultCache(shared)
+        self.remote_hits = 0
+        self.publishes = 0
+
+    # -- read ------------------------------------------------------------
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = super().get_entry(key)
+        if entry is not None:
+            return entry
+        remote = self.shared.get_entry(key)
+        if remote is None:
+            return None
+        # Hydrate the local tier so the next probe is a local hit and the
+        # local LRU pruner sees a fresh mtime.
+        try:
+            link_or_copy(self.shared.entry_path(key), self.entry_path(key))
+        except OSError:
+            pass
+        # The super() probe counted a local miss, but the lookup as a
+        # whole hit; report it as such.
+        self.misses -= 1
+        self.hits += 1
+        self.remote_hits += 1
+        return remote
+
+    # -- write -----------------------------------------------------------
+
+    def put_document(self, key: str, document: Dict[str, Any],
+                     meta: Optional[Dict[str, Any]] = None) -> None:
+        super().put_document(key, document, meta)
+        self._publish(key)
+
+    def _publish(self, key: str) -> None:
+        local = self.entry_path(key)
+        if not local.exists():
+            return
+        try:
+            link_or_copy(local, self.shared.entry_path(key))
+            self.publishes += 1
+        except OSError:
+            pass
+
+    # -- ops -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        doc = super().stats()
+        doc["remote_hits"] = self.remote_hits
+        doc["publishes"] = self.publishes
+        doc["shared"] = self.shared.stats()
+        return doc

@@ -1,0 +1,498 @@
+"""Per-tenant quotas, token-bucket rate limits and weighted-fair scheduling.
+
+Every submission to the serving daemon carries a tenant identity (the
+``X-Pathfinder-Tenant`` header; absent means :data:`DEFAULT_TENANT`).
+Three cooperating pieces turn the daemon's single undifferentiated
+priority queue into a multi-tenant scheduler:
+
+* :class:`TenantPolicy` -- one tenant's configuration: scheduling
+  weight, queued / in-flight quotas and a token-bucket submit rate;
+* :class:`TenantRegistry` -- the live table of policies plus per-tenant
+  usage gauges and counters; admission calls
+  :meth:`TenantRegistry.check_submit` and a breach raises
+  :class:`QuotaExceeded` (the daemon answers 429 with the bucket's own
+  ``Retry-After`` hint);
+* :class:`WeightedFairQueue` -- a stride scheduler over per-tenant
+  lanes: each dequeue advances the chosen lane's virtual pass by
+  ``1/weight``, so continuously-backlogged tenants complete jobs in
+  exact proportion to their weights, while an idle tenant's lane
+  re-activates at the current virtual time (no banked credit).  Lanes
+  whose tenant is at its ``max_in_flight`` cap are skipped until a
+  running job finishes (the daemon kicks the queue).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "QuotaExceeded",
+    "TenantPolicy",
+    "TenantRegistry",
+    "WeightedFairQueue",
+]
+
+DEFAULT_TENANT = "default"
+
+#: Tenant names travel in an HTTP header; keep them simple.
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def valid_tenant_name(name: str) -> bool:
+    return bool(name) and len(name) <= 64 and set(name) <= _NAME_CHARS
+
+
+class QuotaExceeded(Exception):
+    """A tenant hit one of its quotas; carries a Retry-After hint."""
+
+    def __init__(self, tenant: str, reason: str,
+                 retry_after: Optional[int] = None) -> None:
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's quotas and scheduling weight.
+
+    ``None`` limits mean unlimited; ``rate`` is submissions per second
+    refilling a bucket of ``burst`` tokens (default ``ceil(rate)``,
+    min 1).
+    """
+
+    name: str = DEFAULT_TENANT
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+    max_in_flight: Optional[int] = None
+    rate: Optional[float] = None
+    burst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not valid_tenant_name(self.name):
+            raise ValueError(f"invalid tenant name: {self.name!r}")
+        if not (isinstance(self.weight, (int, float)) and self.weight > 0):
+            raise ValueError(f"tenant weight must be > 0, got {self.weight!r}")
+        for label in ("max_queued", "max_in_flight", "burst"):
+            value = getattr(self, label)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ValueError(f"{label} must be a positive int, "
+                                 f"got {value!r}")
+        if self.rate is not None and not (
+            isinstance(self.rate, (int, float)) and self.rate > 0
+        ):
+            raise ValueError(f"rate must be > 0, got {self.rate!r}")
+
+    @property
+    def bucket_size(self) -> Optional[int]:
+        if self.rate is None:
+            return None
+        return self.burst if self.burst is not None \
+            else max(1, int(math.ceil(self.rate)))
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantPolicy":
+        """Parse a CLI policy spec.
+
+        ``"alice"`` (defaults), ``"alice:3"`` (weight shorthand) or
+        ``"alice:weight=3,max_queued=16,max_in_flight=2,rate=5,burst=10"``.
+        """
+        name, _, rest = text.strip().partition(":")
+        fields: Dict[str, Any] = {"name": name}
+        if rest:
+            for part in rest.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                key, sep, value = part.partition("=")
+                if not sep:
+                    fields["weight"] = float(key)
+                    continue
+                key = key.strip()
+                if key == "weight":
+                    fields[key] = float(value)
+                elif key == "rate":
+                    fields[key] = float(value)
+                elif key in ("max_queued", "max_in_flight", "burst"):
+                    fields[key] = int(value)
+                else:
+                    raise ValueError(f"unknown tenant policy field {key!r} "
+                                     f"in {text!r}")
+        return cls(**fields)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "weight": self.weight,
+            "max_queued": self.max_queued,
+            "max_in_flight": self.max_in_flight,
+            "rate": self.rate,
+            "burst": self.bucket_size,
+        }
+
+
+class _TenantState:
+    """Live usage for one tenant: gauges, counters, token bucket."""
+
+    __slots__ = ("policy", "queued", "in_flight", "tokens", "refreshed",
+                 "counters")
+
+    def __init__(self, policy: TenantPolicy) -> None:
+        self.policy = policy
+        self.queued = 0
+        self.in_flight = 0
+        bucket = policy.bucket_size
+        self.tokens = float(bucket) if bucket is not None else 0.0
+        self.refreshed = time.monotonic()
+        self.counters: Dict[str, int] = {}
+
+    def refill(self) -> None:
+        if self.policy.rate is None:
+            return
+        now = time.monotonic()
+        self.tokens = min(
+            float(self.policy.bucket_size),
+            self.tokens + (now - self.refreshed) * self.policy.rate,
+        )
+        self.refreshed = now
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+
+class TenantRegistry:
+    """Thread-safe table of tenant policies and live usage.
+
+    Unknown tenants auto-register with the ``default_policy`` template
+    (weight 1, no quotas unless configured otherwise), so a fresh client
+    can always submit; configure explicit policies for tenants that need
+    weights or limits.
+    """
+
+    def __init__(
+        self,
+        policies: Union[None, Iterable[Union[TenantPolicy, str]],
+                        Mapping[str, Any]] = None,
+        *,
+        default_policy: Optional[TenantPolicy] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._states: "OrderedDict[str, _TenantState]" = OrderedDict()
+        self.default_policy = default_policy or TenantPolicy()
+        for policy in self._normalize(policies):
+            self.configure(policy)
+
+    @staticmethod
+    def _normalize(
+        policies: Union[None, Iterable[Union[TenantPolicy, str]],
+                        Mapping[str, Any]]
+    ) -> List[TenantPolicy]:
+        if policies is None:
+            return []
+        result: List[TenantPolicy] = []
+        if isinstance(policies, Mapping):
+            for name, value in policies.items():
+                if isinstance(value, TenantPolicy):
+                    result.append(value)
+                elif isinstance(value, Mapping):
+                    result.append(TenantPolicy(name=name, **dict(value)))
+                elif isinstance(value, (int, float)):
+                    result.append(TenantPolicy(name=name, weight=float(value)))
+                else:
+                    raise ValueError(f"cannot build a TenantPolicy for "
+                                     f"{name!r} from {value!r}")
+            return result
+        for item in policies:
+            if isinstance(item, TenantPolicy):
+                result.append(item)
+            elif isinstance(item, str):
+                result.append(TenantPolicy.parse(item))
+            else:
+                raise ValueError(f"cannot build a TenantPolicy from {item!r}")
+        return result
+
+    # -- configuration ---------------------------------------------------
+
+    def configure(self, policy: TenantPolicy) -> None:
+        """Add or replace one tenant's policy (usage is preserved)."""
+        with self._lock:
+            state = self._states.get(policy.name)
+            if state is None:
+                self._states[policy.name] = _TenantState(policy)
+            else:
+                state.policy = policy
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            if not valid_tenant_name(tenant):
+                raise ValueError(f"invalid tenant name: {tenant!r}")
+            template = self.default_policy
+            state = self._states[tenant] = _TenantState(
+                TenantPolicy(
+                    name=tenant,
+                    weight=template.weight,
+                    max_queued=template.max_queued,
+                    max_in_flight=template.max_in_flight,
+                    rate=template.rate,
+                    burst=template.burst,
+                )
+            )
+        return state
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        with self._lock:
+            return self._state(tenant).policy
+
+    def weight_of(self, tenant: str) -> float:
+        with self._lock:
+            return self._state(tenant).policy.weight
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._states)
+
+    # -- admission -------------------------------------------------------
+
+    def check_submit(self, tenant: str, n: int = 1) -> None:
+        """Admit ``n`` submissions or raise :class:`QuotaExceeded`.
+
+        Tokens are only consumed when every check passes, so a rejected
+        burst does not starve the tenant's next polite attempt.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            policy = state.policy
+            if policy.max_queued is not None \
+                    and state.queued + n > policy.max_queued:
+                state.inc("rejected", n)
+                raise QuotaExceeded(
+                    tenant,
+                    f"queued quota exceeded ({state.queued} queued, "
+                    f"max {policy.max_queued})",
+                )
+            if policy.rate is not None:
+                state.refill()
+                if state.tokens < n:
+                    state.inc("rejected", n)
+                    state.inc("rate_limited", n)
+                    wait = (n - state.tokens) / policy.rate
+                    raise QuotaExceeded(
+                        tenant,
+                        f"submit rate exceeded ({policy.rate:g}/s)",
+                        retry_after=max(1, int(math.ceil(wait))),
+                    )
+                state.tokens -= n
+
+    # -- lifecycle accounting -------------------------------------------
+
+    def on_enqueue(self, tenant: str, n: int = 1) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.queued += n
+            state.inc("submitted", n)
+
+    def on_recovered(self, tenant: str) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.queued += 1
+            state.inc("recovered")
+
+    def on_cache_hit(self, tenant: str) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.inc("submitted")
+            state.inc("cache_hits")
+            state.inc("completed")
+
+    def on_start(self, tenant: str) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.queued = max(0, state.queued - 1)
+            state.in_flight += 1
+
+    def on_finish(self, tenant: str, ok: bool = True) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.in_flight = max(0, state.in_flight - 1)
+            state.inc("completed" if ok else "failed")
+
+    def on_handoff(self, tenant: str) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.queued = max(0, state.queued - 1)
+            state.inc("handed_off")
+
+    def can_start(self, tenant: str) -> bool:
+        """Is the tenant under its in-flight cap right now?"""
+        with self._lock:
+            state = self._state(tenant)
+            cap = state.policy.max_in_flight
+            return cap is None or state.in_flight < cap
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            document: Dict[str, Dict[str, Any]] = {}
+            for name, state in self._states.items():
+                state.refill()
+                document[name] = {
+                    "policy": state.policy.as_dict(),
+                    "queued": state.queued,
+                    "in_flight": state.in_flight,
+                    "tokens": (round(state.tokens, 3)
+                               if state.policy.rate is not None else None),
+                    "counters": dict(state.counters),
+                }
+            return document
+
+
+class _Lane:
+    """One tenant's backlog inside the :class:`WeightedFairQueue`."""
+
+    __slots__ = ("heap", "vpass", "weight")
+
+    def __init__(self, weight: float) -> None:
+        self.heap: List[Any] = []
+        self.vpass = 0.0
+        self.weight = weight
+
+
+_MISS = object()
+
+
+class WeightedFairQueue:
+    """An asyncio stride scheduler over per-tenant FIFO-by-priority lanes.
+
+    Not a drop-in :class:`asyncio.Queue`: items are enqueued with a
+    tenant and priority, dequeues pick the eligible lane with the
+    smallest virtual pass (ties broken by arrival order), and drain
+    sentinels (:meth:`put_sentinel` -> ``get()`` returns ``None``) are
+    only served once no lane is eligible, so workers always finish the
+    whole backlog before exiting.
+    """
+
+    def __init__(self, registry: Optional[TenantRegistry] = None) -> None:
+        self._registry = registry
+        self._lanes: "OrderedDict[str, _Lane]" = OrderedDict()
+        self._counter = itertools.count()
+        self._sentinels = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._vtime = 0.0
+        self._size = 0
+
+    # -- sizing ----------------------------------------------------------
+
+    def qsize(self) -> int:
+        return self._size
+
+    def empty(self) -> bool:
+        return self._size == 0
+
+    def backlog(self) -> Dict[str, int]:
+        """Queued items per tenant (for metrics)."""
+        return {tenant: len(lane.heap)
+                for tenant, lane in self._lanes.items() if lane.heap}
+
+    # -- enqueue ---------------------------------------------------------
+
+    def put_nowait(self, item: Any, *, tenant: str = DEFAULT_TENANT,
+                   priority: int = 10) -> None:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = _Lane(self._weight(tenant))
+        if not lane.heap:
+            # Re-activation: no credit is banked while idle, and the
+            # weight is re-read so policy changes apply live.
+            lane.weight = self._weight(tenant)
+            lane.vpass = max(lane.vpass, self._vtime)
+        heapq.heappush(lane.heap, (priority, next(self._counter), item))
+        self._size += 1
+        self._wake()
+
+    def put_sentinel(self) -> None:
+        """Ask one worker to exit once the backlog is drained."""
+        self._sentinels += 1
+        self._wake()
+
+    def _weight(self, tenant: str) -> float:
+        if self._registry is None:
+            return 1.0
+        return max(self._registry.weight_of(tenant), 1e-9)
+
+    # -- dequeue ---------------------------------------------------------
+
+    def _pop(self, respect_limits: bool = True) -> Any:
+        best_key = None
+        best_lane = None
+        for tenant, lane in self._lanes.items():
+            if not lane.heap:
+                continue
+            if respect_limits and self._registry is not None \
+                    and not self._registry.can_start(tenant):
+                continue
+            key = (lane.vpass, lane.heap[0][1])
+            if best_key is None or key < best_key:
+                best_key, best_lane = key, lane
+        if best_lane is None:
+            return _MISS
+        _, _, item = heapq.heappop(best_lane.heap)
+        self._size -= 1
+        self._vtime = best_lane.vpass
+        best_lane.vpass += 1.0 / best_lane.weight
+        return item
+
+    async def get(self) -> Any:
+        """The next item by weighted-fair order; ``None`` = drain sentinel.
+
+        A sentinel is only delivered when no lane is *eligible* (empty or
+        blocked on its in-flight cap); a blocked lane's jobs are picked
+        up by whichever worker finishes the blocking job, so drains
+        cannot strand work.
+        """
+        while True:
+            item = self._pop()
+            if item is not _MISS:
+                return item
+            if self._sentinels:
+                self._sentinels -= 1
+                return None
+            future = asyncio.get_event_loop().create_future()
+            self._waiters.append(future)
+            try:
+                await future
+            except asyncio.CancelledError:
+                try:
+                    self._waiters.remove(future)
+                except ValueError:
+                    pass
+                raise
+
+    def get_nowait(self) -> Any:
+        """Pop any queued item, ignoring in-flight caps (drain handoff)."""
+        item = self._pop(respect_limits=False)
+        if item is _MISS:
+            raise asyncio.QueueEmpty
+        return item
+
+    def kick(self) -> None:
+        """Re-evaluate eligibility (call after a tenant's job finishes)."""
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)

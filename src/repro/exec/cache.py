@@ -53,6 +53,14 @@ class ResultCache:
             raise ValueError(f"malformed cache key: {key!r}")
         return self.root / f"{key}.json"
 
+    def entry_path(self, key: str) -> Path:
+        """Where ``key``'s entry lives (whether or not it exists yet).
+
+        Public so tiered stores (:class:`repro.durable.PullThroughCache`)
+        can hydrate and publish entries as whole files.
+        """
+        return self._path(key)
+
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
@@ -267,6 +275,44 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+
+def link_or_copy(src: Union[str, Path], dst: Union[str, Path]) -> None:
+    """Materialize ``src`` at ``dst``: hard link, else atomic copy.
+
+    First writer wins (an existing ``dst`` is kept untouched), matching
+    :meth:`ResultCache.put_document`'s race discipline; entries for one
+    key are content-equal so losing costs nothing.  Raises ``OSError``
+    only when ``dst`` could not be produced at all.
+    """
+    src = Path(src)
+    dst = Path(dst)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        os.link(src, dst)
+        return
+    except FileExistsError:
+        return
+    except OSError:
+        pass  # cross-device or no-hard-link fs: copy below
+    fd, tmp_name = tempfile.mkstemp(dir=str(dst.parent),
+                                    prefix=f".{dst.stem[:12]}.",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(src.read_bytes())
+        try:
+            os.link(tmp_name, dst)
+        except FileExistsError:
+            pass
+        except OSError:
+            os.replace(tmp_name, dst)
+            return
+    finally:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
 
 
 def coerce_cache(

@@ -161,10 +161,15 @@ class FleetCoordinator:
         failure_threshold: int = 2,
         cooldown_s: float = 30.0,
         client_timeout: float = 30.0,
+        tenant: Optional[str] = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.client_timeout = client_timeout
+        #: Tenant identity stamped on every member client this
+        #: coordinator builds (prebuilt FleetMember clients are kept
+        #: as-is).
+        self.tenant = tenant
         self.ring = HashRing(replicas=replicas)
         self._members: Dict[str, FleetMember] = {}
         self._lock = threading.Lock()
@@ -194,7 +199,8 @@ class FleetCoordinator:
                                  host=host, port=int(port))
         if record.client is None:
             record.client = ServeClient(host=record.host, port=record.port,
-                                        timeout=self.client_timeout)
+                                        timeout=self.client_timeout,
+                                        tenant=self.tenant)
         if record.breaker is None:
             record.breaker = CircuitBreaker(
                 failure_threshold=self.failure_threshold,
@@ -368,6 +374,7 @@ class FleetCoordinator:
             "cache_bytes": 0,
         }
         reachable = 0
+        tenant_rollup: Dict[str, Dict[str, int]] = {}
         for member in self.members():
             try:
                 doc = member.client.metrics()
@@ -391,6 +398,17 @@ class FleetCoordinator:
                 totals[name] += int(counters.get(name, 0))
             totals["cache_entries"] += int(cache.get("entries", 0))
             totals["cache_bytes"] += int(cache.get("total_bytes", 0))
+            for tenant, usage in (doc.get("tenants") or {}).items():
+                row = tenant_rollup.setdefault(tenant, {
+                    "queued": 0, "in_flight": 0, "submitted": 0,
+                    "completed": 0, "failed": 0, "rejected": 0,
+                })
+                row["queued"] += int(usage.get("queued", 0))
+                row["in_flight"] += int(usage.get("in_flight", 0))
+                tenant_counters = usage.get("counters", {})
+                for name in ("submitted", "completed", "failed",
+                             "rejected"):
+                    row[name] += int(tenant_counters.get(name, 0))
             hist = member.submit_latency_ms
             members_doc[member.member_id] = {
                 "reachable": True,
@@ -416,6 +434,7 @@ class FleetCoordinator:
             "members_total": len(self),
             "members_reachable": reachable,
             "fleet": totals,
+            "tenants": tenant_rollup,
             "routing": routing,
             "cache_hit_locality": (local_hits / submitted) if submitted
             else 0.0,

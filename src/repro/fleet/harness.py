@@ -43,6 +43,9 @@ class LocalFleet:
         workers: int = 1,
         queue_depth: int = 64,
         cache_root: Optional[str] = None,
+        journal_root: Optional[str] = None,
+        shared_cache_root: Optional[str] = None,
+        tenants: Any = None,
         failure_threshold: int = 2,
         cooldown_s: float = 60.0,
         **daemon_kwargs: Any,
@@ -55,6 +58,14 @@ class LocalFleet:
         self.daemon_kwargs = daemon_kwargs
         self._own_root = cache_root is None
         self.cache_root = cache_root or tempfile.mkdtemp(prefix="fleet-")
+        #: When set, member N journals to ``journal_root/memberN`` -- and
+        #: :meth:`restart` replays that directory, so a killed member's
+        #: queued jobs survive into its replacement.
+        self.journal_root = journal_root
+        #: When set, every member's cache becomes a pull-through tier
+        #: over this shared store directory.
+        self.shared_cache_root = shared_cache_root
+        self.tenants = tenants
         self.servers: List[Optional[BackgroundServer]] = [None] * size
         # A long default cooldown: once a killed member's breaker opens,
         # tests want it to STAY out of routing (no half-open probe
@@ -67,18 +78,31 @@ class LocalFleet:
 
     # -- lifecycle -------------------------------------------------------
 
+    def _boot_member(self, index: int) -> BackgroundServer:
+        cache_dir = os.path.join(self.cache_root, f"member{index}")
+        os.makedirs(cache_dir, exist_ok=True)
+        kwargs = dict(self.daemon_kwargs)
+        if self.journal_root is not None:
+            kwargs.setdefault(
+                "journal_dir",
+                os.path.join(self.journal_root, f"member{index}"),
+            )
+        if self.shared_cache_root is not None:
+            kwargs.setdefault("shared_cache", self.shared_cache_root)
+        if self.tenants is not None:
+            kwargs.setdefault("tenants", self.tenants)
+        return BackgroundServer(
+            workers=self.workers,
+            queue_depth=self.queue_depth,
+            cache=cache_dir,
+            **kwargs,
+        ).start()
+
     def start(self) -> "LocalFleet":
         if self._started:
             return self
         for index in range(self.size):
-            cache_dir = os.path.join(self.cache_root, f"member{index}")
-            os.makedirs(cache_dir, exist_ok=True)
-            server = BackgroundServer(
-                workers=self.workers,
-                queue_depth=self.queue_depth,
-                cache=cache_dir,
-                **self.daemon_kwargs,
-            ).start()
+            server = self._boot_member(index)
             self.servers[index] = server
             self.coordinator.add_member(("127.0.0.1", server.port))
         self._started = True
@@ -121,6 +145,23 @@ class LocalFleet:
         server.stop(force=True)
         self.servers[index] = None
         return member_id
+
+    def restart(self, index: int) -> str:
+        """Boot a replacement for a killed member on the same directories.
+
+        The replacement reuses member ``index``'s cache dir and (when the
+        fleet has a ``journal_root``) its journal dir, so the daemon's
+        recovery replay re-enqueues whatever the killed member still
+        owed.  It binds a fresh port, hence joins the coordinator as a
+        new member id; the dead id's breaker keeps it out of routing.
+        Returns the new member's id.
+        """
+        if self.servers[index] is not None:
+            raise RuntimeError(f"member {index} is still running")
+        server = self._boot_member(index)
+        self.servers[index] = server
+        self.coordinator.add_member(("127.0.0.1", server.port))
+        return self.member_id(index)
 
     def alive(self) -> List[str]:
         return [f"127.0.0.1:{s.port}" for s in self.servers if s is not None]

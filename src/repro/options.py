@@ -80,6 +80,10 @@ class RunOptions:
       devices: a preset name from
       :data:`~repro.sim.fabric.FABRIC_PRESETS` or a full
       :class:`~repro.sim.fabric.FabricSpec`; ``None`` = direct attach.
+    * ``shared_cache`` - a second-tier store directory (or
+      :class:`~repro.exec.cache.ResultCache`) the local cache pulls
+      misses from and publishes completions to
+      (:class:`~repro.durable.PullThroughCache`); requires ``cache``.
     """
 
     cache: Any = UNSET
@@ -88,6 +92,7 @@ class RunOptions:
     retries: Any = UNSET
     trace: Any = UNSET
     fabric: Any = UNSET
+    shared_cache: Any = UNSET
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -139,6 +144,16 @@ def _validate(field: str, value: Any) -> Any:
         elif not isinstance(value, FabricSpec):
             raise ValueError(
                 f"fabric must be None, a preset name or a FabricSpec, "
+                f"got {value!r}"
+            )
+    elif field == "shared_cache":
+        from pathlib import Path
+
+        from .exec.cache import ResultCache
+
+        if not isinstance(value, (str, Path, ResultCache)):
+            raise ValueError(
+                f"shared_cache must be None, a path or a ResultCache, "
                 f"got {value!r}"
             )
     return value

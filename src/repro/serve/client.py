@@ -75,12 +75,25 @@ class ServeClient:
     """One daemon endpoint; connections are per-request (server closes)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8023, *,
-                 timeout: float = DEFAULT_TIMEOUT_S) -> None:
+                 timeout: float = DEFAULT_TIMEOUT_S,
+                 tenant: Optional[str] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Tenant identity sent with every request (the
+        #: ``X-Pathfinder-Tenant`` header); None means the daemon's
+        #: default tenant.
+        self.tenant = tenant
 
     # -- plumbing --------------------------------------------------------
+
+    def _headers(self, payload: bool = False) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        if payload:
+            headers["Content-Type"] = "application/json"
+        if self.tenant:
+            headers["X-Pathfinder-Tenant"] = self.tenant
+        return headers
 
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
@@ -92,8 +105,7 @@ class ServeClient:
         try:
             payload = json.dumps(body) if body is not None else None
             conn.request(method, path, body=payload,
-                         headers={"Content-Type": "application/json"}
-                         if payload else {})
+                         headers=self._headers(payload is not None))
             response = conn.getresponse()
             headers = {k.lower(): v for k, v in response.getheaders()}
             raw = response.read()
@@ -255,7 +267,8 @@ class ServeClient:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=remaining)
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            conn.request("GET", f"/v1/jobs/{job_id}/events",
+                         headers=self._headers())
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -299,6 +312,10 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._call("GET", "/metricsz")
+
+    def tenants(self) -> Dict[str, Any]:
+        """Per-tenant policies, usage gauges and counters."""
+        return self._call("GET", "/v1/tenants")["tenants"]
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to drain and exit."""

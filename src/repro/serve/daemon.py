@@ -52,7 +52,21 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..core.persistence import config_from_document, spec_from_document
+from ..core.persistence import (
+    config_from_document,
+    config_to_document,
+    spec_from_document,
+)
+from ..durable import journal as wal
+from ..durable.journal import JobJournal
+from ..durable.store import PullThroughCache
+from ..durable.tenants import (
+    DEFAULT_TENANT,
+    QuotaExceeded,
+    TenantRegistry,
+    WeightedFairQueue,
+    valid_tenant_name,
+)
 from ..exec.cache import ResultCache, coerce_cache
 from ..exec.runner import CampaignJob
 from .executor import JobExecutor
@@ -71,9 +85,11 @@ _MAX_BODY_BYTES = 64 * (1 << 20)
 class BadRequest(Exception):
     """Client error carrying the HTTP status to answer with."""
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: Optional[int] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServeDaemon:
@@ -90,6 +106,11 @@ class ServeDaemon:
         retries: int = 0,
         timeout: Optional[float] = None,
         max_events: Optional[int] = None,
+        tenants: Any = None,
+        journal_dir: Any = None,
+        shared_cache: Any = None,
+        max_terminal_jobs: int = 1024,
+        job_retention_s: Optional[float] = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -102,12 +123,27 @@ class ServeDaemon:
         self.default_timeout = timeout
         self.default_max_events = max_events
         self.cache = coerce_cache(cache)
-        self.store = JobStore()
+        if shared_cache is not None:
+            if self.cache is None:
+                raise ValueError(
+                    "shared_cache needs a local cache tier to hydrate; "
+                    "enable cache= as well"
+                )
+            self.cache = PullThroughCache(self.cache.root, shared_cache)
+        if isinstance(tenants, TenantRegistry):
+            self.tenants = tenants
+        else:
+            self.tenants = TenantRegistry(tenants)
+        self.journal: Optional[JobJournal] = (
+            JobJournal(journal_dir) if journal_dir is not None else None
+        )
+        self.store = JobStore(max_terminal=max_terminal_jobs,
+                              max_age_s=job_retention_s)
         self.metrics = ServeMetrics()
         self.executor = JobExecutor(self.cache, self.metrics, retries=retries)
         self._seq = itertools.count()
         self._campaigns = itertools.count(1)
-        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._queue: Optional[WeightedFairQueue] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -122,11 +158,13 @@ class ServeDaemon:
     async def start(self) -> None:
         """Bind the listener and start the worker tasks."""
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.PriorityQueue()
+        self._queue = WeightedFairQueue(self.tenants)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.workers),
             thread_name_prefix="serve-worker",
         )
+        if self.journal is not None:
+            self._recover_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
             family=socket.AF_INET,
@@ -162,38 +200,117 @@ class ServeDaemon:
         asyncio.ensure_future(self._drain_and_exit())
 
     async def _drain_and_exit(self) -> None:
-        # Sentinels sort after every real priority, so workers finish the
-        # whole backlog before exiting.
+        # Sentinels are served only once the backlog is empty, so workers
+        # finish every queued job before exiting.
         for _ in range(max(1, self.workers)):
-            await self._queue.put((math.inf, next(self._seq), None))
+            self._queue.put_sentinel()
         if self._worker_tasks:
             await asyncio.gather(*self._worker_tasks)
         else:
-            # No workers (admission-test configs): nothing can drain.
-            while not self._queue.empty():
-                self._queue.get_nowait()
+            # No workers (admission-test configs): nothing can drain, but
+            # the queued jobs are still owed.  Journal each as handed off
+            # so a successor daemon replaying this journal re-runs them
+            # instead of losing them.
+            while True:
+                try:
+                    record = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                record.publish("handed_off")
+                self.tenants.on_handoff(record.tenant)
+                if self.journal is not None:
+                    self.journal.append(wal.HANDOFF, record.job_id)
+                self.metrics.inc("jobs_handed_off")
         self._server.close()
         await self._server.wait_closed()
         self._pool.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
         logger.info("drained; exiting")
         self._finished.set()
 
     async def _worker(self) -> None:
         while True:
-            _, _, record = await self._queue.get()
+            record = await self._queue.get()
             if record is None:
                 break
             self._in_flight += 1
+            self.tenants.on_start(record.tenant)
+            if self.journal is not None:
+                self.journal.append(wal.STARTED, record.job_id)
             try:
                 await self._loop.run_in_executor(
                     self._pool, self.executor.execute, record
                 )
             finally:
                 self._in_flight -= 1
+                self.tenants.on_finish(record.tenant,
+                                       ok=record.state == DONE)
+                # Only journal genuinely terminal outcomes: a cancelled
+                # worker (force stop) leaves the record non-terminal and
+                # the journal replays it on restart.
+                if self.journal is not None and record.terminal:
+                    kind = wal.COMPLETED if record.state == DONE \
+                        else wal.FAILED
+                    self.journal.append(kind, record.job_id)
+                # A finished job may unblock its tenant's in-flight cap.
+                self._queue.kick()
+                self.store.prune()
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover_journal(self) -> None:
+        """Replay the journal and re-enqueue every unfinished job.
+
+        Runs before the listener binds, so recovered work is queued ahead
+        of any new traffic.  Recovery bypasses admission quotas and queue
+        depth -- these jobs were already admitted (and journaled) once.
+        A job whose result landed in the cache before the crash resolves
+        as a cache hit when a worker picks it up, which is what makes the
+        whole scheme exactly-once *in effect*.
+        """
+        recovery = self.journal.recover()
+        recovered = 0
+        for job_id, doc in recovery.unfinished:
+            tenant = str(doc.get("tenant", DEFAULT_TENANT))
+            try:
+                job, priority, tag, _ = self._parse_submission(doc, tenant)
+            except BadRequest as exc:
+                logger.warning("journal replay: job %s is unrecoverable "
+                               "(%s); sealing it", job_id, exc)
+                self.journal.append(wal.FAILED, job_id,
+                                    {"error": f"unrecoverable replay: {exc}"})
+                continue
+            record = self.store.new_job(job.key(), job, priority=priority,
+                                        tag=tag, tenant=tenant,
+                                        job_id=job_id)
+            record.publish("recovered", priority=priority, tenant=tenant)
+            self.tenants.on_recovered(tenant)
+            self.metrics.inc("jobs_recovered")
+            self._queue.put_nowait(record, tenant=tenant, priority=priority)
+            recovered += 1
+        if recovery.records or recovery.corrupt:
+            logger.info(
+                "journal replay: %d records (%d corrupt) across %d "
+                "segments; re-enqueued %d unfinished jobs",
+                recovery.records, recovery.corrupt, recovery.segments,
+                recovered,
+            )
+        if recovery.records:
+            self.journal.compact()
 
     # -- submission ------------------------------------------------------
 
-    def _parse_submission(self, body: Dict[str, Any]) -> Tuple[CampaignJob, int, str]:
+    def _parse_submission(
+        self, body: Dict[str, Any], tenant: str = DEFAULT_TENANT
+    ) -> Tuple[CampaignJob, int, str, Dict[str, Any]]:
+        """Parse one submission body.
+
+        Returns ``(job, priority, tag, journal_doc)``; the journal doc is
+        the fully-resolved submission (derived config serialized, default
+        timeout/budget folded in) so replaying it after a crash rebuilds
+        the identical job regardless of the restarted daemon's defaults.
+        """
         if not isinstance(body, dict) or "spec" not in body:
             raise BadRequest('body must be a JSON object with a "spec"')
         try:
@@ -217,7 +334,17 @@ class ServeDaemon:
             max_events=int(max_events) if max_events is not None else None,
             cacheable=bool(body.get("cacheable", True)),
         )
-        return job, priority, tag
+        journal_doc = {
+            "spec": body["spec"],
+            "config": body.get("config") or config_to_document(config),
+            "priority": priority,
+            "tag": tag,
+            "tenant": tenant,
+            "timeout": job.timeout,
+            "max_events": job.max_events,
+            "cacheable": job.cacheable,
+        }
+        return job, priority, tag, journal_doc
 
     def _retry_after(self) -> int:
         """Seconds a 429'd client should back off: one queue turn."""
@@ -225,11 +352,24 @@ class ServeDaemon:
         turns = (self._queue.qsize() + self._in_flight) / max(1, self.workers)
         return max(1, min(60, int(math.ceil(mean * max(1.0, turns)))))
 
-    def _admit(self, job: CampaignJob, priority: int, tag: str) -> Tuple[int, ServeJob, bool]:
+    def _admit(
+        self,
+        job: CampaignJob,
+        priority: int,
+        tag: str,
+        tenant: str = DEFAULT_TENANT,
+        *,
+        journal_doc: Optional[Dict[str, Any]] = None,
+        preauthorized: bool = False,
+    ) -> Tuple[int, ServeJob, bool]:
         """Admission pipeline for one parsed job.
 
         Returns ``(http_status, record, admitted_to_queue)``; raises
         :class:`BadRequest` with 429/503 when the job cannot be taken.
+        ``preauthorized`` skips the per-job tenant quota check (campaign
+        submission checks the whole batch up front).  The journal append
+        happens *before* the 202 is returned -- the write-ahead
+        discipline that makes a crash unable to lose an acked job.
         """
         if self._draining:
             raise BadRequest("daemon is draining; not accepting work",
@@ -242,7 +382,7 @@ class ServeDaemon:
             entry = self.cache.get_entry(key)
             if entry is not None:
                 record = self.store.new_job(key, job, priority=priority,
-                                            tag=tag)
+                                            tag=tag, tenant=tenant)
                 meta = entry.get("meta", {})
                 record.events_executed = int(meta.get("events_executed", 0))
                 record.total_cycles = float(meta.get("total_cycles", 0.0))
@@ -257,16 +397,28 @@ class ServeDaemon:
                 self.metrics.inc("jobs_submitted")
                 self.metrics.inc("jobs_cache_hit")
                 self.metrics.inc("jobs_completed")
+                self.tenants.on_cache_hit(tenant)
                 return 200, record, False
+        if not preauthorized:
+            try:
+                self.tenants.check_submit(tenant)
+            except QuotaExceeded as exc:
+                self.metrics.inc("jobs_rejected")
+                raise BadRequest(str(exc), status=429,
+                                 retry_after=exc.retry_after) from exc
         if self._queue.qsize() >= self.queue_depth:
             self.metrics.inc("jobs_rejected")
             raise BadRequest(
                 f"queue full ({self.queue_depth} jobs deep)", status=429
             )
-        record = self.store.new_job(key, job, priority=priority, tag=tag)
-        record.publish("queued", priority=priority, tag=tag)
+        record = self.store.new_job(key, job, priority=priority, tag=tag,
+                                    tenant=tenant)
+        if self.journal is not None:
+            self.journal.append(wal.ADMITTED, record.job_id, journal_doc)
+        record.publish("queued", priority=priority, tag=tag, tenant=tenant)
         self.metrics.inc("jobs_submitted")
-        self._queue.put_nowait((priority, next(self._seq), record))
+        self.tenants.on_enqueue(tenant)
+        self._queue.put_nowait(record, tenant=tenant, priority=priority)
         return 202, record, True
 
     # -- HTTP plumbing ---------------------------------------------------
@@ -278,7 +430,7 @@ class ServeDaemon:
         began = time.perf_counter()
         try:
             try:
-                method, path, body = await asyncio.wait_for(
+                method, path, headers, body = await asyncio.wait_for(
                     self._read_request(reader), REQUEST_READ_TIMEOUT_S
                 )
             except (asyncio.TimeoutError, asyncio.IncompleteReadError,
@@ -290,7 +442,7 @@ class ServeDaemon:
                 )
                 return
             endpoint, handled = await self._route(
-                writer, method, path, body
+                writer, method, path, headers, body
             )
             if not handled:
                 await self._respond_json(
@@ -317,7 +469,7 @@ class ServeDaemon:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+    ) -> Tuple[str, str, Dict[str, str], Optional[Dict[str, Any]]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ConnectionError("empty request")
@@ -342,7 +494,7 @@ class ServeDaemon:
                 body = json.loads(raw)
             except json.JSONDecodeError as exc:
                 raise BadRequest(f"request body is not JSON: {exc}") from exc
-        return method, target.split("?", 1)[0], body
+        return method, target.split("?", 1)[0], headers, body
 
     async def _respond_json(
         self,
@@ -367,11 +519,22 @@ class ServeDaemon:
 
     # -- routing ---------------------------------------------------------
 
+    @staticmethod
+    def _tenant_from(headers: Dict[str, str]) -> str:
+        """The submitting tenant, from the identity header."""
+        tenant = (headers or {}).get("x-pathfinder-tenant", "").strip()
+        if not tenant:
+            return DEFAULT_TENANT
+        if not valid_tenant_name(tenant):
+            raise BadRequest(f"invalid tenant name: {tenant!r}")
+        return tenant
+
     async def _route(
         self,
         writer: asyncio.StreamWriter,
         method: str,
         path: str,
+        headers: Dict[str, str],
         body: Optional[Dict[str, Any]],
     ) -> Tuple[str, bool]:
         """Dispatch one request; returns (endpoint template, handled)."""
@@ -394,11 +557,15 @@ class ServeDaemon:
         if method == "GET" and path == "/metricsz":
             await self._respond_json(writer, 200, self._metrics_document())
             return "GET /metricsz", True
+        if method == "GET" and path == "/v1/tenants":
+            await self._respond_json(writer, 200,
+                                     {"tenants": self.tenants.snapshot()})
+            return "GET /v1/tenants", True
         if method == "POST" and path == "/v1/run":
-            await self._handle_run(writer, body)
+            await self._handle_run(writer, headers, body)
             return "POST /v1/run", True
         if method == "POST" and path == "/v1/campaign":
-            await self._handle_campaign(writer, body)
+            await self._handle_campaign(writer, headers, body)
             return "POST /v1/campaign", True
         if method == "GET" and path == "/v1/jobs":
             jobs = [j.as_dict(include_counters=False)
@@ -430,15 +597,23 @@ class ServeDaemon:
         return f"{method} {path}", False
 
     async def _handle_run(
-        self, writer: asyncio.StreamWriter, body: Optional[Dict[str, Any]]
+        self,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+        body: Optional[Dict[str, Any]],
     ) -> None:
         try:
-            job, priority, tag = self._parse_submission(body or {})
-            status, record, _ = self._admit(job, priority, tag)
+            tenant = self._tenant_from(headers)
+            job, priority, tag, journal_doc = self._parse_submission(
+                body or {}, tenant
+            )
+            status, record, _ = self._admit(job, priority, tag, tenant,
+                                            journal_doc=journal_doc)
         except BadRequest as exc:
             extra = ()
             if exc.status == 429:
-                extra = (("Retry-After", str(self._retry_after())),)
+                retry = exc.retry_after or self._retry_after()
+                extra = (("Retry-After", str(retry)),)
             await self._respond_json(
                 writer, exc.status, {"error": str(exc)}, extra
             )
@@ -446,7 +621,10 @@ class ServeDaemon:
         await self._respond_json(writer, status, {"job": record.as_dict()})
 
     async def _handle_campaign(
-        self, writer: asyncio.StreamWriter, body: Optional[Dict[str, Any]]
+        self,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+        body: Optional[Dict[str, Any]],
     ) -> None:
         items = (body or {}).get("jobs")
         if not isinstance(items, list) or not items:
@@ -456,13 +634,17 @@ class ServeDaemon:
             )
             return
         try:
-            parsed = [self._parse_submission(item) for item in items]
+            tenant = self._tenant_from(headers)
+            parsed = [self._parse_submission(item, tenant)
+                      for item in items]
         except BadRequest as exc:
             await self._respond_json(writer, exc.status,
                                      {"error": str(exc)})
             return
         # All-or-nothing admission: the batch either fits or 429s whole,
-        # so a half-admitted sweep never needs client-side repair.
+        # so a half-admitted sweep never needs client-side repair.  The
+        # tenant's quota is checked for the whole batch for the same
+        # reason; per-item admission below is then preauthorized.
         free = self.queue_depth - self._queue.qsize()
         if not self._draining and len(parsed) > free:
             self.metrics.inc("jobs_rejected", by=len(parsed))
@@ -473,13 +655,27 @@ class ServeDaemon:
                 (("Retry-After", str(self._retry_after())),),
             )
             return
+        if not self._draining:
+            try:
+                self.tenants.check_submit(tenant, n=len(parsed))
+            except QuotaExceeded as exc:
+                self.metrics.inc("jobs_rejected", by=len(parsed))
+                retry = exc.retry_after or self._retry_after()
+                await self._respond_json(
+                    writer, 429, {"error": str(exc)},
+                    (("Retry-After", str(retry)),),
+                )
+                return
         records = []
         try:
-            for job, priority, tag in parsed:
-                _, record, _ = self._admit(job, priority, tag)
+            for job, priority, tag, journal_doc in parsed:
+                _, record, _ = self._admit(job, priority, tag, tenant,
+                                           journal_doc=journal_doc,
+                                           preauthorized=True)
                 records.append(record)
         except BadRequest as exc:
-            extra = (("Retry-After", str(self._retry_after())),) \
+            extra = (("Retry-After",
+                      str(exc.retry_after or self._retry_after())),) \
                 if exc.status == 429 else ()
             await self._respond_json(
                 writer, exc.status,
@@ -577,7 +773,14 @@ class ServeDaemon:
             "workers": self.workers,
             "draining": self._draining,
         }
+        document["queue"]["by_tenant"] = (
+            self._queue.backlog() if self._queue is not None else {}
+        )
         document["jobs_by_state"] = self.store.by_state()
+        document["jobs_pruned"] = self.store.pruned
+        document["tenants"] = self.tenants.snapshot()
+        document["journal"] = (self.journal.stats()
+                               if self.journal is not None else None)
         if self.cache is not None:
             document["cache"] = self.cache.stats()
         else:

@@ -122,7 +122,7 @@ class JobExecutor:
         record.state = DONE
         record.finished_at = time.time()
         self.metrics.inc("jobs_completed")
-        self.metrics.observe_job(record.wall_time)
+        self.metrics.observe_job(record.wall_time, tenant=record.tenant)
         record.publish(
             "done",
             cache_hit=cache_hit,

@@ -54,6 +54,7 @@ class ServeJob:
     job: CampaignJob
     priority: int = 10
     tag: str = ""
+    tenant: str = "default"
     state: str = QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -97,6 +98,7 @@ class ServeJob:
             "job_id": self.job_id,
             "key": self.key,
             "tag": self.tag,
+            "tenant": self.tenant,
             "priority": self.priority,
             "state": self.state,
             "submitted_at": self.submitted_at,
@@ -118,22 +120,41 @@ class ServeJob:
 
 
 class JobStore:
-    """Thread-safe registry of every job the daemon has accepted."""
+    """Thread-safe registry of every job the daemon has accepted.
 
-    def __init__(self) -> None:
+    Memory is bounded: terminal job records beyond ``max_terminal`` (or
+    older than ``max_age_s``, when set) are pruned oldest-first, so a
+    daemon serving sustained traffic does not grow without bound.  A
+    pruned job's ``/v1/jobs/<id>`` lookup 404s -- the same answer an
+    unknown id always got -- and its result remains reachable through
+    the cache by key.
+    """
+
+    def __init__(self, *, max_terminal: int = 1024,
+                 max_age_s: Optional[float] = None) -> None:
+        if max_terminal < 0:
+            raise ValueError("max_terminal must be non-negative")
         self._lock = threading.Lock()
         self._jobs: Dict[str, ServeJob] = {}
         self._by_key: Dict[str, str] = {}
         self._ids = itertools.count(1)
+        self.max_terminal = max_terminal
+        self.max_age_s = max_age_s
+        self.pruned = 0
 
     def new_job(self, key: str, job: CampaignJob, *, priority: int = 10,
-                tag: str = "") -> ServeJob:
-        job_id = f"j{next(self._ids):05d}-{uuid.uuid4().hex[:8]}"
+                tag: str = "", tenant: str = "default",
+                job_id: Optional[str] = None) -> ServeJob:
+        """Register a submission; ``job_id`` is only passed on journal
+        replay so a recovered job keeps its pre-crash identity."""
+        if job_id is None:
+            job_id = f"j{next(self._ids):05d}-{uuid.uuid4().hex[:8]}"
         record = ServeJob(job_id=job_id, key=key, job=job,
-                          priority=priority, tag=tag)
+                          priority=priority, tag=tag, tenant=tenant)
         with self._lock:
             self._jobs[job_id] = record
             self._by_key[key] = job_id
+            self._prune_locked()
         return record
 
     def get(self, job_id: str) -> Optional[ServeJob]:
@@ -158,6 +179,32 @@ class JobStore:
         for job in self.jobs():
             counts[job.state] = counts.get(job.state, 0) + 1
         return counts
+
+    def prune(self) -> int:
+        """Apply the retention policy now; returns records dropped."""
+        with self._lock:
+            return self._prune_locked()
+
+    def _prune_locked(self) -> int:
+        terminal = [job for job in self._jobs.values() if job.terminal]
+        victims: List[ServeJob] = []
+        if self.max_age_s is not None:
+            horizon = time.time() - self.max_age_s
+            victims.extend(job for job in terminal
+                           if (job.finished_at or job.submitted_at) < horizon)
+        victim_ids = {job.job_id for job in victims}
+        survivors = [job for job in terminal if job.job_id not in victim_ids]
+        overflow = len(survivors) - self.max_terminal
+        if overflow > 0:
+            survivors.sort(key=lambda job: job.finished_at
+                           or job.submitted_at)
+            victims.extend(survivors[:overflow])
+        for job in victims:
+            self._jobs.pop(job.job_id, None)
+            if self._by_key.get(job.key) == job.job_id:
+                del self._by_key[job.key]
+        self.pruned += len(victims)
+        return len(victims)
 
     def __len__(self) -> int:
         with self._lock:

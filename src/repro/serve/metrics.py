@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..obs.histogram import LogHistogram
 
@@ -26,6 +26,7 @@ class ServeMetrics:
         self._counters: Dict[str, int] = {}
         self._endpoint_latency: Dict[str, LogHistogram] = {}
         self._job_seconds = LogHistogram()
+        self._tenant_job_seconds: Dict[str, LogHistogram] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -41,9 +42,15 @@ class ServeMetrics:
                 hist = self._endpoint_latency[endpoint] = LogHistogram()
             hist.add(max(0.0, seconds * 1e3))  # milliseconds
 
-    def observe_job(self, seconds: float) -> None:
+    def observe_job(self, seconds: float,
+                    tenant: Optional[str] = None) -> None:
         with self._lock:
             self._job_seconds.add(max(0.0, seconds))
+            if tenant:
+                hist = self._tenant_job_seconds.get(tenant)
+                if hist is None:
+                    hist = self._tenant_job_seconds[tenant] = LogHistogram()
+                hist.add(max(0.0, seconds))
 
     def mean_job_seconds(self) -> float:
         with self._lock:
@@ -70,10 +77,15 @@ class ServeMetrics:
                 for endpoint, hist in sorted(self._endpoint_latency.items())
             }
             job_seconds = self._hist_summary(self._job_seconds)
+            tenant_job_seconds = {
+                tenant: self._hist_summary(hist)
+                for tenant, hist in sorted(self._tenant_job_seconds.items())
+            }
         return {
             "uptime_s": time.monotonic() - self._started_monotonic,
             "started_at": self.started_at,
             "counters": counters,
             "endpoint_latency_ms": endpoints,
             "job_seconds": job_seconds,
+            "tenant_job_seconds": tenant_job_seconds,
         }

@@ -1,0 +1,328 @@
+"""repro.durable units: journal, weighted-fair queue, tenants, store.
+
+End-to-end crash recovery and fairness over real daemons live in
+``test_durable_serve.py``; this module pins down each pillar's own
+contract -- checksum discipline, replay idempotency, stride-scheduler
+shares, quota arithmetic, pull-through hydration -- where failures are
+cheap to localise.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.durable import (
+    JobJournal,
+    PullThroughCache,
+    QuotaExceeded,
+    TenantPolicy,
+    TenantRegistry,
+    WeightedFairQueue,
+    decode_record,
+    encode_record,
+)
+from repro.durable import journal as wal
+from repro.exec.cache import ResultCache
+from repro.exec.runner import CampaignJob
+from repro.serve.jobs import DONE, JobStore
+
+
+# -- journal -------------------------------------------------------------
+
+
+def test_journal_roundtrip_and_replay_order(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    journal.append(wal.ADMITTED, "a", {"spec": 1})
+    journal.append(wal.ADMITTED, "b", {"spec": 2})
+    journal.append(wal.STARTED, "a")
+    journal.append(wal.COMPLETED, "a")
+    journal.append(wal.STARTED, "b")
+    recovery = journal.recover()
+    assert recovery.unfinished == [("b", {"spec": 2})]
+    assert recovery.states == {"a": wal.COMPLETED, "b": wal.STARTED}
+    assert recovery.terminal == ["a"]
+    assert recovery.corrupt == 0
+    journal.close()
+
+
+def test_journal_skips_torn_and_corrupt_lines(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    journal.append(wal.ADMITTED, "a", {"spec": 1})
+    journal.append(wal.ADMITTED, "b", {"spec": 2})
+    journal.close()
+    segment = sorted(tmp_path.glob("wal-*.ndjson"))[0]
+    lines = segment.read_text().splitlines()
+    # Flip a byte inside b's record and append a torn (half-written) line.
+    lines[1] = lines[1].replace('"spec":2', '"spec":3')
+    lines.append(lines[0][: len(lines[0]) // 2])
+    segment.write_text("\n".join(lines) + "\n")
+    recovery = JobJournal(tmp_path, fsync=False).recover()
+    assert recovery.unfinished == [("a", {"spec": 1})]
+    assert recovery.corrupt == 2
+
+
+def test_decode_record_rejects_checksum_mismatch():
+    line = encode_record({"kind": wal.ADMITTED, "job_id": "x"})
+    assert decode_record(line) == {"kind": wal.ADMITTED, "job_id": "x"}
+    envelope = json.loads(line)
+    envelope["rec"]["job_id"] = "y"  # body changed, crc stale
+    assert decode_record(json.dumps(envelope)) is None
+    assert decode_record("not json") is None
+    assert decode_record("") is None
+
+
+def test_journal_rotation_and_auto_compaction(tmp_path):
+    journal = JobJournal(tmp_path, max_segment_bytes=256,
+                        compact_after_segments=3, fsync=False)
+    for i in range(30):
+        job_id = f"job{i}"
+        journal.append(wal.ADMITTED, job_id, {"spec": i})
+        if i % 3 != 0:
+            journal.append(wal.COMPLETED, job_id)
+    stats = journal.stats()
+    assert stats["compactions"] >= 1
+    # Compaction never loses an unfinished job.
+    recovery = journal.recover()
+    unfinished = {job_id for job_id, _ in recovery.unfinished}
+    assert unfinished == {f"job{i}" for i in range(30) if i % 3 == 0}
+    journal.close()
+
+
+def test_journal_compact_drops_terminal_keeps_handoff(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    journal.append(wal.ADMITTED, "done", {"spec": 0})
+    journal.append(wal.COMPLETED, "done")
+    journal.append(wal.ADMITTED, "handed", {"spec": 1})
+    journal.append(wal.HANDOFF, "handed")
+    report = journal.compact()
+    assert report["dropped"] == 2
+    recovery = journal.recover()
+    # A handed-off job is still owed; a completed one is gone entirely.
+    assert recovery.unfinished == [("handed", {"spec": 1})]
+    assert "done" not in recovery.states
+    journal.close()
+
+
+def test_journal_rejects_unknown_kind(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    with pytest.raises(ValueError):
+        journal.append("exploded", "a")
+    journal.close()
+
+
+# -- weighted-fair queue -------------------------------------------------
+
+
+def drain_order(queue, count):
+    async def inner():
+        return [await queue.get() for _ in range(count)]
+
+    return asyncio.run(inner())
+
+
+def test_wfq_shares_match_weights():
+    registry = TenantRegistry([TenantPolicy(name="A", weight=3.0),
+                               TenantPolicy(name="B", weight=1.0)])
+    queue = WeightedFairQueue(registry)
+    for i in range(8):
+        queue.put_nowait(("A", i), tenant="A")
+        queue.put_nowait(("B", i), tenant="B")
+    order = drain_order(queue, 16)
+    first8 = [tenant for tenant, _ in order[:8]]
+    # Both lanes backlogged: dequeues split 3:1 exactly.
+    assert first8.count("A") == 6
+    assert first8.count("B") == 2
+    # FIFO within each lane.
+    assert [i for tenant, i in order if tenant == "A"] == list(range(8))
+    assert [i for tenant, i in order if tenant == "B"] == list(range(8))
+
+
+def test_wfq_priority_orders_within_a_lane():
+    queue = WeightedFairQueue()
+    queue.put_nowait("low", tenant="t", priority=20)
+    queue.put_nowait("high", tenant="t", priority=1)
+    assert drain_order(queue, 2) == ["high", "low"]
+
+
+def test_wfq_idle_lane_banks_no_credit():
+    registry = TenantRegistry([TenantPolicy(name="A", weight=1.0),
+                               TenantPolicy(name="B", weight=1.0)])
+    queue = WeightedFairQueue(registry)
+    for i in range(4):
+        queue.put_nowait(("A", i), tenant="A")
+    assert drain_order(queue, 4) == [("A", i) for i in range(4)]
+    # B was idle the whole time; joining now must not let it monopolise.
+    for i in range(2):
+        queue.put_nowait(("A", 10 + i), tenant="A")
+        queue.put_nowait(("B", i), tenant="B")
+    order = drain_order(queue, 4)
+    assert [t for t, _ in order].count("A") == 2
+
+
+def test_wfq_sentinel_only_after_backlog_drains():
+    queue = WeightedFairQueue()
+    queue.put_sentinel()
+    queue.put_nowait("job", tenant="t")
+    assert drain_order(queue, 2) == ["job", None]
+
+
+def test_wfq_in_flight_cap_blocks_lane_until_kick():
+    registry = TenantRegistry([TenantPolicy(name="t", max_in_flight=1)])
+    queue = WeightedFairQueue(registry)
+    queue.put_nowait("first", tenant="t")
+    queue.put_nowait("second", tenant="t")
+    queue.put_sentinel()
+
+    async def inner():
+        first = await queue.get()
+        registry.on_start("t")
+        # The lane is at its cap: the sentinel is served before "second".
+        blocked = await queue.get()
+        registry.on_finish("t")
+        queue.kick()
+        second = await queue.get()
+        return first, blocked, second
+
+    first, blocked, second = asyncio.run(inner())
+    assert (first, blocked, second) == ("first", None, "second")
+    # get_nowait (the drain handoff path) ignores the cap.
+    queue.put_nowait("third", tenant="t")
+    registry.on_start("t")
+    assert queue.get_nowait() == "third"
+    with pytest.raises(asyncio.QueueEmpty):
+        queue.get_nowait()
+
+
+# -- tenant registry -----------------------------------------------------
+
+
+def test_tenant_policy_parse_spellings():
+    assert TenantPolicy.parse("alice") == TenantPolicy(name="alice")
+    assert TenantPolicy.parse("alice:3").weight == 3.0
+    policy = TenantPolicy.parse(
+        "alice:weight=2,max_queued=16,max_in_flight=2,rate=5,burst=10"
+    )
+    assert (policy.weight, policy.max_queued, policy.max_in_flight,
+            policy.rate, policy.bucket_size) == (2.0, 16, 2, 5.0, 10)
+    with pytest.raises(ValueError):
+        TenantPolicy.parse("alice:sandwiches=2")
+    with pytest.raises(ValueError):
+        TenantPolicy(name="no spaces allowed")
+    with pytest.raises(ValueError):
+        TenantPolicy(name="t", weight=0)
+
+
+def test_registry_queued_quota_and_accounting():
+    registry = TenantRegistry(["t:max_queued=2"])
+    registry.check_submit("t")
+    registry.on_enqueue("t")
+    registry.check_submit("t")
+    registry.on_enqueue("t")
+    with pytest.raises(QuotaExceeded):
+        registry.check_submit("t")
+    registry.on_start("t")
+    registry.check_submit("t")  # a started job freed a queued slot
+    snapshot = registry.snapshot()["t"]
+    assert snapshot["queued"] == 1
+    assert snapshot["in_flight"] == 1
+    assert snapshot["counters"]["rejected"] == 1
+
+
+def test_registry_rate_limit_carries_retry_after():
+    registry = TenantRegistry([TenantPolicy(name="t", rate=0.5, burst=1)])
+    registry.check_submit("t")
+    with pytest.raises(QuotaExceeded) as excinfo:
+        registry.check_submit("t")
+    assert excinfo.value.retry_after >= 1
+    assert registry.snapshot()["t"]["counters"]["rate_limited"] == 1
+
+
+def test_registry_auto_registers_unknown_tenants():
+    registry = TenantRegistry(default_policy=TenantPolicy(max_queued=1))
+    registry.check_submit("walk-in")
+    registry.on_enqueue("walk-in")
+    with pytest.raises(QuotaExceeded):
+        registry.check_submit("walk-in")
+    assert "walk-in" in registry.tenants()
+
+
+# -- pull-through store --------------------------------------------------
+
+
+def test_pull_through_cache_hydrates_and_publishes(tmp_path):
+    shared = tmp_path / "shared"
+    writer = PullThroughCache(tmp_path / "m0", shared)
+    writer.put_document("ab12", {"epochs": []}, {"tag": "x"})
+    assert writer.publishes == 1
+    assert (shared / "ab12.json").exists()
+
+    reader = PullThroughCache(tmp_path / "m1", shared)
+    entry = reader.get_entry("ab12")
+    assert entry is not None and entry["meta"]["tag"] == "x"
+    # The miss became a (remote) hit and the local tier got hydrated.
+    assert (reader.hits, reader.misses, reader.remote_hits) == (1, 0, 1)
+    assert (tmp_path / "m1" / "ab12.json").exists()
+    reader.get_entry("ab12")
+    assert (reader.hits, reader.remote_hits) == (2, 1)
+
+    stats = reader.stats()
+    assert stats["remote_hits"] == 1
+    assert stats["shared"]["entries"] == 1
+    # A true miss stays a miss.
+    assert reader.get_entry("ffff") is None
+    assert reader.misses == 1
+
+
+def test_pull_through_cache_accepts_shared_instance(tmp_path):
+    shared = ResultCache(tmp_path / "shared")
+    member = PullThroughCache(tmp_path / "m0", shared)
+    member.put_document("cd34", {"epochs": []})
+    assert shared.get_entry("cd34") is not None
+
+
+# -- job store retention -------------------------------------------------
+
+
+def _make_store_job(store, index, state=DONE):
+    job = CampaignJob.__new__(CampaignJob)  # no spec needed for the store
+    record = store.new_job(f"{index:04x}", job)
+    record.state = state
+    record.finished_at = float(index) + 1.0
+    return record
+
+
+def test_job_store_prunes_terminal_beyond_cap():
+    store = JobStore(max_terminal=3)
+    records = [_make_store_job(store, i) for i in range(6)]
+    store.prune()
+    assert len(store) == 3
+    assert store.pruned == 3
+    # Oldest-first: the newest three survive, and pruned ids 404.
+    assert store.get(records[0].job_id) is None
+    assert store.get(records[5].job_id) is not None
+    # The pruned jobs' key index entries are gone too.
+    assert store.active_for_key(records[0].key) is None
+
+
+def test_job_store_never_prunes_active_jobs():
+    store = JobStore(max_terminal=0)
+    active = _make_store_job(store, 1, state="running")
+    active.finished_at = None
+    done = _make_store_job(store, 2)
+    store.prune()
+    assert store.get(active.job_id) is not None
+    assert store.get(done.job_id) is None
+
+
+def test_job_store_age_based_retention():
+    store = JobStore(max_terminal=100, max_age_s=1000.0)
+    old = _make_store_job(store, 1)
+    old.finished_at = 1.0  # epoch-ancient
+    fresh = _make_store_job(store, 2)
+    import time
+
+    fresh.finished_at = time.time()
+    store.prune()
+    assert store.get(old.job_id) is None
+    assert store.get(fresh.job_id) is not None
