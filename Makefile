@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-snapshot bench-engine bench-engine-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke fabric-smoke durable-smoke sweeps clean
+.PHONY: install test bench bench-snapshot bench-engine bench-engine-check bench-tsdb bench-tsdb-check figures docs campaign-smoke trace-smoke serve-smoke fleet-smoke fabric-smoke durable-smoke live-smoke sweeps clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,9 @@ fabric-smoke:
 durable-smoke:
 	$(PYTHON) scripts/durable_smoke.py
 
+live-smoke:
+	$(PYTHON) scripts/live_smoke.py
+
 bench-snapshot:
 	$(PYTHON) scripts/bench_snapshot.py
 
@@ -48,6 +51,15 @@ bench-engine:
 # committed BENCH_engine.json, or batched/legacy counter parity breaks.
 bench-engine-check:
 	$(PYTHON) scripts/bench_engine.py --check
+
+# Re-measure TSDB ingest/query rates and rewrite BENCH_tsdb.json.
+bench-tsdb:
+	$(PYTHON) scripts/bench_tsdb.py
+
+# Regression gate: fail when points_per_s drops >30% below the committed
+# BENCH_tsdb.json, or a retention bound breaks.
+bench-tsdb-check:
+	$(PYTHON) scripts/bench_tsdb.py --check
 
 sweeps:
 	$(PYTHON) scripts/sweep_local_vs_cxl.py

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""TSDB ingest/query benchmark + regression gate.
+
+Runs a fixed synthetic workload through :class:`repro.tsdb.TimeSeriesDB`
+and writes ``BENCH_tsdb.json`` at the repo root with, per scenario:
+
+* ``points_per_s`` - sustained insert rate (append fast path, plus the
+  downsampling tier cascade and retention trims for the tiered rows);
+* ``query_ms`` - latency of a full-column read after the load (this is
+  the path that folds in any out-of-order stragglers);
+* ``bounded`` - whether retention actually held: the raw measurement
+  stays within cap+slack while every tier keeps its downsampled history
+  and ``dropped`` accounts for the evicted points exactly.
+
+Scenarios:
+
+* ``append_untiered``   - no retention policy, pure append fast path;
+* ``append_tiered``     - RetentionPolicy(raw=100k, tiers 10x/100x);
+* ``append_straggler``  - tiered, 5% of inserts arrive out of order,
+  exercising the pending-buffer merge on both insert and read.
+
+``--check`` re-measures and fails (exit 1) when any scenario's
+``points_per_s`` regresses more than ``--tolerance`` (default 30%:
+insert rates jitter more than engine walls) below the committed
+snapshot, or when a ``bounded`` invariant breaks - wire this into CI
+(``make bench-tsdb-check``).  Absolute rates are host-dependent; the
+committed file records the host.
+
+Usage:
+    python scripts/bench_tsdb.py                  # measure + write
+    python scripts/bench_tsdb.py --check          # gate vs committed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.tsdb import RetentionPolicy, TimeSeriesDB  # noqa: E402
+
+DEFAULT_OUT = ROOT / "BENCH_tsdb.json"
+
+RAW_POINTS = 100_000
+TIER_FACTORS = (10, 100)
+TIER_POINTS = 100_000
+STRAGGLER_EVERY = 20  # 5% of inserts land 7.5 ticks in the past
+NUM_TAGS = 4
+
+
+def _policy() -> RetentionPolicy:
+    return RetentionPolicy(
+        raw_points=RAW_POINTS,
+        tier_factors=TIER_FACTORS,
+        tier_points=TIER_POINTS,
+    )
+
+
+def _load(points: int, *, tiered: bool, stragglers: bool) -> tuple:
+    """Insert ``points`` records; returns (db, wall_seconds)."""
+    db = TimeSeriesDB(retention=_policy() if tiered else None)
+    began = time.perf_counter()
+    for i in range(points):
+        ts = float(i)
+        if stragglers and i % STRAGGLER_EVERY == STRAGGLER_EVERY - 1:
+            ts -= 7.5
+        db.insert(
+            "bench",
+            ts,
+            tags={"pid": str(i % NUM_TAGS)},
+            fields={"v": float(i % 1000)},
+        )
+    return db, time.perf_counter() - began
+
+
+def _query_ms(db: TimeSeriesDB, tier: int = 0, repeat: int = 5) -> float:
+    wall = float("inf")
+    for _ in range(repeat):
+        began = time.perf_counter()
+        db.from_("bench", tier=tier).values("v")
+        wall = min(wall, time.perf_counter() - began)
+    return wall * 1e3
+
+
+def _bounded(db: TimeSeriesDB, points: int, *, tiered: bool) -> bool:
+    """Retention invariants: cap+slack honoured, drops accounted for."""
+    raw = db.measurement("bench")
+    if not tiered:
+        return len(raw) == points and raw.dropped == 0
+    slack = max(64, RAW_POINTS // 8)
+    if len(raw) > RAW_POINTS + slack:
+        return False
+    if raw.dropped != points - len(raw):
+        return False
+    for tier_no, factor in enumerate(TIER_FACTORS, start=1):
+        table = db.tier("bench", tier_no)
+        # One downsampled record per (tag, full block); partial blocks
+        # stay unemitted, so the total is bounded by points // factor.
+        expect = min(points // factor, TIER_POINTS + max(64, TIER_POINTS // 8))
+        if not 0 < len(table) + table.dropped <= points // factor:
+            return False
+        if len(table) > expect:
+            return False
+    return True
+
+
+def measure(points: int, repeat: int = 2) -> dict:
+    """Best-of-``repeat`` walls per scenario."""
+    rows = {}
+    scenarios = [
+        ("append_untiered", False, False),
+        ("append_tiered", True, False),
+        ("append_straggler", True, True),
+    ]
+    for tag, tiered, stragglers in scenarios:
+        wall = float("inf")
+        db = None
+        for _ in range(repeat):
+            built, took = _load(points, tiered=tiered, stragglers=stragglers)
+            if took < wall:
+                wall, db = took, built
+        rows[tag] = {
+            "points": points,
+            "wall_s": round(wall, 4),
+            "points_per_s": round(points / wall, 1),
+            "query_ms": round(_query_ms(db), 3),
+            "raw_kept": len(db.measurement("bench")),
+            "bounded": _bounded(db, points, tiered=tiered),
+        }
+        if tiered:
+            rows[tag]["tier2_query_ms"] = round(_query_ms(db, tier=2), 3)
+            rows[tag]["tier_points"] = {
+                str(t): len(db.tier("bench", t))
+                for t in range(1, len(TIER_FACTORS) + 1)
+            }
+    return rows
+
+
+def check(points: int, tolerance: float, snapshot_path: Path) -> int:
+    if not snapshot_path.exists():
+        print(f"no committed snapshot at {snapshot_path}; "
+              "run without --check first")
+        return 2
+    committed = json.loads(snapshot_path.read_text())["tsdb"]
+    rows = measure(points)
+    failed = []
+    for tag, row in rows.items():
+        new = row["points_per_s"]
+        old = committed.get(tag, {}).get("points_per_s")
+        if not row["bounded"]:
+            failed.append(f"{tag}: retention invariants broken")
+            status = "BOUNDS-FAIL"
+        elif old and new < old * (1.0 - tolerance):
+            failed.append(
+                f"{tag}: {new:.0f} pts/s < {(1.0 - tolerance) * old:.0f} "
+                f"(committed {old:.0f}, tolerance {tolerance:.0%})"
+            )
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        ratio = f"{new / old:5.2f}x" if old else "  n/a"
+        print(f"{tag:20s} {new:12.1f} pts/s  vs committed {ratio}  {status}")
+    if failed:
+        print("\nFAIL:")
+        for line in failed:
+            print(f"  - {line}")
+        return 1
+    print("\nOK: tsdb ingest within tolerance, retention bounds intact")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=1_000_000,
+                        help="records inserted per scenario")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed snapshot; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed points_per_s drop for --check")
+    args = parser.parse_args()
+
+    if args.check:
+        return check(args.points, args.tolerance, Path(args.out))
+
+    rows = measure(args.points)
+    snapshot = {
+        "params": {
+            "points": args.points,
+            "raw_points": RAW_POINTS,
+            "tier_factors": list(TIER_FACTORS),
+            "tier_points": TIER_POINTS,
+            "straggler_every": STRAGGLER_EVERY,
+            "num_tags": NUM_TAGS,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "tsdb": rows,
+    }
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

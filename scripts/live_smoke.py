@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""CI smoke test for repro.live streaming profiling.
+
+Three independent checks, all against real entry points:
+
+1. **In-process live run** - ``api.run(live=True, on_epoch=...)``:
+   per-epoch digests arrive while the run is in flight, and the rolling
+   locality mean agrees with a batch ``moving_average`` over the stored
+   series (streaming == batch parity at the API level).
+2. **CLI verb** - ``pathfinder live --app ... --json`` as a subprocess:
+   every emitted line is valid JSON and the epoch digests carry the
+   rolling/correlation payload the dashboard renders.
+3. **Daemon firehose** - boots ``pathfinder serve`` as a subprocess,
+   submits a ``"live": true`` job over HTTP, streams ``GET /v1/live``
+   concurrently and checks one ``epoch`` digest arrived per executed
+   epoch, then SIGTERMs and checks a clean drain.
+
+Exit code 0 on success.
+
+Usage:  python scripts/live_smoke.py [--ops N] [--timeout S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import AppSpec, ProfileSpec  # noqa: E402
+from repro.core.materializer import PATH_SET  # noqa: E402
+from repro.exec import cxl_node_id  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+from repro.sim import spr_config  # noqa: E402
+from repro.tsdb import moving_average  # noqa: E402
+from repro.workloads import build_app  # noqa: E402
+
+
+def make_spec(seed: int, num_ops: int) -> ProfileSpec:
+    workload = build_app("541.leela_r", num_ops=num_ops, seed=seed)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    # Small epochs so even a quick CI run streams several digests.
+    return ProfileSpec(apps=[app], epoch_cycles=2_000.0)
+
+
+def check_in_process(num_ops: int) -> None:
+    print("== in-process live run ==")
+    digests: list = []
+    result = api.run(make_spec(11, num_ops), live=True,
+                     on_epoch=digests.append)
+    assert digests, "no live digests arrived"
+    assert len(digests) == result.num_epochs, (
+        f"{len(digests)} digests != {result.num_epochs} epochs"
+    )
+    for digest in digests:
+        json.dumps(digest)  # must be wire-safe
+        assert digest["event"] == "epoch"
+    print(f"  {len(digests)} epoch digests, all JSON-safe")
+
+
+def check_parity(num_ops: int) -> None:
+    print("== streaming vs batch parity ==")
+    from repro.core.profiler import PathFinder
+    from repro.live import LiveSpec
+    from repro.sim import Machine
+
+    machine = Machine(spr_config(num_cores=2))
+    spec = make_spec(13, num_ops)
+    window = 4
+    pf = PathFinder(machine, spec, live=LiveSpec(window=window))
+    pf.run()
+    materializer = pf.materializer
+    pids = materializer.tracked_pids()
+    assert pids, "live materializer tracked no pids"
+    for pid in pids:
+        # DRd->CXL is the hot series for a cxl-bound app; assert the
+        # streaming state agrees with the batch operator over it.
+        series = (
+            materializer.db.from_(PATH_SET)
+            .where(pid=str(pid), path="DRd", dst="CXL")
+            .values("hits")
+        )
+        assert any(series), f"pid {pid}: DRd->CXL series is all zero"
+        want = moving_average(series, window)[-1]
+        got = materializer.rolling_locality(pid, dst="CXL")["mean"]
+        assert abs(got - want) <= 1e-9 + 1e-9 * abs(want), (
+            f"pid {pid}: rolling mean {got} != batch {want}"
+        )
+        print(f"  pid {pid}: rolling mean == batch moving_average "
+              f"({got:.3f}) over {len(series)} epochs")
+
+
+def check_cli(num_ops: int, timeout: float) -> None:
+    print("== pathfinder live (CLI, local mode) ==")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.core.cli", "live",
+         "--app", "541.leela_r", "--ops", str(num_ops),
+         "--epoch", "2000", "--json"],
+        capture_output=True, text=True, env=env, cwd=str(ROOT),
+        timeout=timeout,
+    )
+    assert out.returncode == 0, out.stderr
+    digests = [json.loads(line) for line in out.stdout.splitlines()
+               if line.startswith("{")]
+    epochs = [d for d in digests if d.get("event") == "epoch"]
+    assert epochs, "CLI emitted no epoch digests"
+    assert all("rolling" in d for d in epochs)
+    print(f"  {len(epochs)} digests on stdout, rolling state present")
+
+
+def boot_daemon(cache_dir: str, timeout: float) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.cli", "serve",
+         "--port", "0", "--workers", "1", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(ROOT),
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon exited before listening")
+        print(f"  [daemon] {line.rstrip()}")
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return proc, port
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon did not start in time")
+
+
+def check_daemon(num_ops: int, timeout: float) -> None:
+    print("== /v1/live over HTTP ==")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        proc, port = boot_daemon(cache_dir, timeout)
+        try:
+            client = ServeClient(port=port)
+            events: list = []
+            stopped = threading.Event()
+
+            def consume() -> None:
+                try:
+                    for event in client.live(timeout=timeout):
+                        events.append(event)
+                        if event.get("event") in ("done", "failed"):
+                            return
+                finally:
+                    stopped.set()
+
+            streamer = threading.Thread(target=consume, daemon=True)
+            streamer.start()
+            time.sleep(0.3)
+            job = client.submit_run(make_spec(17, num_ops),
+                                    live={"window": 4}, cacheable=False)
+            final = client.wait(job["job_id"], timeout=timeout)
+            assert final["state"] == "done", final
+            assert stopped.wait(timeout=30), "live stream never ended"
+            epochs = [e for e in events if e.get("event") == "epoch"]
+            assert len(epochs) == final["num_epochs"] > 0, (
+                f"{len(epochs)} digests != {final['num_epochs']} epochs"
+            )
+            assert all(e["job_id"] == job["job_id"] for e in epochs)
+            print(f"  {len(epochs)} epoch digests streamed while the job "
+                  "was in flight")
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=timeout)
+            assert rc == 0, f"daemon exited {rc} after SIGTERM"
+            print("  clean drain on SIGTERM")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=600)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    began = time.monotonic()
+    check_in_process(args.ops)
+    check_parity(args.ops)
+    check_cli(args.ops, args.timeout)
+    check_daemon(args.ops, args.timeout)
+    print(f"\nlive smoke OK in {time.monotonic() - began:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,8 @@ def run(
     trace: Any = UNSET,
     fabric: Any = UNSET,
     shared_cache: Any = UNSET,
+    live: Any = UNSET,
+    on_epoch: Optional[Any] = None,
 ) -> ProfileResult:
     """Profile one spec and return its :class:`ProfileResult`.
 
@@ -113,35 +115,59 @@ def run(
     key.  ``fabric`` (a preset name or
     :class:`~repro.sim.fabric.FabricSpec`) interposes a switched
     multi-host fabric between the machine's root ports and its devices.
+
+    ``live`` (``True`` or a :class:`~repro.live.LiveSpec`) runs the
+    profiler in-process with streaming ingestion: the materializer keeps
+    rolling workflows warm in a retention-tiered TSDB and ``on_epoch``
+    receives one digest dict per epoch while the simulation runs.  Live
+    runs are incompatible with ``cache``/``timeout``/``retries`` (the
+    point is the in-flight stream, not a cached document); for live
+    streaming over HTTP submit ``{"live": true}`` to a serve daemon and
+    read ``GET /v1/live``.
     """
     opts = resolve_options(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
          "retries": retries, "trace": trace, "fabric": fabric,
-         "shared_cache": shared_cache},
+         "shared_cache": shared_cache, "live": live},
         api="run",
         defaults={"cache": None, "max_events": None, "timeout": None,
                   "retries": 0, "trace": None, "fabric": None,
-                  "shared_cache": None},
+                  "shared_cache": None, "live": None},
     )
     spec = apply_trace(spec, opts["trace"])
-    if machine is not None:
+    if machine is not None or opts["live"] is not None:
+        where = (
+            "an explicit machine" if machine is not None else "a live run"
+        )
         if opts["cache"] or opts["shared_cache"] is not None:
             raise ValueError(
-                "cache requires a declarative config; an explicit machine's "
-                "state is not captured by the cache key"
+                f"cache does not apply to {where}: the cached document "
+                "cannot carry an explicit machine's state or a live "
+                "stream"
             )
         if opts["timeout"] is not None or opts["retries"]:
             raise ValueError(
-                "timeout/retries need the campaign runner; they do not "
-                "apply to an explicit machine"
+                f"timeout/retries need the campaign runner; they do not "
+                f"apply to {where}"
             )
-        if opts["fabric"] is not None:
+        if machine is None:
+            machine = Machine(
+                apply_fabric(
+                    config if config is not None else config_for(spec),
+                    opts["fabric"],
+                )
+            )
+        elif opts["fabric"] is not None:
             raise ValueError(
                 "fabric requires a declarative config; attach one to an "
                 "explicit machine with repro.sim.fabric.attach_fabric"
             )
-        profiler = PathFinder(machine, spec)
+        if opts["max_events"] is not None:
+            machine.engine.set_event_budget(opts["max_events"])
+        profiler = PathFinder(
+            machine, spec, live=opts["live"], on_epoch=on_epoch
+        )
         return profiler.run()
     job = CampaignJob(
         spec=spec,

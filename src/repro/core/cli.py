@@ -140,6 +140,42 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="compare measured per-stage queueing against "
                             "PFAnalyzer's Little's-law estimates")
 
+    live = sub.add_parser(
+        "live",
+        help="streaming incremental profiling: run an app live, or "
+             "attach to a daemon/fleet /v1/live firehose "
+             "(see docs/OBSERVABILITY.md)",
+    )
+    live.add_argument(
+        "--app", action="append", default=None,
+        help="application to profile live (repeatable; local mode)",
+    )
+    live.add_argument("--node", choices=["local", "cxl"], default="cxl",
+                      help="memory node to bind the working sets to")
+    live.add_argument("--ops", type=int, default=10000, help="ops per app")
+    live.add_argument("--epoch", type=float, default=50000.0,
+                      help="profiling epoch length in cycles")
+    live.add_argument("--machine", choices=["spr", "emr"], default="spr")
+    live.add_argument("--seed", type=int, default=1)
+    live.add_argument("--window", type=int, default=8,
+                      help="rolling operator window (epochs)")
+    live.add_argument("--attach", action="store_true",
+                      help="stream a running daemon's /v1/live instead "
+                           "of profiling locally")
+    live.add_argument("--host", default="127.0.0.1",
+                      help="daemon host for --attach")
+    live.add_argument("--port", type=int, default=8023,
+                      help="daemon port for --attach")
+    live.add_argument(
+        "--member", action="append", default=None, metavar="HOST:PORT",
+        help="merge-stream these fleet members' /v1/live endpoints "
+             "(repeatable; implies --attach)",
+    )
+    live.add_argument("--max-events", type=int, default=None,
+                      help="stop an attached stream after N events")
+    live.add_argument("--json", action="store_true",
+                      help="print raw NDJSON instead of rendered lines")
+
     serve = sub.add_parser(
         "serve",
         help="run the profiling-as-a-service daemon (see docs/SERVING.md)",
@@ -412,6 +448,76 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    import json
+
+    from ..live import render_live_event
+
+    def emit(event) -> None:
+        if args.json:
+            print(json.dumps(event), flush=True)
+        elif event.get("event") == "epoch":
+            prefix = event.get("member") or event.get("job_id") or ""
+            line = render_live_event(event)
+            print(f"[{prefix}] {line}" if prefix else line, flush=True)
+        else:
+            prefix = event.get("member") or event.get("job_id") or "-"
+            print(f"[{prefix}] {event.get('event', '?')}", flush=True)
+
+    if args.member:
+        from ..fleet import FleetCoordinator
+
+        coordinator = FleetCoordinator(args.member)
+        for event in coordinator.live_events(max_events=args.max_events):
+            emit(event)
+        return 0
+    if args.attach:
+        from ..serve import ServeClient, ServeError
+
+        client = ServeClient(host=args.host, port=args.port)
+        try:
+            for event in client.live(max_events=args.max_events):
+                emit(event)
+        except (ServeError, ConnectionError, OSError) as exc:
+            print(f"cannot stream from {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    # Local mode: profile in-process, rendering each epoch as it lands.
+    if not args.app:
+        print("live needs --app (local mode) or --attach/--member",
+              file=sys.stderr)
+        return 2
+    for name in args.app:
+        if name not in APPLICATIONS:
+            print(f"unknown application: {name}", file=sys.stderr)
+            return 2
+    from .. import api
+    from ..live import LiveSpec
+
+    config_fn = spr_config if args.machine == "spr" else emr_config
+    machine = Machine(config_fn(num_cores=max(2, len(args.app))))
+    node = (
+        machine.cxl_node.node_id if args.node == "cxl"
+        else machine.local_node.node_id
+    )
+    specs: List[AppSpec] = []
+    for i, name in enumerate(args.app):
+        workload = build_app(name, num_ops=args.ops, seed=args.seed + i)
+        specs.append(AppSpec(workload=workload, core=i, membind=node))
+    spec = ProfileSpec(apps=specs, epoch_cycles=args.epoch)
+    result = api.run(
+        spec,
+        machine=machine,
+        live=LiveSpec(window=args.window),
+        on_epoch=emit,
+    )
+    print()
+    print(render_session(result))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import logging
@@ -654,6 +760,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":

@@ -63,13 +63,32 @@ class LocalityReport:
 
 
 class PFMaterializer:
-    """Snapshot digests in, time-series insights out."""
+    """Snapshot digests in, time-series insights out.
 
-    def __init__(self, socket: int = 0) -> None:
-        self.db = TimeSeriesDB()
+    ``db`` defaults to a fresh unbounded :class:`TimeSeriesDB`; streaming
+    callers pass one with a retention policy.  Every record lands through
+    the :meth:`_insert` hook so subclasses (``repro.live``'s incremental
+    materializer) can maintain rolling per-series state alongside the
+    batch store without re-deriving the record layout.
+    """
+
+    def __init__(
+        self, socket: int = 0, db: Optional[TimeSeriesDB] = None
+    ) -> None:
+        self.db = db if db is not None else TimeSeriesDB()
         self._builder = PFBuilder(socket)
         self.socket = socket
         self._ingested = 0
+
+    def _insert(
+        self,
+        measurement: str,
+        timestamp: float,
+        tags: Dict[str, str],
+        fields: Dict[str, float],
+    ) -> None:
+        """Single funnel for every materialized record (subclass hook)."""
+        self.db.insert(measurement, timestamp, tags=tags, fields=fields)
 
     # -- ingestion ------------------------------------------------------
 
@@ -100,7 +119,7 @@ class PFMaterializer:
                         + view.ocr("HWPF_L1", scenario)
                         + view.ocr("HWPF_RFO", scenario)
                     )
-                    self.db.insert(
+                    self._insert(
                         PATH_SET,
                         t,
                         tags={
@@ -111,7 +130,7 @@ class PFMaterializer:
                         },
                         fields={"hits": hits, "core_hits": core_hits},
                     )
-            self.db.insert(
+            self._insert(
                 VERTEX_SET,
                 t,
                 tags={"component": "core", "core": str(core_id), "pid": str(pid)},
@@ -129,7 +148,7 @@ class PFMaterializer:
             m2p = M2PCIeView(snapshot.delta, node)
             device = CXLDeviceView(snapshot.delta, node)
             duration = max(snapshot.duration, 1.0)
-            self.db.insert(
+            self._insert(
                 EDGE_SET,
                 t,
                 tags={"edge": f"flexbus{node}"},
@@ -141,7 +160,7 @@ class PFMaterializer:
                 },
             )
         for flow in snapshot.flows:
-            self.db.insert(
+            self._insert(
                 FLOW_SET,
                 t,
                 tags={

@@ -64,15 +64,48 @@ class ProfileResult:
 
 
 class PathFinder:
-    """The profiler: wraps a machine and a profiling specification."""
+    """The profiler: wraps a machine and a profiling specification.
 
-    def __init__(self, machine: Machine, spec: ProfileSpec) -> None:
+    With ``live`` (a :class:`repro.live.LiveSpec` or ``True``), the
+    materializer becomes the streaming :class:`~repro.live.LiveMaterializer`
+    (retention-tiered TSDB + O(1) rolling workflows), sim queues are
+    delta-sampled each epoch, and a per-epoch digest is published to
+    ``self.live_bus`` (and to ``on_epoch``, if given) *while the run is
+    in flight* - the ingestion path the serve daemon streams from.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        spec: ProfileSpec,
+        live=None,
+        on_epoch=None,
+    ) -> None:
         self.machine = machine
         self.spec = spec
         self.builder = PFBuilder()
         self.estimator = PFEstimator()
         self.analyzer = PFAnalyzer()
-        self.materializer = PFMaterializer()
+        self.live = None
+        self.live_bus = None
+        self._on_epoch = on_epoch
+        self._sampler = None
+        if live is not None and live is not False:
+            # Imported lazily: repro.live imports this module's siblings.
+            from ..live import (
+                IngestionBus,
+                LiveMaterializer,
+                QueueSampler,
+                coerce_live,
+            )
+
+            self.live = coerce_live(live)
+            self.materializer = LiveMaterializer(self.live)
+            self.live_bus = IngestionBus()
+            if self.live.sample_queues:
+                self._sampler = QueueSampler(machine, self.materializer.db)
+        else:
+            self.materializer = PFMaterializer()
         self.flows = MFlowRegistry()
         self.recorder: Optional[FlightRecorder] = None
         if spec.trace is not None:
@@ -190,6 +223,8 @@ class PathFinder:
                 self.recorder.epoch_mark(self.machine.now)
             snapshot = self._taker.take(self.machine.now, flows=live)
             epoch_result = self._process(epoch, snapshot)
+            if self.live is not None:
+                self._publish_epoch(epoch_result)
             if self.spec.mode is ProfilingMode.CONTINUOUS:
                 result.epochs.append(epoch_result)
             result.final = epoch_result
@@ -200,7 +235,24 @@ class PathFinder:
             persist_trace(
                 self.materializer.db, result.trace, timestamp=self.machine.now
             )
+        if self.live_bus is not None:
+            self.live_bus.close()
         return result
+
+    def _publish_epoch(self, epoch_result: EpochResult) -> None:
+        """Stream one epoch's digest to live consumers (bus + callback)."""
+        from ..live import epoch_digest
+
+        queues = None
+        if self._sampler is not None:
+            samples = self._sampler.sample(self.machine.now)
+            queues = self._sampler.hottest(samples, self.live.top_k)
+        digest = epoch_digest(
+            epoch_result, self.materializer, top_k=self.live.top_k, queues=queues
+        )
+        self.live_bus.publish(digest)
+        if self._on_epoch is not None:
+            self._on_epoch(digest)
 
     def _process(self, epoch: int, snapshot: Snapshot) -> EpochResult:
         path_map = self.builder.build(snapshot)

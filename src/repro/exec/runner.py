@@ -67,6 +67,10 @@ class CampaignJob:
     #: Set False to always recompute this job (e.g. non-deterministic
     #: setup hooks).
     cacheable: bool = True
+    #: Streaming profiling: ``True`` or a :class:`repro.live.LiveSpec`.
+    #: Deliberately NOT part of the cache key - live mode changes what is
+    #: streamed while the job runs, not the profiling result document.
+    live: Any = None
 
     def key(self) -> str:
         # The setup hook is part of the job's content: a partial's bound
@@ -179,8 +183,15 @@ def _execute_job(
     config: MachineConfig,
     max_events: Optional[int],
     setup: Optional[Callable[[Machine, ProfileSpec], None]],
+    live: Any = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
-    """Run one profiling session; returns a transportable outcome dict."""
+    """Run one profiling session; returns a transportable outcome dict.
+
+    With ``live`` set, the profiler streams per-epoch digests to
+    ``progress`` while the simulation runs (the serve daemon's
+    ``/v1/live`` feed); the outcome dict is unchanged either way.
+    """
     machine = Machine(config)
     for app in spec.apps:
         reseed = getattr(app.workload, "reseed", None)
@@ -188,7 +199,7 @@ def _execute_job(
             reseed()
     if setup is not None:
         setup(machine, spec)
-    profiler = PathFinder(machine, spec)
+    profiler = PathFinder(machine, spec, live=live, on_epoch=progress)
     if max_events is not None:
         # Bound the whole session, not each epoch: the engine's persistent
         # budget composes across the profiler's per-epoch run() calls and
@@ -204,11 +215,27 @@ def _execute_job(
     }
 
 
-def _worker_main(conn, spec, config, max_events, setup) -> None:
-    """Entry point of a single-job worker process."""
+def _worker_main(conn, spec, config, max_events, setup, live=None) -> None:
+    """Entry point of a single-job worker process.
+
+    With ``live``, per-epoch digests are interleaved on the pipe as
+    ``{"live": digest}`` messages ahead of the final outcome dict (which
+    always carries an ``"ok"`` key, so the parent can tell them apart).
+    """
+    progress = None
+    if live is not None and live is not False:
+
+        def progress(digest, _conn=conn):
+            try:
+                _conn.send({"live": digest})
+            except (OSError, ValueError):
+                pass  # parent went away; keep simulating for the cache
+
     try:
         try:
-            outcome = _execute_job(spec, config, max_events, setup)
+            outcome = _execute_job(
+                spec, config, max_events, setup, live=live, progress=progress
+            )
         except SimulationBudgetExceeded as exc:
             outcome = {
                 "ok": False,
@@ -235,6 +262,8 @@ def run_single_job(
     max_events: Optional[int] = None,
     setup: Optional[Callable[[Machine, ProfileSpec], None]] = None,
     timeout: Optional[float] = None,
+    live: Any = None,
+    on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
     """Execute one job in a dedicated worker process; returns its outcome.
 
@@ -244,12 +273,16 @@ def run_single_job(
     ``{"ok": False, "kind": "timeout" | "budget_exceeded" | "error" |
     "crashed", ...}`` otherwise), with the wall-clock ``timeout``
     enforced by terminating the worker.  Always adds ``wall_time``.
+
+    With ``live``, the worker streams per-epoch digests over the pipe
+    and each one is handed to ``on_progress`` as it arrives - the final
+    outcome is still the return value.
     """
     ctx = multiprocessing.get_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_worker_main,
-        args=(child_conn, spec, config, max_events, setup),
+        args=(child_conn, spec, config, max_events, setup, live),
         daemon=True,
     )
     began = time.monotonic()
@@ -261,7 +294,10 @@ def run_single_job(
         parent_conn.close()
         child_conn.close()
         try:
-            outcome = _execute_job(spec, config, max_events, setup)
+            outcome = _execute_job(
+                spec, config, max_events, setup, live=live,
+                progress=on_progress,
+            )
         except SimulationBudgetExceeded as exc:
             outcome = {
                 "ok": False, "kind": "budget_exceeded", "error": str(exc),
@@ -293,17 +329,31 @@ def run_single_job(
             if parent_conn.poll(min(_POLL_S * 5, remaining)
                                 if remaining is not None else _POLL_S * 5):
                 try:
-                    outcome = parent_conn.recv()
+                    message = parent_conn.recv()
                 except (EOFError, OSError):
                     outcome = None
+                    break
+                # Live progress interleaves ahead of the final outcome;
+                # only a dict carrying "ok" ends the job.
+                if isinstance(message, dict) and "ok" not in message:
+                    if on_progress is not None and "live" in message:
+                        on_progress(message["live"])
+                    continue
+                outcome = message
                 break
             if not proc.is_alive():
-                # Drain a result that landed between poll() and exit.
-                if parent_conn.poll(0):
+                # Drain anything that landed between poll() and exit.
+                while parent_conn.poll(0):
                     try:
-                        outcome = parent_conn.recv()
+                        message = parent_conn.recv()
                     except (EOFError, OSError):
-                        outcome = None
+                        break
+                    if isinstance(message, dict) and "ok" not in message:
+                        if on_progress is not None and "live" in message:
+                            on_progress(message["live"])
+                        continue
+                    outcome = message
+                    break
                 break
     finally:
         parent_conn.close()

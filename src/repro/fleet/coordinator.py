@@ -351,6 +351,54 @@ class FleetCoordinator:
                 on_event(event)
         return campaign.wait()
 
+    # -- live streaming --------------------------------------------------
+
+    def live_events(
+        self,
+        *,
+        max_events: Optional[int] = None,
+        timeout: Optional[float] = None,
+        member_timeout: float = 600.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Merged ``/v1/live`` firehose across every fleet member.
+
+        One follower thread per member streams that daemon's live NDJSON
+        endpoint; events are funnelled through an
+        :class:`~repro.fleet.stream.EventMux` and stamped with the
+        originating ``member`` id.  An unreachable member contributes a
+        single ``live_stream_error`` event instead of killing the merge.
+        ``max_events`` bounds each *member's* stream (the daemon closes
+        it after that many events); ``timeout`` bounds the merged
+        iterator as a whole.
+        """
+        mux = EventMux()
+        threads: List[threading.Thread] = []
+
+        def follow(member: FleetMember) -> None:
+            try:
+                for event in member.client.live(max_events=max_events,
+                                                timeout=member_timeout):
+                    event["member"] = member.member_id
+                    mux.publish(event)
+            except Exception as exc:  # noqa: BLE001 - keep merge alive
+                mux.publish({
+                    "event": "live_stream_error",
+                    "member": member.member_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+            finally:
+                mux.detach()
+
+        for member in self.members():
+            mux.attach()
+            thread = threading.Thread(
+                target=follow, args=(member,), daemon=True,
+                name=f"fleet-live-{member.member_id}",
+            )
+            threads.append(thread)
+            thread.start()
+        yield from mux.drain(timeout=timeout)
+
     # -- fleet-wide metrics ---------------------------------------------
 
     def metrics(self) -> Dict[str, Any]:

@@ -84,6 +84,11 @@ class RunOptions:
       :class:`~repro.exec.cache.ResultCache`) the local cache pulls
       misses from and publishes completions to
       (:class:`~repro.durable.PullThroughCache`); requires ``cache``.
+    * ``live`` - streaming profiling: ``True`` (default
+      :class:`~repro.live.LiveSpec`) or a full ``LiveSpec``; the run
+      ingests into a retention-tiered TSDB and publishes per-epoch
+      digests while in flight (``run`` only - campaign verbs reject it;
+      submit live jobs through serve to stream ``/v1/live``).
     """
 
     cache: Any = UNSET
@@ -93,6 +98,7 @@ class RunOptions:
     trace: Any = UNSET
     fabric: Any = UNSET
     shared_cache: Any = UNSET
+    live: Any = UNSET
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -156,6 +162,10 @@ def _validate(field: str, value: Any) -> Any:
                 f"shared_cache must be None, a path or a ResultCache, "
                 f"got {value!r}"
             )
+    elif field == "live":
+        from .live.spec import coerce_live
+
+        value = coerce_live(value)
     return value
 
 

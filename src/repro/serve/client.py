@@ -16,6 +16,7 @@ Methods raise :class:`ServeError` on any non-2xx answer; a 429 carries
 
 from __future__ import annotations
 
+import dataclasses
 import http.client
 import json
 import math
@@ -134,6 +135,7 @@ class ServeClient:
         timeout: Optional[float] = None,
         max_events: Optional[int] = None,
         cacheable: bool = True,
+        live: Any = False,
     ) -> Dict[str, Any]:
         body: Dict[str, Any] = {
             "spec": spec_to_document(spec),
@@ -147,6 +149,11 @@ class ServeClient:
             body["timeout"] = timeout
         if max_events is not None:
             body["max_events"] = max_events
+        if live:
+            if dataclasses.is_dataclass(live):
+                body["live"] = dataclasses.asdict(live)
+            else:
+                body["live"] = live
         return body
 
     # -- submission ------------------------------------------------------
@@ -161,13 +168,19 @@ class ServeClient:
         timeout: Optional[float] = None,
         max_events: Optional[int] = None,
         cacheable: bool = True,
+        live: Any = False,
         retry_on_busy: bool = False,
         max_wait: float = 300.0,
     ) -> Dict[str, Any]:
-        """Submit one job; returns its status dict (may be born done)."""
+        """Submit one job; returns its status dict (may be born done).
+
+        ``live=True`` (or a :class:`~repro.live.LiveSpec`) asks the
+        daemon to stream per-epoch digests into the job's event log and
+        the daemon-wide ``/v1/live`` firehose (see :meth:`live`).
+        """
         body = self._submission(spec, config, tag=tag, priority=priority,
                                 timeout=timeout, max_events=max_events,
-                                cacheable=cacheable)
+                                cacheable=cacheable, live=live)
         deadline = time.monotonic() + max_wait
         while True:
             try:
@@ -282,6 +295,41 @@ class ServeClient:
                     if name.lower() == "retry-after":
                         retry_after = parse_retry_after(value)
                 raise ServeError(response.status, message, retry_after)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def live(self, *, max_events: Optional[int] = None,
+             timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
+        """Stream the daemon-wide live NDJSON firehose.
+
+        Yields every job event the daemon publishes while the connection
+        is open - per-epoch ``epoch`` digests of live jobs included.
+        The stream ends after ``max_events`` events (when given) or when
+        the daemon drains; the leading ``hello`` event is yielded too
+        but does not count toward ``max_events``.
+        """
+        path = "/v1/live"
+        if max_events is not None:
+            path += f"?max_events={int(max_events)}"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", path, headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except Exception:  # noqa: BLE001
+                    message = raw.decode(errors="replace")
+                raise ServeError(response.status, message)
             while True:
                 line = response.readline()
                 if not line:

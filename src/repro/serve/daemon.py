@@ -20,6 +20,11 @@ Endpoints::
     GET  /v1/jobs/<id>/result  full session digest of a done job
                                (the fleet member protocol: coordinators
                                rebuild ProfileResults from this)
+    GET  /v1/live            daemon-wide NDJSON firehose of every job
+                             event, including per-epoch ``epoch``
+                             digests of jobs submitted with
+                             ``"live": true`` (``?max_events=N`` to
+                             bound the stream)
     POST /v1/shutdown        begin drain-then-exit -> 202
     GET  /healthz | /readyz | /metricsz
 
@@ -69,6 +74,8 @@ from ..durable.tenants import (
 )
 from ..exec.cache import ResultCache, coerce_cache
 from ..exec.runner import CampaignJob
+from ..live.bus import IngestionBus
+from ..live.spec import LiveSpec
 from .executor import JobExecutor
 from .jobs import DONE, JobStore, ServeJob, counters_from_session
 from .metrics import ServeMetrics
@@ -139,6 +146,10 @@ class ServeDaemon:
         )
         self.store = JobStore(max_terminal=max_terminal_jobs,
                               max_age_s=job_retention_s)
+        #: Daemon-wide live event fabric: every job event (including the
+        #: per-epoch digests of live jobs) is published here and the
+        #: ``GET /v1/live`` endpoint streams it as NDJSON.
+        self.live_bus = IngestionBus()
         self.metrics = ServeMetrics()
         self.executor = JobExecutor(self.cache, self.metrics, retries=retries)
         self._seq = itertools.count()
@@ -221,6 +232,10 @@ class ServeDaemon:
                 if self.journal is not None:
                     self.journal.append(wal.HANDOFF, record.job_id)
                 self.metrics.inc("jobs_handed_off")
+        # Close the live bus first: /v1/live streamers see the close
+        # marker and finish, so wait_closed() (which waits for in-flight
+        # handlers on 3.12+) cannot deadlock on an open stream.
+        self.live_bus.close()
         self._server.close()
         await self._server.wait_closed()
         self._pool.shutdown(wait=True)
@@ -284,6 +299,7 @@ class ServeDaemon:
             record = self.store.new_job(job.key(), job, priority=priority,
                                         tag=tag, tenant=tenant,
                                         job_id=job_id)
+            record.live_sink = self.live_bus.publish
             record.publish("recovered", priority=priority, tenant=tenant)
             self.tenants.on_recovered(tenant)
             self.metrics.inc("jobs_recovered")
@@ -326,6 +342,16 @@ class ServeDaemon:
         max_events = body.get("max_events", self.default_max_events)
         priority = int(body.get("priority", 10))
         tag = str(body.get("tag", ""))
+        live_doc = body.get("live", False)
+        if isinstance(live_doc, dict):
+            try:
+                live: Any = LiveSpec(**live_doc)
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f'malformed "live" spec: {exc}') from exc
+        elif isinstance(live_doc, bool):
+            live = live_doc
+        else:
+            raise BadRequest('"live" must be a bool or a LiveSpec object')
         job = CampaignJob(
             spec=spec,
             config=config,
@@ -333,6 +359,7 @@ class ServeDaemon:
             timeout=float(timeout) if timeout is not None else None,
             max_events=int(max_events) if max_events is not None else None,
             cacheable=bool(body.get("cacheable", True)),
+            live=live,
         )
         journal_doc = {
             "spec": body["spec"],
@@ -343,6 +370,7 @@ class ServeDaemon:
             "timeout": job.timeout,
             "max_events": job.max_events,
             "cacheable": job.cacheable,
+            "live": live_doc,
         }
         return job, priority, tag, journal_doc
 
@@ -383,6 +411,7 @@ class ServeDaemon:
             if entry is not None:
                 record = self.store.new_job(key, job, priority=priority,
                                             tag=tag, tenant=tenant)
+                record.live_sink = self.live_bus.publish
                 meta = entry.get("meta", {})
                 record.events_executed = int(meta.get("events_executed", 0))
                 record.total_cycles = float(meta.get("total_cycles", 0.0))
@@ -413,6 +442,7 @@ class ServeDaemon:
             )
         record = self.store.new_job(key, job, priority=priority, tag=tag,
                                     tenant=tenant)
+        record.live_sink = self.live_bus.publish
         if self.journal is not None:
             self.journal.append(wal.ADMITTED, record.job_id, journal_doc)
         record.publish("queued", priority=priority, tag=tag, tenant=tenant)
@@ -494,7 +524,7 @@ class ServeDaemon:
                 body = json.loads(raw)
             except json.JSONDecodeError as exc:
                 raise BadRequest(f"request body is not JSON: {exc}") from exc
-        return method, target.split("?", 1)[0], headers, body
+        return method, target, headers, body
 
     async def _respond_json(
         self,
@@ -538,6 +568,7 @@ class ServeDaemon:
         body: Optional[Dict[str, Any]],
     ) -> Tuple[str, bool]:
         """Dispatch one request; returns (endpoint template, handled)."""
+        path, _, query = path.partition("?")
         if method == "GET" and path == "/healthz":
             await self._respond_json(writer, 200, {
                 "status": "ok",
@@ -590,6 +621,9 @@ class ServeDaemon:
                     await self._respond_json(writer, 200,
                                              {"job": record.as_dict()})
                 return "GET /v1/jobs/<id>", True
+        if method == "GET" and path == "/v1/live":
+            await self._handle_live(writer, query)
+            return "GET /v1/live", True
         if method == "POST" and path == "/v1/shutdown":
             self.request_shutdown()
             await self._respond_json(writer, 202, {"draining": True})
@@ -759,6 +793,63 @@ class ServeDaemon:
             if record.terminal and cursor >= len(record.events):
                 break
             await asyncio.sleep(STREAM_POLL_S)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _handle_live(
+        self, writer: asyncio.StreamWriter, query: str
+    ) -> None:
+        """Stream the daemon-wide live event fabric as chunked NDJSON.
+
+        Every job event published while the connection is open is
+        forwarded (per-epoch ``epoch`` digests included for live jobs).
+        ``?max_events=N`` closes the stream after N events -- handy for
+        scripted consumers; the stream also ends when the daemon drains.
+        """
+        params: Dict[str, str] = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                name, _, value = pair.partition("=")
+                params[name] = value
+        max_events: Optional[int] = None
+        if params.get("max_events"):
+            try:
+                max_events = int(params["max_events"])
+            except ValueError:
+                await self._respond_json(
+                    writer, 400,
+                    {"error": f"bad max_events: {params['max_events']!r}"},
+                )
+                return
+        sub = self.live_bus.subscribe()
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode())
+
+        def _chunk(obj: Dict[str, Any]) -> None:
+            line = (json.dumps(obj) + "\n").encode()
+            writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+
+        _chunk({"event": "hello", "ts": time.time(),
+                "draining": self._draining})
+        sent = 0
+        try:
+            while True:
+                for event in sub.drain_nowait():
+                    _chunk(event)
+                    sent += 1
+                    if max_events is not None and sent >= max_events:
+                        break
+                await writer.drain()
+                if max_events is not None and sent >= max_events:
+                    break
+                if sub.closed:
+                    break
+                await asyncio.sleep(STREAM_POLL_S)
+        finally:
+            self.live_bus.unsubscribe(sub)
         writer.write(b"0\r\n\r\n")
         await writer.drain()
 

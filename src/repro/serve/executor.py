@@ -68,6 +68,14 @@ class JobExecutor:
                 self._finish_done(record, entry["session"], cache_hit=True)
                 return
 
+        on_progress = None
+        if record.job.live:
+            # Per-epoch digests from the worker land in the job's event
+            # log, which both /v1/jobs/<id>/events and /v1/live stream.
+            def on_progress(digest):
+                data = {k: v for k, v in digest.items() if k != "event"}
+                record.publish("epoch", **data)
+
         outcome = None
         while True:
             record.attempts += 1
@@ -78,6 +86,8 @@ class JobExecutor:
                 max_events=record.job.max_events,
                 setup=record.job.setup,
                 timeout=record.job.timeout,
+                live=record.job.live,
+                on_progress=on_progress,
             )
             record.wall_time += float(outcome.get("wall_time", 0.0))
             if outcome.get("ok"):

@@ -77,6 +77,10 @@ class ServeJob:
     session_document: Optional[Dict[str, Any]] = None
     #: Append-only NDJSON event log (each entry is one streamed line).
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Optional callable every published event is forwarded to - the
+    #: daemon points this at its live ingestion bus so ``/v1/live``
+    #: streams all jobs' events as they happen.
+    live_sink: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def terminal(self) -> bool:
@@ -91,7 +95,10 @@ class ServeJob:
             "event": event,
         }
         record.update(data)
+        record["event"] = event
         self.events.append(record)
+        if self.live_sink is not None:
+            self.live_sink(record)
 
     def as_dict(self, include_counters: bool = True) -> Dict[str, Any]:
         status = {

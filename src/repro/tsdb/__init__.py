@@ -8,7 +8,7 @@ trend/seasonality/residual decomposition.
 """
 
 from .clustering import Window, cluster_windows, dominant_window
-from .database import Measurement, Record, TimeSeriesDB
+from .database import Measurement, Record, RecordsView, TimeSeriesDB
 from .operators import (
     holt_winters,
     moving_average,
@@ -18,6 +18,7 @@ from .operators import (
     series_min,
 )
 from .query import Query
+from .tiers import RetentionPolicy
 from .tsa import Decomposition, decompose, detect_period
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "Measurement",
     "Query",
     "Record",
+    "RecordsView",
+    "RetentionPolicy",
     "TimeSeriesDB",
     "Window",
     "cluster_windows",

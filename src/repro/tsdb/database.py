@@ -6,13 +6,48 @@ explores execution characteristics with Flux queries.  This module
 provides the storage engine: measurements hold :class:`Record` rows
 (timestamp + tags + numeric fields); :class:`Query` (tsdb.query) gives the
 Flux-like pipeline on top.
+
+Storage is built for streaming ingestion (see ``repro.live``):
+
+* **append fast path** - monotone timestamps (the overwhelmingly common
+  case: one record per epoch) append in O(1) to a columnar timestamp
+  array plus an aligned record list;
+* **out-of-order merge on read** - stragglers land in a small pending
+  buffer and are merged into the sorted run only when a reader shows up
+  (or the buffer fills), so a burst of late records never degrades
+  ingestion to O(n) per insert;
+* **lazy snapshot views** - :meth:`Measurement.snapshot` hands queries a
+  zero-copy view of the sorted run (appends go past its length bound;
+  merges and retention trims build *new* arrays), so repeated workflow
+  queries stop copying the record list;
+* **bounded retention** - an optional ``max_points`` cap drops the
+  oldest records in amortised-O(1) chunks, keeping million-point series
+  queryable under bounded memory (downsampled history survives in the
+  retention tiers, see :mod:`repro.tsdb.tiers`).
 """
 
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from itertools import islice
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+#: Out-of-order records buffered before a merge is forced even without a
+#: reader (bounds the pending buffer's unsorted scan cost).
+MERGE_THRESHOLD = 512
 
 
 @dataclass(frozen=True)
@@ -30,48 +65,275 @@ class Record:
         return self.fields.get(key, default)
 
 
+class RecordsView(Sequence):
+    """Zero-copy snapshot of a measurement's sorted run.
+
+    Holds a reference to the measurement's record list plus a length
+    bound.  Appends only extend the list past the bound, and merges /
+    retention trims replace the list object wholesale, so the view stays
+    a consistent point-in-time snapshot without copying anything.
+    """
+
+    __slots__ = ("_records", "_length", "_source", "_version")
+
+    def __init__(
+        self,
+        records: List[Record],
+        length: int,
+        source: Optional["Measurement"] = None,
+        version: int = -1,
+    ) -> None:
+        self._records = records
+        self._length = length
+        self._source = source
+        self._version = version
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            return [self._records[i] for i in range(start, stop, step)]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[Record]:
+        return islice(iter(self._records), self._length)
+
+    def values(self, field: str) -> List[float]:
+        """Field column over the snapshot; uses the measurement's cached
+        columnar array when the snapshot is still current."""
+        source = self._source
+        if source is not None and source.version == self._version:
+            return source.column(field).tolist()
+        return [r.fields.get(field, 0.0) for r in self]
+
+    def timestamps(self) -> List[float]:
+        source = self._source
+        if source is not None and source.version == self._version:
+            return source.timestamps_array().tolist()
+        return [r.timestamp for r in self]
+
+
 class Measurement:
     """Append-mostly store of records ordered by timestamp."""
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name",
+        "max_points",
+        "dropped",
+        "_times",
+        "_records",
+        "_pending",
+        "_version",
+        "_columns",
+    )
+
+    def __init__(self, name: str, max_points: Optional[int] = None) -> None:
+        if max_points is not None and max_points < 1:
+            raise ValueError("max_points must be >= 1")
         self.name = name
+        self.max_points = max_points
+        #: Records dropped by the retention cap (observability counter).
+        self.dropped = 0
+        self._times = array("d")
         self._records: List[Record] = []
-        self._timestamps: List[float] = []
+        self._pending: List[Record] = []
+        self._version = 0
+        self._columns: Dict[str, Tuple[int, np.ndarray]] = {}
+
+    # -- writes ----------------------------------------------------------
 
     def insert(self, record: Record) -> None:
-        index = bisect.bisect_right(self._timestamps, record.timestamp)
-        self._timestamps.insert(index, record.timestamp)
-        self._records.insert(index, record)
+        times = self._times
+        if not times or record.timestamp >= times[-1]:
+            times.append(record.timestamp)
+            self._records.append(record)
+        else:
+            # Out-of-order straggler: defer the merge instead of paying
+            # list.insert's O(n) tail shift per record.
+            self._pending.append(record)
+            if len(self._pending) >= MERGE_THRESHOLD:
+                self._consolidate()
+        self._version += 1
+        if self.max_points is not None:
+            self._enforce_retention()
+
+    def _consolidate(self) -> None:
+        """Merge pending stragglers into the sorted run (on read)."""
+        pending = self._pending
+        if not pending:
+            return
+        # Stable sort keeps same-timestamp stragglers in insert order,
+        # matching what repeated bisect_right inserts produced before.
+        pending.sort(key=lambda r: r.timestamp)
+        old_times, old_records = self._times, self._records
+        merged_times = array("d")
+        merged_records: List[Record] = []
+        i = j = 0
+        n, k = len(old_records), len(pending)
+        while i < n and j < k:
+            # '<=' keeps existing records ahead of equal-time stragglers
+            # (bisect_right semantics).
+            if old_times[i] <= pending[j].timestamp:
+                merged_times.append(old_times[i])
+                merged_records.append(old_records[i])
+                i += 1
+            else:
+                merged_times.append(pending[j].timestamp)
+                merged_records.append(pending[j])
+                j += 1
+        while i < n:
+            merged_times.append(old_times[i])
+            merged_records.append(old_records[i])
+            i += 1
+        while j < k:
+            merged_times.append(pending[j].timestamp)
+            merged_records.append(pending[j])
+            j += 1
+        # New objects: snapshot views over the old run stay valid.
+        self._times = merged_times
+        self._records = merged_records
+        self._pending = []
+
+    def _enforce_retention(self) -> None:
+        """Trim the oldest records once the cap is exceeded.
+
+        Trims in chunks (an eighth of the cap) so the O(n) front-drop is
+        amortised over many appends; new list/array objects are built so
+        outstanding snapshot views keep their indices.
+        """
+        cap = self.max_points
+        total = len(self._records) + len(self._pending)
+        slack = max(64, cap // 8)
+        if total < cap + slack:
+            return
+        self._consolidate()
+        excess = len(self._records) - cap
+        if excess <= 0:
+            return
+        self._times = self._times[excess:]
+        self._records = self._records[excess:]
+        self.dropped += excess
+
+    # -- reads -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def snapshot(self) -> RecordsView:
+        """A zero-copy, point-in-time view of the sorted records."""
+        self._consolidate()
+        return RecordsView(
+            self._records, len(self._records), source=self, version=self._version
+        )
+
+    def column(self, field: str) -> np.ndarray:
+        """The field's values as a cached columnar float64 array.
+
+        Rebuilt lazily when the measurement changed since the last call;
+        repeated queries between inserts hit the cache.
+        """
+        self._consolidate()
+        cached = self._columns.get(field)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        records = self._records
+        arr = np.fromiter(
+            (r.fields.get(field, 0.0) for r in records),
+            dtype=np.float64,
+            count=len(records),
+        )
+        self._columns[field] = (self._version, arr)
+        return arr
+
+    def timestamps_array(self) -> np.ndarray:
+        self._consolidate()
+        cached = self._columns.get("\x00time")
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        arr = np.frombuffer(self._times, dtype=np.float64).copy() \
+            if self._times else np.empty(0, dtype=np.float64)
+        self._columns["\x00time"] = (self._version, arr)
+        return arr
 
     def range(
         self, start: Optional[float] = None, stop: Optional[float] = None
     ) -> List[Record]:
-        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        self._consolidate()
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
         hi = (
             len(self._records)
             if stop is None
-            else bisect.bisect_right(self._timestamps, stop)
+            else bisect.bisect_right(self._times, stop)
         )
         return self._records[lo:hi]
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) + len(self._pending)
 
-    def __iter__(self):
-        return iter(self._records)
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.snapshot())
 
 
 class TimeSeriesDB:
-    """A bag of named measurements plus the entry point for queries."""
+    """A bag of named measurements plus the entry point for queries.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.tsdb.tiers.RetentionPolicy`, every insert also
+    feeds per-tag-set downsampling tiers (raw -> 10x -> 100x by default)
+    and the raw tier is capped, so long-running streaming ingestion stays
+    bounded in memory while the full history remains queryable at
+    coarser resolution (``from_(name, tier=1)``).
+    """
+
+    def __init__(self, retention: Optional["RetentionPolicy"] = None) -> None:
+        if retention is not None:
+            from .tiers import RetentionPolicy  # local import, no cycle
+
+            if not isinstance(retention, RetentionPolicy):
+                raise TypeError(
+                    f"retention must be a RetentionPolicy, got {retention!r}"
+                )
+        self.retention = retention
         self._measurements: Dict[str, Measurement] = {}
+        self._tiers: Dict[Tuple[str, int], Measurement] = {}
+        self._downsamplers: Dict[str, "TierSet"] = {}
 
-    def measurement(self, name: str) -> Measurement:
+    def measurement(self, name: str, tier: int = 0) -> Measurement:
+        """The raw measurement (``tier=0``) or a downsampling tier."""
+        if tier:
+            return self.tier(name, tier)
         table = self._measurements.get(name)
         if table is None:
-            table = Measurement(name)
+            max_points = (
+                self.retention.raw_points if self.retention is not None else None
+            )
+            table = Measurement(name, max_points=max_points)
             self._measurements[name] = table
+        return table
+
+    def tier(self, name: str, tier: int) -> Measurement:
+        """The ``tier``-th downsampling tier (1-based) of a measurement."""
+        if self.retention is None:
+            raise ValueError("this TimeSeriesDB has no retention tiers")
+        factors = self.retention.tier_factors
+        if not 1 <= tier <= len(factors):
+            raise ValueError(
+                f"tier must be in 1..{len(factors)}, got {tier}"
+            )
+        key = (name, tier)
+        table = self._tiers.get(key)
+        if table is None:
+            table = Measurement(
+                f"{name}@{factors[tier - 1]}x",
+                max_points=self.retention.tier_points,
+            )
+            self._tiers[key] = table
         return table
 
     def insert(
@@ -85,16 +347,37 @@ class TimeSeriesDB:
             timestamp=timestamp, tags=dict(tags or {}), fields=dict(fields or {})
         )
         self.measurement(measurement).insert(record)
+        if self.retention is not None and self.retention.tier_factors:
+            tiers = self._downsamplers.get(measurement)
+            if tiers is None:
+                from .tiers import TierSet
+
+                tiers = TierSet(self, measurement, self.retention)
+                self._downsamplers[measurement] = tiers
+            tiers.observe(record)
         return record
 
-    def from_(self, measurement: str) -> "Query":
-        """Start a Flux-like query pipeline (``from(bucket: ...)``)."""
+    def from_(self, measurement: str, tier: int = 0) -> "Query":
+        """Start a Flux-like query pipeline (``from(bucket: ...)``).
+
+        Hands the query a lazy snapshot view of the measurement - no
+        record-list copy per query.
+        """
         from .query import Query  # local import to avoid a cycle
 
-        return Query(list(self.measurement(measurement)))
+        return Query(self.measurement(measurement, tier).snapshot())
 
     def measurements(self) -> List[str]:
         return sorted(self._measurements)
 
     def __contains__(self, measurement: str) -> bool:
         return measurement in self._measurements
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-measurement point counts and retention drops."""
+        doc: Dict[str, Dict[str, float]] = {}
+        for name, table in sorted(self._measurements.items()):
+            doc[name] = {"points": len(table), "dropped": table.dropped}
+        for (name, tier), table in sorted(self._tiers.items()):
+            doc[table.name] = {"points": len(table), "dropped": table.dropped}
+        return doc

@@ -56,21 +56,25 @@ def holt_winters(
 ) -> List[float]:
     """Holt-Winters forecast (additive seasonality when season_length set).
 
-    Returns ``horizon`` forecast points past the end of the series.  Used
-    to test whether an application's access pattern is predictable
-    (section 4.6 step 4).
+    Returns ``horizon`` forecast points past the end of the series, or an
+    empty forecast for an empty series (streaming callers poll before the
+    first epoch lands).  Used to test whether an application's access
+    pattern is predictable (section 4.6 step 4).
     """
-    _require_nonempty(values)
     if horizon < 1:
         raise ValueError("horizon must be >= 1")
+    if len(values) == 0:
+        return []
     arr = np.asarray(values, dtype=np.float64)
     n = len(arr)
     if season_length and n >= 2 * season_length:
         m = season_length
-        season = np.array(
-            [arr[i::m][: n // m].mean() for i in range(m)], dtype=np.float64
-        )
-        season -= season.mean()
+        # Seasonal indices from the first two seasons only (classic
+        # init).  Deliberately independent of n so the online operator
+        # (repro.live.incremental) reproduces this path exactly without
+        # buffering the whole series.
+        season = arr[: 2 * m].reshape(2, m).mean(axis=0)
+        season = season - season.mean()
         level = arr[:m].mean()
         trend = (arr[m : 2 * m].mean() - arr[:m].mean()) / m
         for i in range(n):
@@ -96,11 +100,17 @@ def holt_winters(
 
 
 def pearsonr(x: Sequence[float], y: Sequence[float]) -> float:
-    """Pearson correlation coefficient between two equal-length series."""
+    """Pearson correlation coefficient between two equal-length series.
+
+    Degenerate series - fewer than two points, or zero variance - carry
+    no correlation signal and yield 0.0 (never NaN, never a raise), so
+    streaming callers can query mid-warm-up.  A length mismatch is still
+    a caller bug and raises.
+    """
     if len(x) != len(y):
         raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
     if len(x) < 2:
-        raise ValueError("need at least two points")
+        return 0.0
     ax = np.asarray(x, dtype=np.float64)
     ay = np.asarray(y, dtype=np.float64)
     sx = ax.std()

@@ -14,9 +14,9 @@ terminal stages (``values``, ``min``/``max``/``mean``, ``pearsonr``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .database import Record
+from .database import Record, RecordsView
 from .operators import (
     holt_winters,
     moving_average,
@@ -28,9 +28,14 @@ from .operators import (
 
 
 class Query:
-    """Immutable pipeline over a list of records."""
+    """Immutable pipeline over a sequence of records.
 
-    def __init__(self, records: List[Record]) -> None:
+    ``TimeSeriesDB.from_`` hands it a lazy :class:`RecordsView` snapshot
+    (no copy); filtering stages materialise lists only for what they
+    keep.
+    """
+
+    def __init__(self, records: Sequence[Record]) -> None:
         self._records = records
 
     # -- filtering stages --------------------------------------------------
@@ -70,10 +75,16 @@ class Query:
         return list(self._records)
 
     def timestamps(self) -> List[float]:
-        return [r.timestamp for r in self._records]
+        records = self._records
+        if isinstance(records, RecordsView):
+            return records.timestamps()
+        return [r.timestamp for r in records]
 
     def values(self, field: str) -> List[float]:
-        return [r.field(field) for r in self._records]
+        records = self._records
+        if isinstance(records, RecordsView):
+            return records.values(field)
+        return [r.field(field) for r in records]
 
     def series(self, field: str) -> List[Tuple[float, float]]:
         return [(r.timestamp, r.field(field)) for r in self._records]
@@ -110,10 +121,15 @@ class Query:
 
     def pearsonr_with(self, other: "Query", field: str) -> float:
         """Correlate this query's series with another query's, aligned by
-        snapshot order (cross-mFlow correlation, section 4.6 step 5)."""
+        snapshot order (cross-mFlow correlation, section 4.6 step 5).
+
+        Fewer than two overlapping points carry no correlation signal;
+        returns 0.0 rather than raising so streaming callers can poll
+        before both series have warmed up.
+        """
         x = self.values(field)
         y = other.values(field)
         n = min(len(x), len(y))
         if n < 2:
-            raise ValueError("need two overlapping points")
+            return 0.0
         return pearsonr(x[:n], y[:n])

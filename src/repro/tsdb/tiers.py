@@ -1,0 +1,139 @@
+"""Downsampling/retention tiers for the time-series database.
+
+Long-running streaming ingestion (``repro.live``) produces one record
+per (measurement, tag set) per epoch, forever.  A flat store either
+grows without bound or forgets history.  The tier scheme keeps both
+properties bounded:
+
+* **tier 0 (raw)** holds the most recent ``raw_points`` records per
+  measurement at full resolution;
+* **tier k** holds one record per ``tier_factors[k-1]`` raw records
+  (default raw -> 10x -> 100x), each a mean over its block's numeric
+  fields, capped at ``tier_points``.
+
+Blocks are per tag signature: a series tagged ``pid=alpha`` downsamples
+independently from ``pid=beta`` sharing the measurement, so coarse
+queries can still ``where(tag, value)``.  A tier record's timestamp is
+the last raw timestamp of its block (the moment the aggregate became
+known); a trailing partial block is not emitted until it fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Record, TimeSeriesDB
+
+#: Default tier cascade: one 10x tier and one 100x tier over raw.
+DEFAULT_TIER_FACTORS: Tuple[int, ...] = (10, 100)
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How much of each resolution a :class:`TimeSeriesDB` keeps.
+
+    ``tier_factors`` are multiples of the *raw* cadence and must be
+    strictly increasing; each later tier must be an integer multiple of
+    the previous so tiers cascade (tier 2 aggregates tier-1 blocks).
+    """
+
+    raw_points: int = 100_000
+    tier_factors: Tuple[int, ...] = DEFAULT_TIER_FACTORS
+    tier_points: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.raw_points < 1:
+            raise ValueError("raw_points must be >= 1")
+        if self.tier_points < 1:
+            raise ValueError("tier_points must be >= 1")
+        factors = tuple(int(f) for f in self.tier_factors)
+        object.__setattr__(self, "tier_factors", factors)
+        prev = 1
+        for f in factors:
+            if f <= prev:
+                raise ValueError(
+                    "tier_factors must be strictly increasing multiples, "
+                    f"got {factors}"
+                )
+            if f % prev:
+                raise ValueError(
+                    f"each tier factor must divide the next, got {factors}"
+                )
+            prev = f
+
+
+def tag_signature(tags: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    """Hashable identity of a record's tag set (sorted key/value pairs)."""
+    return tuple(sorted(tags.items()))
+
+
+@dataclass
+class _Accumulator:
+    """Running mean over one block of one tagged series."""
+
+    count: int = 0
+    last_timestamp: float = 0.0
+    sums: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, record: "Record") -> None:
+        self.count += 1
+        self.last_timestamp = record.timestamp
+        for key, value in record.fields.items():
+            self.sums[key] = self.sums.get(key, 0.0) + value
+
+    def mean_fields(self) -> Dict[str, float]:
+        n = self.count
+        return {key: total / n for key, total in self.sums.items()}
+
+
+class TierSet:
+    """The downsampling cascade for one measurement.
+
+    ``observe`` is O(active tag sets is irrelevant - O(1) per record):
+    the record lands in its series' tier-1 accumulator; every ``factor``
+    records the block's mean is emitted into the tier measurement and
+    handed to the next tier's accumulator in turn.
+    """
+
+    def __init__(
+        self, db: "TimeSeriesDB", measurement: str, policy: RetentionPolicy
+    ) -> None:
+        self._db = db
+        self._measurement = measurement
+        # Per-tier block sizes in units of the *previous* tier's records.
+        self._strides: List[int] = []
+        prev = 1
+        for factor in policy.tier_factors:
+            self._strides.append(factor // prev)
+            prev = factor
+        # accumulators[tier_index][tag_signature]
+        self._accumulators: List[Dict[Tuple[Tuple[str, str], ...], _Accumulator]] = [
+            {} for _ in self._strides
+        ]
+
+    def observe(self, record: "Record") -> None:
+        self._feed(0, record)
+
+    def _feed(self, tier_index: int, record: "Record") -> None:
+        if tier_index >= len(self._strides):
+            return
+        table = self._accumulators[tier_index]
+        sig = tag_signature(record.tags)
+        acc = table.get(sig)
+        if acc is None:
+            acc = table[sig] = _Accumulator()
+        acc.add(record)
+        if acc.count < self._strides[tier_index]:
+            return
+        from .database import Record as _Record
+
+        emitted = _Record(
+            timestamp=acc.last_timestamp,
+            tags=dict(record.tags),
+            fields=acc.mean_fields(),
+        )
+        del table[sig]
+        self._db.tier(self._measurement, tier_index + 1).insert(emitted)
+        self._feed(tier_index + 1, emitted)

@@ -1,0 +1,458 @@
+"""repro.live: incremental-vs-batch parity, tiers, retention, streaming.
+
+The parity tests are the contract that makes live profiling trustworthy:
+each incremental operator must reproduce its batch counterpart at every
+prefix length, so a dashboard reading the rolling state mid-run sees the
+same numbers a post-hoc batch query would compute.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AppSpec, ProfileSpec
+from repro.core.materializer import PATH_SET
+from repro.core.profiler import PathFinder
+from repro.exec import cxl_node_id
+from repro.live import (
+    LIVE_QUEUES,
+    IngestionBus,
+    LiveMaterializer,
+    LiveSpec,
+    OnlineHoltWinters,
+    RollingMean,
+    StreamingPearson,
+    coerce_live,
+    render_live_event,
+)
+from repro.sim import Machine, spr_config
+from repro.tsdb import (
+    RetentionPolicy,
+    TimeSeriesDB,
+    holt_winters,
+    moving_average,
+    pearsonr,
+)
+from repro.workloads import build_app
+
+# Dyadic rationals: exactly representable, so parity assertions measure
+# algorithmic agreement rather than accumulated float noise.
+values = st.integers(min_value=-8_000, max_value=8_000).map(lambda n: n / 8.0)
+
+
+# -- operator parity (hypothesis) --------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(values, min_size=1, max_size=60), st.integers(1, 8))
+def test_rolling_mean_matches_moving_average(series, window):
+    rolling = RollingMean(window)
+    for i, value in enumerate(series):
+        got = rolling.push(value)
+        want = moving_average(series[: i + 1], window)[-1]
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+        assert rolling.value == got
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(values, min_size=1, max_size=40),
+    st.one_of(st.none(), st.integers(2, 5)),
+    st.integers(1, 3),
+)
+def test_online_holt_winters_matches_batch(series, season, horizon):
+    online = OnlineHoltWinters(season_length=season)
+    for i, value in enumerate(series):
+        online.push(value)
+        want = holt_winters(
+            series[: i + 1], horizon=horizon, season_length=season
+        )
+        got = online.forecast(horizon)
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-7)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(values, values), min_size=0, max_size=60))
+def test_streaming_pearson_matches_batch(pairs):
+    streaming = StreamingPearson()
+    for i, (x, y) in enumerate(pairs):
+        streaming.push(x, y)
+        xs = [p[0] for p in pairs[: i + 1]]
+        ys = [p[1] for p in pairs[: i + 1]]
+        assert streaming.value == pytest.approx(
+            pearsonr(xs, ys), rel=1e-6, abs=1e-6
+        )
+    if not pairs:
+        assert streaming.value == 0.0
+
+
+def test_online_holt_winters_empty_forecast_before_first_point():
+    assert OnlineHoltWinters().forecast(3) == []
+    assert OnlineHoltWinters(season_length=4).forecast(1) == []
+
+
+# -- downsampling tiers -------------------------------------------------------
+
+
+def make_tiered_db(raw_points=10_000, tier_points=1_000):
+    policy = RetentionPolicy(
+        raw_points=raw_points, tier_factors=(10, 100), tier_points=tier_points
+    )
+    return TimeSeriesDB(retention=policy)
+
+
+def test_tier1_emits_block_means_at_block_end_timestamps():
+    db = make_tiered_db()
+    for i in range(250):
+        db.insert("m", float(i), tags={"k": "a"}, fields={"v": float(i)})
+    tier1 = db.from_("m", tier=1)
+    # 25 complete 10-blocks; each record carries the block mean and the
+    # block's last raw timestamp.
+    assert tier1.values("v") == [float(b * 10) + 4.5 for b in range(25)]
+    assert tier1.timestamps() == [float(b * 10) + 9.0 for b in range(25)]
+
+
+def test_tier2_cascades_from_tier1():
+    db = make_tiered_db()
+    for i in range(250):
+        db.insert("m", float(i), fields={"v": float(i)})
+    tier2 = db.from_("m", tier=2)
+    # 250 raw points = 2 complete 100-blocks (the trailing 50 stay
+    # buffered in the partial accumulator, not emitted).
+    assert tier2.values("v") == [49.5, 149.5]
+    assert tier2.timestamps() == [99.0, 199.0]
+
+
+def test_tiers_keep_tag_sets_separate():
+    db = make_tiered_db()
+    for i in range(30):
+        db.insert("m", float(i), tags={"k": "a"}, fields={"v": 1.0})
+        db.insert("m", float(i), tags={"k": "b"}, fields={"v": 3.0})
+    tier1 = db.from_("m", tier=1)
+    assert tier1.where(k="a").values("v") == [1.0, 1.0, 1.0]
+    assert tier1.where(k="b").values("v") == [3.0, 3.0, 3.0]
+
+
+def test_partial_blocks_are_not_emitted():
+    db = make_tiered_db()
+    for i in range(9):
+        db.insert("m", float(i), fields={"v": float(i)})
+    assert db.from_("m", tier=1).values("v") == []
+    db.insert("m", 9.0, fields={"v": 9.0})
+    assert db.from_("m", tier=1).values("v") == [4.5]
+
+
+# -- retention bounds ---------------------------------------------------------
+
+
+def test_raw_retention_bounds_memory_and_counts_drops():
+    db = make_tiered_db(raw_points=1_000, tier_points=50)
+    total = 20_000
+    for i in range(total):
+        db.insert("m", float(i), fields={"v": float(i)})
+    raw = db.measurement("m")
+    # Amortised trim: never more than cap + slack points in memory.
+    assert len(raw) <= 1_000 + max(64, 1_000 // 8)
+    assert raw.dropped == total - len(raw)
+    # The newest points survive and stay queryable.
+    assert db.from_("m").timestamps()[-1] == float(total - 1)
+    # Tier caps hold too.
+    for tier in (1, 2):
+        table = db.measurement("m", tier=tier)
+        assert len(table) <= 50 + 64
+    stats = db.stats()
+    assert stats["m"]["dropped"] == raw.dropped
+
+
+def test_million_point_series_queryable_under_cap():
+    db = make_tiered_db(raw_points=10_000, tier_points=10_000)
+    total = 1_000_000
+    for i in range(total):
+        db.insert("m", float(i), fields={"v": float(i)})
+    raw = db.measurement("m")
+    assert len(raw) <= 10_000 + max(64, 10_000 // 8)
+    assert raw.dropped + len(raw) == total
+    # Recent history at raw resolution, full history at 100x.
+    assert db.from_("m").timestamps()[-1] == float(total - 1)
+    tier2 = db.from_("m", tier=2)
+    assert len(tier2.values("v")) == total // 100
+    assert tier2.values("v")[0] == 49.5
+
+
+def test_out_of_order_stragglers_merge_on_read():
+    db = TimeSeriesDB()
+    db.insert("m", 10.0, fields={"v": 1.0})
+    db.insert("m", 20.0, fields={"v": 2.0})
+    before = db.from_("m")
+    assert before.timestamps() == [10.0, 20.0]
+    db.insert("m", 15.0, fields={"v": 3.0})  # straggler -> pending buffer
+    after = db.from_("m")
+    assert after.timestamps() == [10.0, 15.0, 20.0]
+    # The snapshot taken before the merge still reads its own world.
+    assert before.timestamps() == [10.0, 20.0]
+
+
+def test_descending_inserts_end_up_sorted():
+    db = TimeSeriesDB()
+    n = 2_000  # crosses the deferred-merge threshold several times
+    for i in range(n, 0, -1):
+        db.insert("m", float(i), fields={"v": float(i)})
+    assert db.from_("m").timestamps() == [float(i) for i in range(1, n + 1)]
+
+
+# -- ingestion bus ------------------------------------------------------------
+
+
+def test_bus_bounded_subscriber_drops_oldest():
+    bus = IngestionBus()
+    sub = bus.subscribe(maxlen=4)
+    for i in range(10):
+        bus.publish({"i": i})
+    got = sub.drain_nowait()
+    assert [e["i"] for e in got] == [6, 7, 8, 9]
+    assert sub.dropped == 6
+    assert bus.stats()["published"] == 10
+
+
+def test_bus_close_ends_iteration():
+    bus = IngestionBus()
+    sub = bus.subscribe()
+    received = []
+
+    def consume():
+        for event in sub:
+            received.append(event)
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    bus.publish({"i": 0})
+    bus.publish({"i": 1})
+    bus.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert [e["i"] for e in received] == [0, 1]
+    # Post-close subscriptions are born with the close marker queued.
+    late = bus.subscribe()
+    assert late.drain_nowait() == []
+    assert late.closed
+
+
+def test_coerce_live():
+    assert coerce_live(None) is None
+    assert coerce_live(False) is None
+    assert coerce_live(True) == LiveSpec()
+    spec = LiveSpec(window=3)
+    assert coerce_live(spec) is spec
+    with pytest.raises(ValueError):
+        coerce_live(42)
+    with pytest.raises(ValueError):
+        LiveSpec(tier_factors=(10, 15))  # 15 not a multiple of 10
+
+
+# -- live profiling end-to-end (in-process) -----------------------------------
+
+WINDOW = 4
+
+
+@pytest.fixture(scope="module")
+def live_run():
+    """One live profiling run of two co-resident apps, with per-epoch
+    batch-vs-rolling parity checked inside the epoch callback."""
+    machine = Machine(spr_config(num_cores=2))
+    node = machine.cxl_node.node_id
+    apps = [
+        AppSpec(workload=build_app("541.leela_r", num_ops=1200, seed=7),
+                core=0, membind=node),
+        AppSpec(workload=build_app("505.mcf_r", num_ops=1200, seed=8),
+                core=1, membind=node),
+    ]
+    spec = ProfileSpec(apps=apps, epoch_cycles=25_000.0)
+    digests = []
+    mismatches = []
+    holder = {}
+
+    def on_epoch(digest):
+        digests.append(digest)
+        materializer = holder["pf"].materializer
+        for pid in materializer.tracked_pids():
+            series = (
+                materializer.db.from_(PATH_SET)
+                .where(pid=str(pid), path="DRd", dst="LLC")
+                .values("hits")
+            )
+            if not series:
+                continue
+            want = moving_average(series, WINDOW)[-1]
+            got = materializer.rolling_locality(pid)["mean"]
+            if got != pytest.approx(want, rel=1e-9, abs=1e-9):
+                mismatches.append((digest["epoch"], pid, got, want))
+
+    pf = PathFinder(machine, spec, live=LiveSpec(window=WINDOW),
+                    on_epoch=on_epoch)
+    holder["pf"] = pf
+    result = pf.run()
+    return pf, result, digests, mismatches
+
+
+def test_live_run_uses_live_materializer(live_run):
+    pf, result, digests, _ = live_run
+    assert isinstance(pf.materializer, LiveMaterializer)
+    assert len(digests) == len(result.epochs) > 0
+
+
+def test_live_rolling_mean_matches_batch_every_epoch(live_run):
+    _, _, _, mismatches = live_run
+    assert mismatches == []
+
+
+def test_live_forecast_matches_batch_over_stored_series(live_run):
+    pf, _, _, _ = live_run
+    materializer = pf.materializer
+    for pid in materializer.tracked_pids():
+        series = (
+            materializer.db.from_(PATH_SET)
+            .where(pid=str(pid), path="DRd", dst="LLC")
+            .values("hits")
+        )
+        got = materializer.rolling_locality(pid)["forecast"]
+        want = holt_winters(series, horizon=1)
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-7)
+
+
+def test_live_correlation_matches_batch(live_run):
+    pf, _, _, _ = live_run
+    materializer = pf.materializer
+    pids = materializer.tracked_pids()
+    assert len(pids) == 2
+    a, b = pids
+    assert materializer.rolling_correlate(a, b) == pytest.approx(
+        materializer.correlate(a, b), rel=1e-6, abs=1e-6
+    )
+
+
+def test_live_digests_are_json_safe_and_renderable(live_run):
+    _, _, digests, _ = live_run
+    for digest in digests:
+        json.dumps(digest)
+        assert digest["event"] == "epoch"
+    line = render_live_event(digests[-1])
+    assert "epoch" in line and "culprit=" in line
+
+
+def test_live_run_samples_queues(live_run):
+    pf, _, digests, _ = live_run
+    assert LIVE_QUEUES in pf.materializer.db
+    assert any("hot_queues" in digest for digest in digests)
+
+
+def test_live_batch_workflows_still_run_on_live_db(live_run):
+    pf, _, _, _ = live_run
+    report = pf.materializer.locality(pf.materializer.tracked_pids()[0])
+    assert report.hits_series
+
+
+# -- serving: /v1/live over HTTP ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("live-serve-cache")
+    from repro.serve import BackgroundServer
+
+    with BackgroundServer(workers=1, queue_depth=8,
+                          cache=str(cache_dir)) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    from repro.serve import ServeClient
+
+    return ServeClient(port=server.port)
+
+
+def serve_spec():
+    workload = build_app("541.leela_r", num_ops=600, seed=3)
+    app = AppSpec(
+        workload=workload, core=0, membind=cxl_node_id(spr_config())
+    )
+    return ProfileSpec(apps=[app], epoch_cycles=20_000.0)
+
+
+def test_live_job_streams_epoch_digests_while_in_flight(server, client):
+    events = []
+    done = threading.Event()
+
+    def consume():
+        try:
+            for event in client.live(timeout=120):
+                events.append(event)
+                if event.get("event") in ("done", "failed"):
+                    done.set()
+                    return
+        finally:
+            done.set()
+
+    streamer = threading.Thread(target=consume, daemon=True)
+    streamer.start()
+    time.sleep(0.2)
+    job = client.submit_run(serve_spec(), live={"window": 4},
+                            cacheable=False, tag="live-e2e")
+    final = client.wait(job["job_id"], timeout=300)
+    assert final["state"] == "done"
+    assert done.wait(timeout=30)
+    epochs = [e for e in events if e.get("event") == "epoch"]
+    assert len(epochs) == final["num_epochs"] > 0
+    for digest in epochs:
+        assert digest["job_id"] == job["job_id"]
+        assert "rolling" in digest and "culprit" in digest
+    # The per-job event log carries the same digests (NDJSON endpoint).
+    log = [e for e in client.events(job["job_id"], timeout=60)
+           if e.get("event") == "epoch"]
+    assert len(log) == final["num_epochs"]
+
+
+def test_live_stream_honors_max_events(server, client):
+    def pump():
+        # Lead-in so the streamer is subscribed before the first tick.
+        time.sleep(0.3)
+        for i in range(20):
+            server.daemon.live_bus.publish({"event": "tick", "i": i})
+            time.sleep(0.05)
+
+    threading.Thread(target=pump, daemon=True).start()
+    got = list(client.live(max_events=3, timeout=30))
+    assert got[0]["event"] == "hello"
+    assert [e["event"] for e in got[1:]] == ["tick"] * 3
+
+
+def test_fleet_merged_live_stream(server, client):
+    from repro.fleet import FleetCoordinator
+
+    def pump():
+        time.sleep(0.3)
+        for i in range(20):
+            server.daemon.live_bus.publish({"event": "tick", "i": i})
+            time.sleep(0.05)
+
+    threading.Thread(target=pump, daemon=True).start()
+    coordinator = FleetCoordinator([f"127.0.0.1:{server.port}"])
+    merged = list(coordinator.live_events(max_events=2, timeout=30))
+    ticks = [e for e in merged if e["event"] == "tick"]
+    assert len(ticks) == 2
+    assert all(e["member"] == f"127.0.0.1:{server.port}" for e in merged)
+
+
+def test_malformed_live_spec_is_rejected(client):
+    from repro.serve import ServeError
+
+    with pytest.raises(ServeError) as excinfo:
+        client.submit_run(serve_spec(), live={"window": -1})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.submit_run(serve_spec(), live={"bogus_knob": 1})
+    assert excinfo.value.status == 400

@@ -153,8 +153,16 @@ def test_pearsonr_properties():
     assert pearsonr([1, 2, 3], [5, 5, 5]) == 0.0
     with pytest.raises(ValueError):
         pearsonr([1, 2], [1, 2, 3])
-    with pytest.raises(ValueError):
-        pearsonr([1], [1])
+    # Degenerate (short/empty) series carry no signal: 0.0, not a raise.
+    assert pearsonr([1], [1]) == 0.0
+    assert pearsonr([], []) == 0.0
+
+
+def test_holt_winters_empty_series_empty_forecast():
+    assert holt_winters([], horizon=3) == []
+    # Constant series: flat forecast, no NaN.
+    forecast = holt_winters([5.0] * 8, horizon=2)
+    assert forecast == pytest.approx([5.0, 5.0])
 
 
 # -- clustering ---------------------------------------------------------------
