@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""cProfile hotspot dump for the engine hot path.
+
+Profiles each app x node cell of the fixed BENCH matrix (the same one
+``scripts/bench_engine.py`` measures) through the public ``api.run``
+path and prints the top-N functions by own-time, so perf PRs start from
+data instead of guesses.  Optionally profiles the steady-state warp
+matrix too (``--steady``), which is the path adaptive-fidelity runs
+exercise.
+
+Usage:
+    python scripts/profile_engine.py                    # all matrix cells
+    python scripts/profile_engine.py --app bfs --node cxl
+    python scripts/profile_engine.py --top 15 --sort cumulative
+    python scripts/profile_engine.py --steady           # warp path too
+    python scripts/profile_engine.py --dump results/profile
+        # also write one pstats file per cell for snakeviz/pstats
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+
+from bench_engine import STEADY_GAPS, _steady_job  # noqa: E402
+from bench_snapshot import MATRIX_APPS, MATRIX_NODES, make_job  # noqa: E402
+
+
+def profile_cell(tag: str, spec, config, top: int, sort: str,
+                 dump_dir: Path | None, fidelity=None) -> None:
+    profiler = cProfile.Profile()
+    kwargs = {"config": config, "cache": False}
+    if fidelity is not None:
+        kwargs["fidelity"] = fidelity
+    profiler.enable()
+    api.run(spec, **kwargs)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    print(f"=== {tag} (sorted by {sort}, top {top}) ===")
+    # Strip the boilerplate header lines down to the table.
+    lines = buffer.getvalue().splitlines()
+    start = next(
+        (i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")),
+        0,
+    )
+    total = next((line.strip() for line in lines if "function calls" in line), "")
+    if total:
+        print(total)
+    for line in lines[start:]:
+        print(line)
+    if dump_dir is not None:
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        out = dump_dir / f"{tag.replace('@', '_')}.prof"
+        stats.dump_stats(str(out))
+        print(f"(pstats dump: {out})")
+    print()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=4000,
+                        help="ops per app in the fixed matrix")
+    parser.add_argument("--app", choices=MATRIX_APPS, default=None,
+                        help="profile only this app")
+    parser.add_argument("--node", choices=MATRIX_NODES, default=None,
+                        help="profile only this node placement")
+    parser.add_argument("--top", type=int, default=20,
+                        help="functions to print per cell")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"],
+                        help="pstats sort key")
+    parser.add_argument("--steady", action="store_true",
+                        help="also profile the steady-state warp matrix "
+                             "(exact and adaptive fidelity)")
+    parser.add_argument("--steady-ops", type=int, default=8_000,
+                        help="ops per steady cell (kept small: profiling "
+                             "overhead is ~2x)")
+    parser.add_argument("--dump", default=None,
+                        help="directory for per-cell pstats dumps")
+    args = parser.parse_args()
+    dump_dir = Path(args.dump) if args.dump else None
+
+    apps = [args.app] if args.app else MATRIX_APPS
+    nodes = [args.node] if args.node else MATRIX_NODES
+    for app in apps:
+        for node in nodes:
+            job = make_job(app, node, args.ops)
+            for a in job.spec.apps:
+                a.workload.reseed()
+            profile_cell(job.tag, job.spec, job.config, args.top, args.sort,
+                         dump_dir)
+    if args.steady:
+        for gap in STEADY_GAPS:
+            for fidelity in ("exact", "adaptive"):
+                spec, config = _steady_job(gap, args.steady_ops)
+                profile_cell(f"steady@gap{gap:g}+{fidelity}", spec, config,
+                             args.top, args.sort, dump_dir,
+                             fidelity=fidelity)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

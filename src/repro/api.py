@@ -101,6 +101,7 @@ def run(
     fabric: Any = UNSET,
     shared_cache: Any = UNSET,
     live: Any = UNSET,
+    fidelity: Any = UNSET,
     on_epoch: Optional[Any] = None,
 ) -> ProfileResult:
     """Profile one spec and return its :class:`ProfileResult`.
@@ -129,11 +130,11 @@ def run(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
          "retries": retries, "trace": trace, "fabric": fabric,
-         "shared_cache": shared_cache, "live": live},
+         "shared_cache": shared_cache, "live": live, "fidelity": fidelity},
         api="run",
         defaults={"cache": None, "max_events": None, "timeout": None,
                   "retries": 0, "trace": None, "fabric": None,
-                  "shared_cache": None, "live": None},
+                  "shared_cache": None, "live": None, "fidelity": "exact"},
     )
     spec = apply_trace(spec, opts["trace"])
     if machine is not None or opts["live"] is not None:
@@ -166,7 +167,8 @@ def run(
         if opts["max_events"] is not None:
             machine.engine.set_event_budget(opts["max_events"])
         profiler = PathFinder(
-            machine, spec, live=opts["live"], on_epoch=on_epoch
+            machine, spec, live=opts["live"], on_epoch=on_epoch,
+            fidelity=opts["fidelity"],
         )
         return profiler.run()
     job = CampaignJob(
@@ -176,6 +178,7 @@ def run(
             opts["fabric"],
         ),
         max_events=opts["max_events"],
+        fidelity=opts["fidelity"],
     )
     campaign = run_campaign(
         [job],
@@ -200,10 +203,12 @@ def _collect_jobs(
 
     ``trace`` rewrites the job's spec (never mutating the caller's);
     ``max_events`` fills jobs that did not set their own budget;
-    ``fabric`` rewrites each job's machine config (a job whose config
-    already carries a different fabric is a conflict and raises).
+    ``fidelity`` fills jobs still at the exact default; ``fabric``
+    rewrites each job's machine config (a job whose config already
+    carries a different fabric is a conflict and raises).
     """
     fabric = opts.get("fabric")
+    fidelity = opts.get("fidelity")
     jobs: List[CampaignJob] = []
     for i, item in enumerate(specs):
         tag = tags[i] if tags is not None else ""
@@ -216,6 +221,8 @@ def _collect_jobs(
                 changes["spec"] = spec
             if opts.get("max_events") is not None and item.max_events is None:
                 changes["max_events"] = opts["max_events"]
+            if fidelity not in (None, "exact") and item.fidelity == "exact":
+                changes["fidelity"] = fidelity
             if fabric is not None:
                 if item.config.fabric is not None:
                     raise ValueError(
@@ -234,6 +241,7 @@ def _collect_jobs(
                     ),
                     tag=tag,
                     max_events=opts.get("max_events"),
+                    fidelity=opts.get("fidelity") or "exact",
                 )
             )
     return jobs
@@ -253,6 +261,7 @@ def run_many(
     trace: Any = UNSET,
     fabric: Any = UNSET,
     shared_cache: Any = UNSET,
+    fidelity: Any = UNSET,
     tags: Optional[Sequence[str]] = None,
 ) -> CampaignResult:
     """Execute a campaign of profiling jobs; see :func:`repro.exec.run_campaign`.
@@ -269,11 +278,11 @@ def run_many(
         options,
         {"cache": cache, "max_events": max_events, "timeout": timeout,
          "retries": retries, "trace": trace, "fabric": fabric,
-         "shared_cache": shared_cache},
+         "shared_cache": shared_cache, "fidelity": fidelity},
         api="run_many",
         defaults={"cache": True, "max_events": None, "timeout": None,
                   "retries": 1, "trace": None, "fabric": None,
-                  "shared_cache": None},
+                  "shared_cache": None, "fidelity": "exact"},
     )
     jobs = _collect_jobs(specs, config, tags, opts)
     campaign = run_campaign(
@@ -326,7 +335,7 @@ def fleet_run_many(
         {},
         api="fleet_run_many",
         defaults={"max_events": None, "timeout": None, "trace": None,
-                  "fabric": None},
+                  "fabric": None, "fidelity": "exact"},
     )
     if opts["timeout"] is not None:
         if "job_timeout" in shard_options:

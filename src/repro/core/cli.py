@@ -58,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="route CXL traffic through a switched multi-host fabric "
              "preset (see docs/FABRIC.md)",
     )
+    run.add_argument(
+        "--fidelity", choices=["exact", "adaptive"], default="exact",
+        help="adaptive fast-forwards steady-state epochs by "
+             "extrapolating counters (see docs/ENGINE.md)",
+    )
 
     apps = sub.add_parser("list-apps", help="show the application catalog")
     apps.add_argument("--suite", default=None)
@@ -109,6 +114,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None, metavar="PRESET",
         help="also grid over switched-fabric preset(s) (repeatable; "
              "jobs run app x node x {direct, presets...})",
+    )
+    campaign.add_argument(
+        "--fidelity", choices=["exact", "adaptive"], default="exact",
+        help="adaptive fast-forwards steady-state epochs; non-exact "
+             "fidelity is part of each job's cache key",
     )
 
     trace = sub.add_parser(
@@ -349,7 +359,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for i, name in enumerate(args.app):
         workload = build_app(name, num_ops=args.ops, seed=args.seed + i)
         specs.append(AppSpec(workload=workload, core=i, membind=node))
-    profiler = PathFinder(machine, ProfileSpec(apps=specs, epoch_cycles=args.epoch))
+    profiler = PathFinder(
+        machine,
+        ProfileSpec(apps=specs, epoch_cycles=args.epoch),
+        fidelity=args.fidelity,
+    )
     result = profiler.run()
     if args.per_epoch:
         for epoch_result in result.epochs:
@@ -357,6 +371,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # render_session already appends the CXL fabric section when the
     # final snapshot carries switch-port estimates.
     print(render_session(result))
+    if result.warp is not None:
+        report = result.warp
+        print(
+            f"warp: {len(report.events)} fast-forward(s), "
+            f"{report.epochs_skipped:.1f} epochs "
+            f"({report.cycles_skipped:.0f} cycles) skipped"
+            + (", aborted on divergence" if report.aborted else "")
+        )
     return 0
 
 
@@ -388,7 +410,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 tag = f"{name}@{node}" + (f"+{fabric}" if fabric else "")
                 jobs.append(CampaignJob(spec=spec,
                                         config=apply_fabric(config, fabric),
-                                        tag=tag))
+                                        tag=tag,
+                                        fidelity=args.fidelity))
     cache = False if args.no_cache else (args.cache_dir or True)
     campaign = api.run_many(
         jobs,

@@ -77,16 +77,19 @@ def result_to_document(result: ProfileResult) -> Dict:
             for (scope, event), value in snapshot.delta.items()
             if value
         ]
-        epochs.append(
-            {
-                "epoch": epoch.epoch,
-                "snapshot_id": snapshot.snapshot_id,
-                "t_start": snapshot.t_start,
-                "t_end": snapshot.t_end,
-                "flow_ids": [f.flow_id for f in snapshot.flows],
-                "delta": delta,
-            }
-        )
+        entry = {
+            "epoch": epoch.epoch,
+            "snapshot_id": snapshot.snapshot_id,
+            "t_start": snapshot.t_start,
+            "t_end": snapshot.t_end,
+            "flow_ids": [f.flow_id for f in snapshot.flows],
+            "delta": delta,
+        }
+        if snapshot.warped:
+            # Only present when true: exact sessions round-trip
+            # byte-identically to the pre-warp format.
+            entry["warped"] = True
+        epochs.append(entry)
         for flow in snapshot.flows:
             flows_by_id[flow.flow_id] = flow
     for flow in result.flows:
@@ -100,6 +103,8 @@ def result_to_document(result: ProfileResult) -> Dict:
     }
     if result.trace is not None:
         document["trace"] = result.trace.to_dict()
+    if result.warp is not None:
+        document["warp"] = result.warp.to_dict()
     return document
 
 
@@ -127,6 +132,7 @@ def session_from_document(document: Dict) -> "LoadedSession":
             t_end=epoch["t_end"],
             delta=delta,
             flows=[flows[fid] for fid in epoch["flow_ids"] if fid in flows],
+            warped=bool(epoch.get("warped", False)),
         )
         snapshot.snapshot_id = epoch["snapshot_id"]
         snapshots.append(snapshot)
@@ -181,6 +187,10 @@ def result_from_document(document: Dict) -> ProfileResult:
         from ..obs import TraceReport
 
         result.trace = TraceReport.from_dict(document["trace"])
+    if document.get("warp") is not None:
+        from ..sim.warp import WarpReport
+
+        result.warp = WarpReport.from_dict(document["warp"])
     return result
 
 

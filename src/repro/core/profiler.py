@@ -19,6 +19,7 @@ logger = logging.getLogger(__name__)
 
 from ..obs import FlightRecorder, TraceReport, persist_trace
 from ..sim.machine import Machine
+from ..sim.warp import WarpController, WarpReport, coerce_fidelity
 from .analyzer import AnalyzerReport, PFAnalyzer
 from .builder import PFBuilder, PathMap
 from .estimator import PFEstimator, StallBreakdown
@@ -53,6 +54,9 @@ class ProfileResult:
     total_cycles: float = 0.0
     # Flight-recorder output; None unless the spec carried a TraceSpec.
     trace: Optional[TraceReport] = None
+    # Fast-forward audit trail; None unless fidelity was adaptive AND at
+    # least one warp fired (exact runs never carry a report).
+    warp: Optional[WarpReport] = None
 
     @property
     def num_epochs(self) -> int:
@@ -80,9 +84,14 @@ class PathFinder:
         spec: ProfileSpec,
         live=None,
         on_epoch=None,
+        fidelity=None,
     ) -> None:
         self.machine = machine
         self.spec = spec
+        warp_spec = coerce_fidelity(fidelity)
+        self.warp: Optional[WarpController] = None
+        if warp_spec is not None:
+            self.warp = WarpController(machine, warp_spec, spec.epoch_cycles)
         self.builder = PFBuilder()
         self.estimator = PFEstimator()
         self.analyzer = PFAnalyzer()
@@ -228,8 +237,16 @@ class PathFinder:
             if self.spec.mode is ProfilingMode.CONTINUOUS:
                 result.epochs.append(epoch_result)
             result.final = epoch_result
+            if self.warp is not None:
+                # Exact epochs feed the steady-state detector (and judge
+                # the verification epoch after a warp); once armed, skip
+                # ahead before paying for the next simulated epoch.
+                self.warp.observe(snapshot.delta)
+                epoch = self._maybe_warp(epoch, result)
         result.flows = self.flows.flows_of()
         result.total_cycles = self.machine.now
+        if self.warp is not None and self.warp.report.events:
+            result.warp = self.warp.report
         if self.recorder is not None:
             result.trace = self.recorder.report()
             persist_trace(
@@ -238,6 +255,48 @@ class PathFinder:
         if self.live_bus is not None:
             self.live_bus.close()
         return result
+
+    def _maybe_warp(self, epoch: int, result: ProfileResult) -> int:
+        """Fast-forward if the warp is armed; returns the advanced epoch.
+
+        A successful warp compresses ``skip_epochs`` epochs into one
+        synthetic :class:`EpochResult` (its snapshot is flagged
+        ``warped``) and advances the epoch counter by the span it covers,
+        so ``max_epochs`` bounds the same amount of simulated work either
+        way.  The next loop iteration then runs exactly - that is the
+        verification epoch the controller judges in ``observe``.
+        """
+        assert self.warp is not None
+        if (
+            not self.warp.armed
+            or self._pending_starts > 0
+            or self.machine.all_idle
+            or epoch >= self.spec.max_epochs
+        ):
+            return epoch
+        attempt = self.warp.attempt()
+        if attempt is None:
+            return epoch
+        steady, scale, event = attempt
+        now = self.machine.now
+        epoch += max(1, int(round(scale)))
+        event.epoch = epoch
+        live = [
+            f
+            for f in self.flows.flows_of()
+            if f.alive or (f.ended_at is not None and f.ended_at > event.t_start)
+        ]
+        if self.recorder is not None:
+            self.recorder.epoch_mark(now)
+            self.recorder.warp_mark(event.t_start, now)
+        snapshot = self._taker.take_extrapolated(now, steady, scale, flows=live)
+        epoch_result = self._process(epoch, snapshot)
+        if self.live is not None:
+            self._publish_epoch(epoch_result)
+        if self.spec.mode is ProfilingMode.CONTINUOUS:
+            result.epochs.append(epoch_result)
+        result.final = epoch_result
+        return epoch
 
     def _publish_epoch(self, epoch_result: EpochResult) -> None:
         """Stream one epoch's digest to live consumers (bus + callback)."""

@@ -165,6 +165,11 @@ def render_campaign(campaign) -> str:
         f" {summary['wall_time']:.2f}s wall,"
         f" {summary['total_events']:.0f} events"
     )
+    if summary.get("spawn_failures"):
+        lines.append(
+            f"pool: {summary['spawn_failures']} worker spawn failure(s); "
+            "affected jobs degraded to in-process execution"
+        )
     return "\n".join(lines)
 
 

@@ -7,7 +7,10 @@
 * :mod:`~repro.exec.cache` - a ``results/cache/`` store of session
   digests keyed by those hashes;
 * :mod:`~repro.exec.runner` - the scheduler: worker-pool fan-out,
-  per-job timeout, bounded retries, structured per-job records.
+  per-job timeout, bounded retries, structured per-job records;
+* :mod:`~repro.exec.pool` - the warm :class:`WorkerPool` behind it:
+  persistent forkserver workers, length-prefixed pipe protocol,
+  per-worker job quotas and timeout-kill-respawn.
 
 Most users want :func:`repro.api.run_many`, which wraps all of this.
 """
@@ -28,6 +31,7 @@ from .hashing import (
     job_key,
     local_node_id,
 )
+from .pool import PoolSpawnError, WorkerPool
 from .runner import (
     CampaignJob,
     CampaignResult,
@@ -45,7 +49,9 @@ __all__ = [
     "CampaignJob",
     "CampaignResult",
     "JobRecord",
+    "PoolSpawnError",
     "ResultCache",
+    "WorkerPool",
     "canonical_config",
     "canonical_spec",
     "code_fingerprint",

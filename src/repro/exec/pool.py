@@ -1,0 +1,559 @@
+"""Warm worker pool: persistent profiling workers, recycled not respawned.
+
+The campaign runner and the serve daemon historically paid one
+``Process.start()`` per job.  That is robust - a crashed or hung job can
+never poison the parent - but for short jobs the spawn dominates: a
+fresh interpreter (spawn) or a fork of a large parent re-pays import
+and setup cost on every single job.  :class:`WorkerPool` keeps a fixed
+set of worker processes alive across jobs and feeds them over a pipe,
+preserving the per-job isolation properties that matter:
+
+* **forkserver start method** - workers are forked from a clean,
+  single-threaded server process, never from the (multi-threaded,
+  asyncio-running) daemon itself, so the pool is safe to own from
+  threaded parents; falls back to the platform default where
+  forkserver is unavailable.
+* **length-prefixed frames** - every message on the pipe is
+  ``<u64 little-endian length><pickle payload>``.  A worker killed
+  mid-write leaves a truncated frame; the explicit length turns that
+  into a detected :class:`PoolProtocolError` (-> the job is reported
+  ``crashed``) instead of an arbitrary unpickling error.
+* **recycling** - after ``max_jobs_per_worker`` jobs a worker is
+  retired and a fresh one spawned lazily, bounding any slow leak a
+  long-lived simulation process might accumulate.
+* **timeout-kill-respawn** - a job exceeding its wall-clock budget gets
+  its worker killed (the only way to stop a stuck simulation); the
+  pool replaces the worker on the next dispatch.
+
+Two driving styles, one pool:
+
+* :meth:`WorkerPool.dispatch` / :meth:`WorkerPool.poll` - non-blocking,
+  for the campaign scheduler's single-threaded drain loop;
+* :meth:`WorkerPool.run_job` - blocking and thread-safe, for the serve
+  daemon's worker threads (each call leases one worker for the whole
+  conversation).
+
+Use one style per pool instance; interleaving them on the same pool is
+not supported.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import multiprocessing.connection
+import pickle
+import struct
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+logger = logging.getLogger(__name__)
+
+_LENGTH = struct.Struct("<Q")
+
+#: Default recycling horizon: one worker serves this many jobs.
+DEFAULT_MAX_JOBS_PER_WORKER = 32
+
+
+class PoolProtocolError(Exception):
+    """A frame on the worker pipe was truncated or malformed."""
+
+
+class PoolSpawnError(OSError):
+    """A worker process could not be started (fd/process limits, ...).
+
+    Subclasses :class:`OSError` so call sites that already degrade on
+    spawn failure (campaign drain, serve executor) catch it unchanged.
+    """
+
+
+def _send_frame(conn, message: Any) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_frame(conn) -> Any:
+    blob = conn.recv_bytes()
+    if len(blob) < _LENGTH.size:
+        raise PoolProtocolError(f"short frame: {len(blob)} bytes")
+    (length,) = _LENGTH.unpack_from(blob)
+    payload = blob[_LENGTH.size:]
+    if len(payload) != length:
+        raise PoolProtocolError(
+            f"truncated frame: header says {length}, got {len(payload)}"
+        )
+    return pickle.loads(payload)
+
+
+def _pool_worker_main(conn, max_jobs: Optional[int]) -> None:
+    """Entry point of one persistent worker: serve jobs until retired."""
+    from ..sim.engine import SimulationBudgetExceeded
+    from .runner import _execute_job
+
+    served = 0
+    while True:
+        try:
+            message = _recv_frame(conn)
+        except (EOFError, OSError, PoolProtocolError):
+            break
+        if not isinstance(message, dict) or message.get("op") != "job":
+            break  # "exit" or anything unexpected: retire quietly
+        progress = None
+        if message.get("live"):
+
+            def progress(digest, _conn=conn):
+                try:
+                    _send_frame(_conn, {"live": digest})
+                except (OSError, ValueError):
+                    pass  # parent went away; keep simulating for the cache
+
+        try:
+            outcome = _execute_job(
+                message["spec"],
+                message["config"],
+                message.get("max_events"),
+                message.get("setup"),
+                live=message.get("live"),
+                progress=progress,
+                fidelity=message.get("fidelity"),
+            )
+        except SimulationBudgetExceeded as exc:
+            outcome = {
+                "ok": False,
+                "kind": "budget_exceeded",
+                "error": str(exc),
+                "events_executed": exc.events_executed,
+                "total_cycles": exc.now,
+            }
+        except Exception:
+            outcome = {
+                "ok": False,
+                "kind": "error",
+                "error": traceback.format_exc(limit=20),
+            }
+        try:
+            _send_frame(conn, outcome)
+        except (OSError, ValueError):
+            break
+        served += 1
+        if max_jobs is not None and served >= max_jobs:
+            break
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle for one pool worker process."""
+
+    __slots__ = ("proc", "conn", "jobs_done", "ticket", "began", "deadline",
+                 "on_progress")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.jobs_done = 0
+        self.ticket: Any = None          # None = idle
+        self.began = 0.0
+        self.deadline: Optional[float] = None
+        self.on_progress: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.ticket is not None
+
+
+def _pool_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # platform without forkserver
+        return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A fixed-size pool of warm, recyclable profiling workers."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        max_jobs_per_worker: Optional[int] = DEFAULT_MAX_JOBS_PER_WORKER,
+        start_method: Optional[str] = None,
+        metrics_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_jobs_per_worker is not None and max_jobs_per_worker < 1:
+            raise ValueError("max_jobs_per_worker must be >= 1 or None")
+        self.workers = workers
+        self.max_jobs_per_worker = max_jobs_per_worker
+        self._ctx = _pool_context(start_method)
+        self._lock = threading.RLock()
+        self._idle_cv = threading.Condition(self._lock)
+        self._pool: List[_Worker] = []
+        self._closed = False
+        #: Worker processes that failed to start (process/fd limits);
+        #: surfaced in campaign summaries and the daemon's /metricsz.
+        self.spawn_failures = 0
+        #: Workers retired after serving max_jobs_per_worker jobs.
+        self.recycled = 0
+        #: Worker processes started over the pool's lifetime.
+        self.spawned = 0
+        self._metrics_hook = metrics_hook
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _note(self, event: str) -> None:
+        if self._metrics_hook is not None:
+            try:
+                self._metrics_hook(event)
+            except Exception:  # noqa: BLE001 - metrics must never break jobs
+                logger.exception("pool metrics hook failed")
+
+    def _spawn_locked(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        try:
+            proc = self._ctx.Process(
+                target=_pool_worker_main,
+                args=(child_conn, self.max_jobs_per_worker),
+                daemon=True,
+            )
+            proc.start()
+        except OSError as exc:
+            parent_conn.close()
+            child_conn.close()
+            self.spawn_failures += 1
+            self._note("spawn_failure")
+            raise PoolSpawnError(f"could not start pool worker: {exc}") from exc
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        self._pool.append(worker)
+        self.spawned += 1
+        self._note("spawned")
+        return worker
+
+    def _acquire_locked(self) -> Optional[_Worker]:
+        """An idle live worker, spawning up to ``workers``; None if full."""
+        for worker in self._pool:
+            if not worker.busy and not worker.proc.is_alive():
+                self._retire_locked(worker, kill=True)
+        for worker in self._pool:
+            if not worker.busy:
+                return worker
+        if len(self._pool) < self.workers:
+            return self._spawn_locked()
+        return None
+
+    def _retire_locked(self, worker: _Worker, kill: bool) -> None:
+        if worker in self._pool:
+            self._pool.remove(worker)
+        if kill:
+            if worker.proc.is_alive():
+                worker.proc.kill()
+        else:
+            try:
+                _send_frame(worker.conn, {"op": "exit"})
+            except (OSError, ValueError):
+                pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=2.0)
+        if worker.proc.is_alive():
+            worker.proc.kill()
+            worker.proc.join(timeout=2.0)
+
+    def _release_locked(self, worker: _Worker) -> None:
+        """Return a worker after a completed job; recycle when due."""
+        worker.ticket = None
+        worker.on_progress = None
+        worker.deadline = None
+        worker.jobs_done += 1
+        if (self.max_jobs_per_worker is not None
+                and worker.jobs_done >= self.max_jobs_per_worker):
+            self._retire_locked(worker, kill=False)
+            self.recycled += 1
+            self._note("recycled")
+        self._idle_cv.notify_all()
+
+    def close(self) -> None:
+        """Retire every worker; the pool is unusable afterwards."""
+        with self._lock:
+            self._closed = True
+            for worker in list(self._pool):
+                self._retire_locked(worker, kill=worker.busy)
+            self._idle_cv.notify_all()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- non-blocking API (campaign drain loop) --------------------------
+
+    @property
+    def busy_count(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._pool if w.busy)
+
+    @property
+    def has_capacity(self) -> bool:
+        with self._lock:
+            return sum(1 for w in self._pool if w.busy) < self.workers
+
+    def dispatch(
+        self,
+        ticket: Any,
+        spec,
+        config,
+        *,
+        max_events: Optional[int] = None,
+        setup: Optional[Callable] = None,
+        fidelity: Any = None,
+        timeout: Optional[float] = None,
+        live: Any = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        """Hand one job to an idle worker (spawning one if below size).
+
+        Raises :class:`PoolSpawnError` when no worker can be started and
+        :class:`RuntimeError` when called with every worker busy (check
+        :attr:`has_capacity` first).  The outcome arrives via
+        :meth:`poll`, tagged with ``ticket``.
+        """
+        message = {
+            "op": "job",
+            "spec": spec,
+            "config": config,
+            "max_events": max_events,
+            "setup": setup,
+            "fidelity": fidelity,
+            "live": live,
+        }
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            for _ in range(2):  # one retry if a leased worker died stale
+                worker = self._acquire_locked()
+                if worker is None:
+                    raise RuntimeError("dispatch with no idle worker")
+                worker.ticket = ticket
+                worker.began = time.monotonic()
+                worker.deadline = (worker.began + timeout) if timeout else None
+                worker.on_progress = on_progress
+                try:
+                    _send_frame(worker.conn, message)
+                    return
+                except (OSError, ValueError):
+                    self._retire_locked(worker, kill=True)
+            raise PoolSpawnError("pool worker died before accepting a job")
+
+    def poll(self, timeout: float = 0.0) -> List[Tuple[Any, Dict[str, Any]]]:
+        """Completed ``(ticket, outcome)`` pairs; waits up to ``timeout``.
+
+        Covers all three terminal paths: a worker's outcome frame, a
+        worker dead without one (``crashed``), and a job past its
+        deadline (``timeout``, worker killed).  Every outcome carries
+        ``wall_time``.
+        """
+        with self._lock:
+            busy = [w for w in self._pool if w.busy]
+        if not busy:
+            if timeout:
+                time.sleep(timeout)
+            return []
+        ready = multiprocessing.connection.wait(
+            [w.conn for w in busy], timeout
+        )
+        ready_set = set(ready)
+        completed: List[Tuple[Any, Dict[str, Any]]] = []
+        now = time.monotonic()
+        with self._lock:
+            for worker in busy:
+                if not worker.busy:
+                    continue  # raced with close()
+                outcome: Optional[Dict[str, Any]] = None
+                crashed = False
+                if worker.conn in ready_set:
+                    outcome, crashed = self._drain_worker_locked(worker)
+                if outcome is None and not crashed:
+                    if worker.deadline is not None and now > worker.deadline:
+                        wall = now - worker.began
+                        outcome = {
+                            "ok": False,
+                            "kind": "timeout",
+                            "error": f"job exceeded its {wall:.1f}s "
+                                     "wall-clock budget",
+                        }
+                        ticket = worker.ticket
+                        self._retire_locked(worker, kill=True)
+                        worker.ticket = None
+                        self._idle_cv.notify_all()
+                        outcome["wall_time"] = wall
+                        completed.append((ticket, outcome))
+                        continue
+                    if not worker.proc.is_alive():
+                        crashed = True
+                if crashed and outcome is None:
+                    outcome = {
+                        "ok": False,
+                        "kind": "crashed",
+                        "error": f"pool worker exited with code "
+                                 f"{worker.proc.exitcode} before reporting "
+                                 "a result",
+                    }
+                if outcome is None:
+                    continue  # still running
+                wall = time.monotonic() - worker.began
+                ticket = worker.ticket
+                if crashed:
+                    self._retire_locked(worker, kill=True)
+                    worker.ticket = None
+                    self._idle_cv.notify_all()
+                else:
+                    self._release_locked(worker)
+                outcome["wall_time"] = wall
+                completed.append((ticket, outcome))
+        return completed
+
+    def _drain_worker_locked(
+        self, worker: _Worker
+    ) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """Read buffered frames; returns ``(outcome, crashed)``."""
+        while True:
+            try:
+                message = _recv_frame(worker.conn)
+            except (EOFError, OSError, PoolProtocolError,
+                    pickle.UnpicklingError):
+                return None, True
+            if isinstance(message, dict) and "ok" not in message:
+                if worker.on_progress is not None and "live" in message:
+                    try:
+                        worker.on_progress(message["live"])
+                    except Exception:  # noqa: BLE001
+                        logger.exception("live progress callback failed")
+                if worker.conn.poll(0):
+                    continue
+                return None, False
+            return message, False
+
+    # -- blocking API (serve worker threads) -----------------------------
+
+    def run_job(
+        self,
+        spec,
+        config,
+        *,
+        max_events: Optional[int] = None,
+        setup: Optional[Callable] = None,
+        timeout: Optional[float] = None,
+        live: Any = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        fidelity: Any = None,
+    ) -> Dict[str, Any]:
+        """Execute one job on a leased pool worker; blocks until done.
+
+        Drop-in for :func:`repro.exec.runner.run_single_job`: same
+        outcome dicts, same wall-clock enforcement (the leased worker is
+        killed and replaced on timeout), but without the per-job spawn.
+        Thread-safe: callers beyond the pool size queue for an idle
+        worker.  Raises :class:`PoolSpawnError` when no worker can be
+        started at all.
+        """
+        began = time.monotonic()
+        lease = object()
+        with self._idle_cv:
+            while True:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                worker = self._acquire_locked()
+                if worker is not None:
+                    worker.ticket = lease
+                    worker.began = began
+                    worker.deadline = (began + timeout) if timeout else None
+                    break
+                self._idle_cv.wait(0.1)
+        message = {
+            "op": "job",
+            "spec": spec,
+            "config": config,
+            "max_events": max_events,
+            "setup": setup,
+            "fidelity": fidelity,
+            "live": live,
+        }
+        outcome = self._converse(worker, message, timeout, on_progress)
+        outcome["wall_time"] = time.monotonic() - began
+        return outcome
+
+    def _converse(self, worker, message, timeout, on_progress):
+        """The leased conversation: send the job, await its outcome."""
+        try:
+            _send_frame(worker.conn, message)
+        except (OSError, ValueError):
+            with self._idle_cv:
+                self._retire_locked(worker, kill=True)
+                worker.ticket = None
+                self._idle_cv.notify_all()
+            return {
+                "ok": False,
+                "kind": "crashed",
+                "error": "pool worker died before accepting the job",
+            }
+        deadline = worker.deadline
+        while True:
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if remaining is not None and remaining <= 0:
+                with self._idle_cv:
+                    self._retire_locked(worker, kill=True)
+                    worker.ticket = None
+                    self._idle_cv.notify_all()
+                return {
+                    "ok": False,
+                    "kind": "timeout",
+                    "error": f"job exceeded its {timeout:.1f}s wall-clock "
+                             "budget",
+                }
+            wait = 0.1 if remaining is None else min(0.1, remaining)
+            if worker.conn.poll(wait):
+                try:
+                    received = _recv_frame(worker.conn)
+                except (EOFError, OSError, PoolProtocolError,
+                        pickle.UnpicklingError):
+                    received = None
+                if received is None:
+                    with self._idle_cv:
+                        self._retire_locked(worker, kill=True)
+                        worker.ticket = None
+                        self._idle_cv.notify_all()
+                    return {
+                        "ok": False,
+                        "kind": "crashed",
+                        "error": f"pool worker exited with code "
+                                 f"{worker.proc.exitcode} before reporting "
+                                 "a result",
+                    }
+                if isinstance(received, dict) and "ok" not in received:
+                    if on_progress is not None and "live" in received:
+                        on_progress(received["live"])
+                    continue
+                with self._idle_cv:
+                    self._release_locked(worker)
+                return received
+            if not worker.proc.is_alive() and not worker.conn.poll(0):
+                with self._idle_cv:
+                    self._retire_locked(worker, kill=True)
+                    worker.ticket = None
+                    self._idle_cv.notify_all()
+                return {
+                    "ok": False,
+                    "kind": "crashed",
+                    "error": f"pool worker exited with code "
+                             f"{worker.proc.exitcode} before reporting "
+                             "a result",
+                }

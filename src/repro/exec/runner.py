@@ -38,8 +38,10 @@ from ..core.spec import ProfileSpec
 from ..sim.engine import SimulationBudgetExceeded
 from ..sim.machine import Machine
 from ..sim.topology import MachineConfig, spr_config
+from ..sim.warp import fidelity_token
 from .cache import ResultCache, coerce_cache
 from .hashing import job_key
+from .pool import PoolSpawnError, WorkerPool
 
 logger = logging.getLogger(__name__)
 
@@ -71,12 +73,20 @@ class CampaignJob:
     #: Deliberately NOT part of the cache key - live mode changes what is
     #: streamed while the job runs, not the profiling result document.
     live: Any = None
+    #: ``"exact"`` | ``"adaptive"`` | :class:`repro.sim.warp.WarpSpec`.
+    #: Non-exact fidelity IS part of the cache key: warped counters are
+    #: extrapolations and must never shadow exact results (the default
+    #: leaves existing keys untouched).
+    fidelity: Any = "exact"
 
     def key(self) -> str:
         # The setup hook is part of the job's content: a partial's bound
         # arguments (e.g. tiering on/off) must key distinct entries.
         extra = self.key_extra if self.setup is None else [self.setup,
                                                            self.key_extra]
+        token = fidelity_token(self.fidelity)
+        if token is not None:
+            extra = ["fidelity", token, extra]
         return job_key(
             self.spec, self.config, max_events=self.max_events, extra=extra
         )
@@ -130,6 +140,11 @@ class CampaignResult:
     results: List[Optional[ProfileResult]]
     wall_time: float = 0.0
     workers: int = 1
+    #: Pool workers that failed to start (process/fd limits); those jobs
+    #: degraded to in-process execution instead of being lost.
+    spawn_failures: int = 0
+    #: Pool workers retired after serving their per-worker job quota.
+    workers_recycled: int = 0
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -172,6 +187,8 @@ class CampaignResult:
             "wall_time": self.wall_time,
             "total_events": sum(j.events_executed for j in self.jobs),
             "total_sim_cycles": sum(j.total_cycles for j in self.jobs),
+            "spawn_failures": self.spawn_failures,
+            "workers_recycled": self.workers_recycled,
         }
 
 
@@ -185,6 +202,7 @@ def _execute_job(
     setup: Optional[Callable[[Machine, ProfileSpec], None]],
     live: Any = None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    fidelity: Any = None,
 ) -> Dict[str, Any]:
     """Run one profiling session; returns a transportable outcome dict.
 
@@ -199,7 +217,8 @@ def _execute_job(
             reseed()
     if setup is not None:
         setup(machine, spec)
-    profiler = PathFinder(machine, spec, live=live, on_epoch=progress)
+    profiler = PathFinder(machine, spec, live=live, on_epoch=progress,
+                          fidelity=fidelity)
     if max_events is not None:
         # Bound the whole session, not each epoch: the engine's persistent
         # budget composes across the profiler's per-epoch run() calls and
@@ -215,7 +234,8 @@ def _execute_job(
     }
 
 
-def _worker_main(conn, spec, config, max_events, setup, live=None) -> None:
+def _worker_main(conn, spec, config, max_events, setup, live=None,
+                 fidelity=None) -> None:
     """Entry point of a single-job worker process.
 
     With ``live``, per-epoch digests are interleaved on the pipe as
@@ -234,7 +254,8 @@ def _worker_main(conn, spec, config, max_events, setup, live=None) -> None:
     try:
         try:
             outcome = _execute_job(
-                spec, config, max_events, setup, live=live, progress=progress
+                spec, config, max_events, setup, live=live, progress=progress,
+                fidelity=fidelity,
             )
         except SimulationBudgetExceeded as exc:
             outcome = {
@@ -264,6 +285,7 @@ def run_single_job(
     timeout: Optional[float] = None,
     live: Any = None,
     on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    fidelity: Any = None,
 ) -> Dict[str, Any]:
     """Execute one job in a dedicated worker process; returns its outcome.
 
@@ -282,7 +304,7 @@ def run_single_job(
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_worker_main,
-        args=(child_conn, spec, config, max_events, setup, live),
+        args=(child_conn, spec, config, max_events, setup, live, fidelity),
         daemon=True,
     )
     began = time.monotonic()
@@ -296,7 +318,7 @@ def run_single_job(
         try:
             outcome = _execute_job(
                 spec, config, max_events, setup, live=live,
-                progress=on_progress,
+                progress=on_progress, fidelity=fidelity,
             )
         except SimulationBudgetExceeded as exc:
             outcome = {
@@ -384,6 +406,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     backoff: float = 0.25,
+    pool: Optional[WorkerPool] = None,
 ) -> CampaignResult:
     """Execute ``jobs``, returning per-job results and records.
 
@@ -393,6 +416,10 @@ def run_campaign(
     spaced by ``backoff * 2**(attempt-1)`` seconds.  A job that exhausts
     its attempts contributes a failed :class:`JobRecord` (with the last
     failure kind and message) while every other job still completes.
+
+    Cache misses run on a warm :class:`~repro.exec.pool.WorkerPool`
+    (workers persist across jobs); pass ``pool`` to reuse one across
+    campaigns - the caller then owns its lifetime.
     """
     jobs = list(jobs)
     cache_obj = coerce_cache(cache)
@@ -486,9 +513,11 @@ def run_campaign(
     run_parallel = parallel and len(pending) > 0 and (
         (workers > 1 and len(pending) > 1) or wants_timeout
     )
+    pool_stats: Dict[str, int] = {}
     if run_parallel:
-        _drain_parallel(jobs, records, pending, workers, timeout,
-                        finalize_ok, note_failure, backoff)
+        pool_stats = _drain_parallel(jobs, records, pending, workers, timeout,
+                                     finalize_ok, note_failure, backoff,
+                                     pool=pool)
     else:
         _drain_serial(jobs, records, pending, finalize_ok, note_failure,
                       backoff)
@@ -504,6 +533,8 @@ def run_campaign(
         results=results,
         wall_time=time.monotonic() - started,
         workers=workers if run_parallel else 1,
+        spawn_failures=pool_stats.get("spawn_failures", 0),
+        workers_recycled=pool_stats.get("workers_recycled", 0),
     )
     return campaign
 
@@ -524,7 +555,7 @@ def _drain_serial(jobs, records, pending, finalize_ok, note_failure,
         began = time.monotonic()
         try:
             outcome = _execute_job(job.spec, job.config, job.max_events,
-                                   job.setup)
+                                   job.setup, fidelity=job.fidelity)
         except SimulationBudgetExceeded as exc:
             failed = {"events_executed": exc.events_executed,
                       "total_cycles": exc.now}
@@ -543,37 +574,19 @@ def _drain_serial(jobs, records, pending, finalize_ok, note_failure,
 
 
 def _drain_parallel(jobs, records, pending, workers, timeout, finalize_ok,
-                    note_failure, backoff) -> None:
-    """Fan pending jobs over single-job worker processes."""
-    ctx = multiprocessing.get_context()
-    running: Dict[int, Dict[str, Any]] = {}
+                    note_failure, backoff,
+                    pool: Optional[WorkerPool] = None) -> Dict[str, int]:
+    """Fan pending jobs over the warm worker pool.
+
+    Workers persist across jobs (see :mod:`repro.exec.pool`); the pool
+    enforces per-job deadlines by killing and replacing the worker, and
+    recycles workers after their job quota.  Returns the pool's spawn /
+    recycle statistics for the campaign summary.
+    """
+    own_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(workers=workers)
     not_before: Dict[int, float] = {}
-
-    def launch(i: int) -> None:
-        job, record = jobs[i], records[i]
-        record.attempts += 1
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(child_conn, job.spec, job.config, job.max_events, job.setup),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        limit = job.timeout if job.timeout is not None else timeout
-        running[i] = {
-            "proc": proc,
-            "conn": parent_conn,
-            "began": time.monotonic(),
-            "deadline": (time.monotonic() + limit) if limit else None,
-        }
-
-    def reap(i: int, state: Dict[str, Any]) -> None:
-        state["conn"].close()
-        state["proc"].join(timeout=5.0)
-        if state["proc"].is_alive():
-            state["proc"].kill()
-            state["proc"].join(timeout=5.0)
 
     def retry_or_fail(i: int, kind: str, message, outcome, wall) -> None:
         if note_failure(i, kind, message, outcome, wall):
@@ -582,76 +595,64 @@ def _drain_parallel(jobs, records, pending, workers, timeout, finalize_ok,
             )
             pending.append(("run", i, 0))
 
-    while pending or running:
-        # Launch as many ready jobs as there are free workers.
-        deferred = []
-        while pending and len(running) < workers:
-            kind, i, extra = pending.popleft()
-            if kind == "dup":
-                if records[extra].status == "pending":
-                    deferred.append((kind, i, extra))  # twin not done yet
-                else:
-                    _resolve_duplicate(jobs, records, pending, i, extra)
-                continue
-            if not_before.get(i, 0.0) > time.monotonic():
-                deferred.append((kind, i, extra))
-                continue
-            try:
-                launch(i)
-            except OSError as exc:  # e.g. process limit: degrade to serial
-                logger.warning("worker spawn failed (%s); running %s "
-                               "in-process", exc, records[i].tag)
-                deferred.append((kind, i, extra))
-                if not running:
-                    _drain_serial(jobs, records,
-                                  deque(deferred + list(pending)),
-                                  finalize_ok, note_failure, backoff)
-                    pending.clear()
-                    deferred = []
-                break
-        pending.extendleft(reversed(deferred))
-
-        if not running:
-            if pending:
-                time.sleep(_POLL_S)
-            continue
-
-        time.sleep(_POLL_S)
-        for i, state in list(running.items()):
-            proc, conn = state["proc"], state["conn"]
-            wall = time.monotonic() - state["began"]
-            outcome = None
-            if conn.poll():
+    try:
+        while pending or pool.busy_count:
+            # Launch as many ready jobs as there are free workers.
+            deferred = []
+            while pending and pool.has_capacity:
+                kind, i, extra = pending.popleft()
+                if kind == "dup":
+                    if records[extra].status == "pending":
+                        deferred.append((kind, i, extra))  # twin not done yet
+                    else:
+                        _resolve_duplicate(jobs, records, pending, i, extra)
+                    continue
+                if not_before.get(i, 0.0) > time.monotonic():
+                    deferred.append((kind, i, extra))
+                    continue
+                job, record = jobs[i], records[i]
+                record.attempts += 1
+                limit = job.timeout if job.timeout is not None else timeout
                 try:
-                    outcome = conn.recv()
-                except (EOFError, OSError):
-                    outcome = None
-            if outcome is not None:
-                del running[i]
-                reap(i, state)
+                    pool.dispatch(
+                        i, job.spec, job.config, max_events=job.max_events,
+                        setup=job.setup, fidelity=job.fidelity, timeout=limit,
+                    )
+                except PoolSpawnError as exc:  # process limit: go serial
+                    logger.warning("pool worker spawn failed (%s); running "
+                                   "%s in-process", exc, record.tag)
+                    record.attempts -= 1  # the serial path re-counts it
+                    deferred.append((kind, i, extra))
+                    if not pool.busy_count:
+                        _drain_serial(jobs, records,
+                                      deque(deferred + list(pending)),
+                                      finalize_ok, note_failure, backoff)
+                        pending.clear()
+                        deferred = []
+                    break
+            pending.extendleft(reversed(deferred))
+
+            if not pool.busy_count:
+                if pending:
+                    time.sleep(_POLL_S)
+                continue
+
+            for i, outcome in pool.poll(_POLL_S):
+                wall = float(outcome.get("wall_time", 0.0))
                 if outcome.get("ok"):
                     finalize_ok(i, outcome, wall)
                 else:
                     retry_or_fail(i, outcome.get("kind", "error"),
                                   outcome.get("error"), outcome, wall)
-            elif state["deadline"] is not None and \
-                    time.monotonic() > state["deadline"]:
-                del running[i]
-                proc.terminate()
-                reap(i, state)
-                retry_or_fail(
-                    i, "timeout",
-                    f"job exceeded its {wall:.1f}s wall-clock budget",
-                    None, wall,
-                )
-            elif not proc.is_alive():
-                del running[i]
-                reap(i, state)
-                retry_or_fail(
-                    i, "crashed",
-                    f"worker exited with code {proc.exitcode} before "
-                    "reporting a result", None, wall,
-                )
+    finally:
+        stats = {
+            "spawn_failures": pool.spawn_failures,
+            "workers_recycled": pool.recycled,
+            "workers_spawned": pool.spawned,
+        }
+        if own_pool:
+            pool.close()
+    return stats
 
 
 def _resolve_duplicate(jobs, records, pending, i: int, twin: int) -> None:

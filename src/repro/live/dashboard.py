@@ -48,6 +48,8 @@ def epoch_digest(
         "rolling": rolling,
         "correlations": correlations,
     }
+    if getattr(snapshot, "warped", False):
+        doc["warped"] = True
     if queues:
         doc["hot_queues"] = queues
     return doc

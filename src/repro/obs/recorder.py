@@ -119,6 +119,9 @@ class TraceReport:
     # cache name -> {"hits": n, "misses": n}
     cache_lookups: Dict[str, Dict[str, int]] = field(default_factory=dict)
     traces: List[RequestTrace] = field(default_factory=list)
+    # Fast-forwarded spans as [t_start, t_end] cycle pairs - dashboards
+    # must render these as extrapolated, not measured (repro.sim.warp).
+    warp_spans: List[List[float]] = field(default_factory=list)
 
     def stage_mean_residency(self) -> Dict[str, float]:
         return {
@@ -153,6 +156,7 @@ class TraceReport:
             "queue_occupancy": self.queue_occupancy,
             "cache_lookups": self.cache_lookups,
             "traces": [t.to_dict() for t in self.traces],
+            "warp_spans": self.warp_spans,
         }
 
     @classmethod
@@ -172,6 +176,9 @@ class TraceReport:
             },
             cache_lookups=data.get("cache_lookups", {}),
             traces=[RequestTrace.from_dict(t) for t in data.get("traces", [])],
+            warp_spans=[
+                [float(a), float(b)] for a, b in data.get("warp_spans", [])
+            ],
         )
 
 
@@ -197,6 +204,7 @@ class FlightRecorder:
         self._queue_marks: Dict[str, Tuple[float, float]] = {}
         self._queue_series: Dict[str, List[List[float]]] = {}
         self._cache_lookups: Dict[str, Dict[str, int]] = {}
+        self._warp_spans: List[List[float]] = []
         self._start = engine.now
 
     # -- sampling --------------------------------------------------------
@@ -281,6 +289,12 @@ class FlightRecorder:
             self._queue_series[name].append([now, mean])
             self._queue_marks[name] = (now, stats.occupancy_integral)
 
+    # -- warp events -----------------------------------------------------
+
+    def warp_mark(self, t_start: float, t_end: float) -> None:
+        """Record one fast-forwarded span (see :mod:`repro.sim.warp`)."""
+        self._warp_spans.append([t_start, t_end])
+
     # -- cache events ----------------------------------------------------
 
     def on_cache_lookup(self, name: str, hit: bool) -> None:
@@ -305,6 +319,7 @@ class FlightRecorder:
                 for name, counts in self._cache_lookups.items()
             },
             traces=list(self.traces),
+            warp_spans=[list(span) for span in self._warp_spans],
         )
         for trace in self.traces:
             for component, t_enq, t_deq in trace.intervals():

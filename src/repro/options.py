@@ -89,6 +89,12 @@ class RunOptions:
       ingests into a retention-tiered TSDB and publishes per-epoch
       digests while in flight (``run`` only - campaign verbs reject it;
       submit live jobs through serve to stream ``/v1/live``).
+    * ``fidelity`` - ``"exact"`` (default: every epoch fully simulated)
+      or ``"adaptive"`` (steady-state epochs fast-forwarded and
+      extrapolated, see :mod:`repro.sim.warp`); a
+      :class:`~repro.sim.warp.WarpSpec` tunes the detector.  Non-exact
+      fidelity participates in the cache key - warped counters are
+      extrapolations, never interchangeable with exact results.
     """
 
     cache: Any = UNSET
@@ -99,6 +105,7 @@ class RunOptions:
     fabric: Any = UNSET
     shared_cache: Any = UNSET
     live: Any = UNSET
+    fidelity: Any = UNSET
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -166,6 +173,10 @@ def _validate(field: str, value: Any) -> Any:
         from .live.spec import coerce_live
 
         value = coerce_live(value)
+    elif field == "fidelity":
+        from .sim.warp import coerce_fidelity
+
+        coerce_fidelity(value)  # validates; the raw value travels on
     return value
 
 

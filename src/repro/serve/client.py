@@ -136,6 +136,7 @@ class ServeClient:
         max_events: Optional[int] = None,
         cacheable: bool = True,
         live: Any = False,
+        fidelity: Any = None,
     ) -> Dict[str, Any]:
         body: Dict[str, Any] = {
             "spec": spec_to_document(spec),
@@ -154,6 +155,10 @@ class ServeClient:
                 body["live"] = dataclasses.asdict(live)
             else:
                 body["live"] = live
+        if fidelity is not None and fidelity != "exact":
+            from ..sim.warp import fidelity_token
+
+            body["fidelity"] = fidelity_token(fidelity)
         return body
 
     # -- submission ------------------------------------------------------
@@ -169,6 +174,7 @@ class ServeClient:
         max_events: Optional[int] = None,
         cacheable: bool = True,
         live: Any = False,
+        fidelity: Any = None,
         retry_on_busy: bool = False,
         max_wait: float = 300.0,
     ) -> Dict[str, Any]:
@@ -177,10 +183,14 @@ class ServeClient:
         ``live=True`` (or a :class:`~repro.live.LiveSpec`) asks the
         daemon to stream per-epoch digests into the job's event log and
         the daemon-wide ``/v1/live`` firehose (see :meth:`live`).
+        ``fidelity="adaptive"`` (or a :class:`~repro.sim.warp.WarpSpec`)
+        enables steady-state fast-forwarding; the fidelity is part of
+        the job's cache key.
         """
         body = self._submission(spec, config, tag=tag, priority=priority,
                                 timeout=timeout, max_events=max_events,
-                                cacheable=cacheable, live=live)
+                                cacheable=cacheable, live=live,
+                                fidelity=fidelity)
         deadline = time.monotonic() + max_wait
         while True:
             try:

@@ -73,9 +73,11 @@ from ..durable.tenants import (
     valid_tenant_name,
 )
 from ..exec.cache import ResultCache, coerce_cache
+from ..exec.pool import WorkerPool
 from ..exec.runner import CampaignJob
 from ..live.bus import IngestionBus
 from ..live.spec import LiveSpec
+from ..sim.warp import WarpSpec, coerce_fidelity, fidelity_token
 from .executor import JobExecutor
 from .jobs import DONE, JobStore, ServeJob, counters_from_session
 from .metrics import ServeMetrics
@@ -151,7 +153,15 @@ class ServeDaemon:
         #: ``GET /v1/live`` endpoint streams it as NDJSON.
         self.live_bus = IngestionBus()
         self.metrics = ServeMetrics()
-        self.executor = JobExecutor(self.cache, self.metrics, retries=retries)
+        #: Warm worker pool shared by the daemon's worker threads; jobs
+        #: reuse persistent forkserver processes instead of paying one
+        #: spawn each (pool counters land in /metricsz as ``pool_*``).
+        self.worker_pool = WorkerPool(
+            workers=max(1, workers),
+            metrics_hook=lambda event: self.metrics.inc(f"pool_{event}"),
+        )
+        self.executor = JobExecutor(self.cache, self.metrics, retries=retries,
+                                    pool=self.worker_pool)
         self._seq = itertools.count()
         self._campaigns = itertools.count(1)
         self._queue: Optional[WeightedFairQueue] = None
@@ -239,6 +249,7 @@ class ServeDaemon:
         self._server.close()
         await self._server.wait_closed()
         self._pool.shutdown(wait=True)
+        self.worker_pool.close()
         if self.journal is not None:
             self.journal.close()
         logger.info("drained; exiting")
@@ -352,6 +363,17 @@ class ServeDaemon:
             live = live_doc
         else:
             raise BadRequest('"live" must be a bool or a LiveSpec object')
+        fidelity_doc = body.get("fidelity", "exact")
+        try:
+            if isinstance(fidelity_doc, dict):
+                fidelity: Any = WarpSpec.from_dict(fidelity_doc)
+            else:
+                fidelity = coerce_fidelity(fidelity_doc) or "exact"
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(
+                f'"fidelity" must be "exact", "adaptive" or a WarpSpec '
+                f"object: {exc}"
+            ) from exc
         job = CampaignJob(
             spec=spec,
             config=config,
@@ -360,6 +382,7 @@ class ServeDaemon:
             max_events=int(max_events) if max_events is not None else None,
             cacheable=bool(body.get("cacheable", True)),
             live=live,
+            fidelity=fidelity,
         )
         journal_doc = {
             "spec": body["spec"],
@@ -371,6 +394,7 @@ class ServeDaemon:
             "max_events": job.max_events,
             "cacheable": job.cacheable,
             "live": live_doc,
+            "fidelity": fidelity_token(fidelity) or "exact",
         }
         return job, priority, tag, journal_doc
 

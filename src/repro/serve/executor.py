@@ -2,10 +2,11 @@
 
 Each daemon worker hands one :class:`~repro.serve.jobs.ServeJob` at a
 time to :meth:`JobExecutor.execute`, which runs on a thread but does all
-the heavy lifting in a dedicated worker *process* via
-:func:`repro.exec.runner.run_single_job` - the same entry point, outcome
-dicts and wall-clock enforcement as the campaign pool, so a hung or
-crashed simulation can never take the daemon down.
+the heavy lifting in a worker *process* - a leased worker from the warm
+:class:`~repro.exec.pool.WorkerPool` when one is configured, else a
+one-shot process via :func:`repro.exec.runner.run_single_job`.  Either
+way the outcome dicts and wall-clock enforcement match the campaign
+pool, so a hung or crashed simulation can never take the daemon down.
 
 The executor shares one :class:`~repro.exec.cache.ResultCache` across
 every client of the daemon: a result computed for one caller is a warm
@@ -20,6 +21,7 @@ import time
 from typing import Optional
 
 from ..exec.cache import ResultCache
+from ..exec.pool import PoolSpawnError, WorkerPool
 from ..exec.runner import run_single_job
 from .jobs import DONE, FAILED, RUNNING, ServeJob, counters_from_session
 from .metrics import ServeMetrics
@@ -37,11 +39,15 @@ class JobExecutor:
         *,
         retries: int = 0,
         backoff: float = 0.25,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.cache = cache
         self.metrics = metrics
         self.retries = retries
         self.backoff = backoff
+        #: Warm worker pool jobs run on when set; a pool spawn failure
+        #: degrades to the one-shot :func:`run_single_job` path.
+        self.pool = pool
 
     def execute(self, record: ServeJob) -> None:
         """Drive one job to a terminal state (never raises)."""
@@ -80,15 +86,7 @@ class JobExecutor:
         while True:
             record.attempts += 1
             record.publish("attempt", attempt=record.attempts)
-            outcome = run_single_job(
-                record.job.spec,
-                record.job.config,
-                max_events=record.job.max_events,
-                setup=record.job.setup,
-                timeout=record.job.timeout,
-                live=record.job.live,
-                on_progress=on_progress,
-            )
+            outcome = self._run_attempt(record, on_progress)
             record.wall_time += float(outcome.get("wall_time", 0.0))
             if outcome.get("ok"):
                 break
@@ -118,6 +116,34 @@ class JobExecutor:
             except OSError as exc:
                 logger.warning("could not persist %s: %s", record.key, exc)
         self._finish_done(record, document, cache_hit=False)
+
+    def _run_attempt(self, record: ServeJob, on_progress) -> dict:
+        """One execution attempt: warm pool first, one-shot fallback."""
+        if self.pool is not None:
+            try:
+                return self.pool.run_job(
+                    record.job.spec,
+                    record.job.config,
+                    max_events=record.job.max_events,
+                    setup=record.job.setup,
+                    timeout=record.job.timeout,
+                    live=record.job.live,
+                    on_progress=on_progress,
+                    fidelity=record.job.fidelity,
+                )
+            except (PoolSpawnError, RuntimeError) as exc:
+                logger.warning("pool unavailable for %s (%s); falling back "
+                               "to a one-shot worker", record.job_id, exc)
+        return run_single_job(
+            record.job.spec,
+            record.job.config,
+            max_events=record.job.max_events,
+            setup=record.job.setup,
+            timeout=record.job.timeout,
+            live=record.job.live,
+            on_progress=on_progress,
+            fidelity=record.job.fidelity,
+        )
 
     # -- terminal transitions --------------------------------------------
 

@@ -209,6 +209,35 @@ class Core:
     def running(self) -> bool:
         return self._running
 
+    def skip_ops(self, count: int) -> int:
+        """Consume up to ``count`` ops without simulating them.
+
+        The warp fast-forward (:mod:`repro.sim.warp`) uses this to retire
+        steady-state work analytically: the ops are drawn from the
+        workload iterator and booked as completed instructions, but no
+        requests enter the memory hierarchy - the skipped span's counters
+        are extrapolated by the caller instead.  Returns the number of
+        ops actually consumed (less than ``count`` when the workload runs
+        dry; exhaustion still fires through the normal ``_next_op`` path
+        so the done callback and idle accounting stay untouched).
+        """
+        if not self._running or self._workload is None or count <= 0:
+            return 0
+        skipped = 0
+        retired = 0.0
+        workload = self._workload
+        while skipped < count:
+            try:
+                op = next(workload)
+            except StopIteration:
+                break
+            retired += 1.0 + op.gap
+            skipped += 1
+        if retired:
+            self.pmu.add(self.scope, "inst_retired.any", retired)
+        self.ops_completed += skipped
+        return skipped
+
     def request_preempt(
         self, handover: Callable[[Iterator[MemOp], Optional[Callable[[], None]]], None]
     ) -> None:
@@ -267,8 +296,14 @@ class Core:
     # -- stall accounting ----------------------------------------------------
 
     def _stalled(self, start: float, reason: str, request: Optional[MemRequest]) -> None:
-        """Book a blocked interval ``[start, now)`` against PMU counters."""
-        duration = self.engine.now - start
+        """Book a blocked interval ``[start, now)`` against PMU counters.
+
+        The interval is measured with :meth:`Engine.elapsed`, which
+        excludes fast-forwarded spans - a stall in flight across a warp
+        already had its skipped cycles extrapolated into the warped
+        epoch's counters.
+        """
+        duration = self.engine.elapsed(start)
         if duration <= 0:
             return
         if reason == "sb":
@@ -583,7 +618,8 @@ class Core:
             return
         sum_key, count_key = _LAT_KEYS[request.serve_location]
         self.pmu.add(self.scope, sum_key,
-                     request.completion_time - request.issue_time)
+                     self.engine.elapsed(request.issue_time,
+                                         request.completion_time))
         self.pmu.add(self.scope, count_key)
 
     # -- prefetch issue -----------------------------------------------------

@@ -1,0 +1,404 @@
+"""Adaptive-fidelity fast-forward: skip converged steady-state epochs.
+
+Full-fidelity discrete-event simulation spends most of its wall-clock on
+phases where nothing changes: every epoch issues the same mix of loads
+and stores, the queues sit at the same depths, and the PMU deltas repeat
+within noise.  CXL-DMSim-style full-system simulators close that gap by
+*fast-forwarding* converged phases analytically instead of dispatching
+their events one by one, and PathFinder's epoch-structured profiles make
+the convergence trivially observable.
+
+The protocol implemented here:
+
+1. A :class:`SteadyStateDetector` watches per-epoch PMU deltas (queue
+   occupancies are time-integral counters, so they are covered by the
+   same comparison).  After ``steady_epochs`` consecutive epochs agree
+   within ``tolerance`` relative error, the warp is *armed*.
+2. :class:`WarpController.attempt` then skips ``skip_epochs`` epochs at
+   once: it consumes the corresponding operations from each core's
+   workload iterator (:meth:`~repro.sim.core.Core.skip_ops`), teleports
+   the event queue with :meth:`~repro.sim.engine.Engine.fast_forward`
+   (pending events keep their relative offsets, so in-flight work and
+   every parked :class:`~repro.sim.engine.Waiter` survive), and emits one
+   *synthetic* epoch snapshot whose counter delta is the natural
+   over-the-jump movement (time integrals, op completions) backfilled
+   with ``skip_epochs x`` the steady per-epoch delta for event counters.
+3. The next simulated epoch is a *verification epoch*: it runs exactly,
+   and its delta is compared against the steady profile.  On agreement
+   the warp stays armed (the cadence becomes one exact epoch per
+   ``skip_epochs`` skipped); on divergence the warp aborts - the detector
+   resets and full fidelity resumes until steadiness is re-established.
+
+``fidelity="exact"`` (the default everywhere) never instantiates any of
+this, so cache keys and existing results are untouched;
+``fidelity="adaptive"`` opts a run in with the default :class:`WarpSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+CounterKey = Tuple[str, str]
+
+__all__ = [
+    "WarpSpec",
+    "WarpEvent",
+    "WarpReport",
+    "SteadyStateDetector",
+    "WarpController",
+    "coerce_fidelity",
+    "fidelity_token",
+]
+
+
+@dataclass(frozen=True)
+class WarpSpec:
+    """Tuning knobs for the adaptive-fidelity warp.
+
+    * ``steady_epochs`` - consecutive agreeing epochs required to arm.
+    * ``skip_epochs`` - epochs extrapolated per warp.
+    * ``tolerance`` - relative disagreement allowed both when detecting
+      steadiness and when checking the post-warp verification epoch.
+      Deviations also get a Poisson-style allowance of
+      ``3 * sqrt(count)``, so low-count counters (which jitter by tens of
+      percent even in perfect steady state) do not hold the warp hostage.
+    * ``min_magnitude`` - counters whose per-epoch delta never exceeds
+      this are ignored by the comparison (tiny counters are all jitter).
+    """
+
+    steady_epochs: int = 3
+    skip_epochs: int = 8
+    tolerance: float = 0.2
+    min_magnitude: float = 8.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "steady_epochs": self.steady_epochs,
+            "skip_epochs": self.skip_epochs,
+            "tolerance": self.tolerance,
+            "min_magnitude": self.min_magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WarpSpec":
+        return cls(
+            steady_epochs=int(data.get("steady_epochs", 3)),
+            skip_epochs=int(data.get("skip_epochs", 8)),
+            tolerance=float(data.get("tolerance", 0.2)),
+            min_magnitude=float(data.get("min_magnitude", 8.0)),
+        )
+
+
+def coerce_fidelity(value: Any) -> Optional[WarpSpec]:
+    """Normalise a ``fidelity`` option into ``Optional[WarpSpec]``.
+
+    ``None``/``"exact"`` mean full fidelity (no warp machinery at all);
+    ``"adaptive"`` selects the default :class:`WarpSpec`; a ``WarpSpec``
+    passes through for full control.
+    """
+    if value is None or value == "exact":
+        return None
+    if value == "adaptive":
+        return WarpSpec()
+    if isinstance(value, WarpSpec):
+        return value
+    raise ValueError(
+        f"fidelity must be 'exact', 'adaptive' or a WarpSpec, got {value!r}"
+    )
+
+
+def fidelity_token(value: Any) -> Any:
+    """The cache-key contribution of a ``fidelity`` setting.
+
+    Returns ``None`` for exact fidelity - the key must not change for
+    existing results - and a stable, JSON-serialisable token otherwise
+    (``fidelity`` participates in the job key because warped counters are
+    extrapolations, not measurements).
+    """
+    spec = coerce_fidelity(value)
+    if spec is None:
+        return None
+    if spec == WarpSpec():
+        return "adaptive"
+    return spec.to_dict()
+
+
+class SteadyStateDetector:
+    """Arms after K consecutive epochs whose PMU deltas agree.
+
+    Each incoming epoch delta is compared against the *mean* of the
+    current agreeing window.  Agreement is judged on the
+    magnitude-weighted aggregate deviation
+
+        ``D = sum_k |a_k - b_k| / sum_k max(|a_k|, |b_k|)  <=  tolerance``
+
+    rather than per-counter relative error: queue-occupancy integrals
+    fluctuate by tens of percent epoch-to-epoch even in perfect steady
+    state (they sample instantaneous depth), and a per-counter gate would
+    hold the warp hostage to that burstiness while the workload-defining
+    high-volume counters sit rock steady.  A weight-proportional
+    criterion keys off exactly those dominant counters.  As a guard
+    against a *small* counter exploding unnoticed (a new path lighting
+    up at 1% weight), any counter carrying at least 1% of the total
+    magnitude must additionally stay within ``4 * tolerance`` relative
+    error plus a ``3 * sqrt(count)`` shot-noise allowance.  A
+    disagreeing epoch restarts the window, disarming the warp.
+    """
+
+    def __init__(self, spec: WarpSpec) -> None:
+        self.spec = spec
+        self._window: List[Dict[CounterKey, float]] = []
+        self._mean: Optional[Dict[CounterKey, float]] = None
+
+    @property
+    def armed(self) -> bool:
+        return len(self._window) >= self.spec.steady_epochs
+
+    @property
+    def steady_delta(self) -> Optional[Dict[CounterKey, float]]:
+        """The per-epoch delta warps extrapolate from.
+
+        This is the *latest* agreeing epoch, not the window mean: the
+        window may still contain warm-up epochs (they pass the
+        magnitude-weighted aggregate test because the dominant
+        time-integral counters are steady from the start, while small
+        event counters are still ramping), and a mean polluted by
+        warm-up systematically under-extrapolates those ramps.  The
+        newest entry is, by definition of arming, a fully steady epoch;
+        the mean remains the smoothed reference for *matching*.
+        """
+        return dict(self._window[-1]) if self.armed else None
+
+    def reset(self) -> None:
+        self._window = []
+        self._mean = None
+
+    def matches(self, delta: Mapping[CounterKey, float],
+                reference: Mapping[CounterKey, float]) -> bool:
+        tolerance = self.spec.tolerance
+        floor = self.spec.min_magnitude
+        deviation = 0.0
+        total = 0.0
+        guarded: List[Tuple[float, float]] = []
+        for key in delta.keys() | reference.keys():
+            a = delta.get(key, 0.0)
+            b = reference.get(key, 0.0)
+            magnitude = max(abs(a), abs(b))
+            if magnitude <= floor:
+                continue
+            deviation += abs(a - b)
+            total += magnitude
+            guarded.append((magnitude, abs(a - b)))
+        if total <= 0.0:
+            return True
+        if deviation > tolerance * total:
+            return False
+        weight_floor = 0.01 * total
+        for magnitude, diff in guarded:
+            if magnitude < weight_floor:
+                continue
+            if diff > 4.0 * tolerance * magnitude + 3.0 * magnitude ** 0.5:
+                return False
+        return True
+
+    def _recompute_mean(self) -> None:
+        window = self._window
+        totals: Dict[CounterKey, float] = {}
+        for delta in window:
+            for key, value in delta.items():
+                totals[key] = totals.get(key, 0.0) + value
+        inv = 1.0 / len(window)
+        self._mean = {key: value * inv for key, value in totals.items()}
+
+    def observe(self, delta: Mapping[CounterKey, float]) -> bool:
+        """Feed one exact epoch's delta; returns whether the warp is armed."""
+        snapshot = dict(delta)
+        if self._mean is not None and self.matches(snapshot, self._mean):
+            self._window.append(snapshot)
+            if len(self._window) > max(self.spec.steady_epochs, 1) * 2:
+                # Keep the window bounded (and responsive to slow drift).
+                self._window.pop(0)
+        else:
+            self._window = [snapshot]
+        self._recompute_mean()
+        return self.armed
+
+
+@dataclass
+class WarpEvent:
+    """One fast-forward: a skipped span and its verification outcome."""
+
+    epoch: int
+    t_start: float
+    t_end: float
+    epochs_skipped: float
+    ops_skipped: int
+    #: None until the verification epoch runs; then True (agreed) or
+    #: False (diverged - the warp was aborted and fidelity restored).
+    verified: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "epochs_skipped": self.epochs_skipped,
+            "ops_skipped": self.ops_skipped,
+            "verified": self.verified,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WarpEvent":
+        return cls(
+            epoch=int(data["epoch"]),
+            t_start=float(data["t_start"]),
+            t_end=float(data["t_end"]),
+            epochs_skipped=float(data["epochs_skipped"]),
+            ops_skipped=int(data["ops_skipped"]),
+            verified=data.get("verified"),
+        )
+
+
+@dataclass
+class WarpReport:
+    """All warps of one profiling session."""
+
+    spec: WarpSpec = field(default_factory=WarpSpec)
+    events: List[WarpEvent] = field(default_factory=list)
+
+    @property
+    def cycles_skipped(self) -> float:
+        return sum(e.t_end - e.t_start for e in self.events)
+
+    @property
+    def epochs_skipped(self) -> float:
+        return sum(e.epochs_skipped for e in self.events)
+
+    @property
+    def ops_skipped(self) -> int:
+        return sum(e.ops_skipped for e in self.events)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for e in self.events if e.verified is False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "events": [e.to_dict() for e in self.events],
+            "cycles_skipped": self.cycles_skipped,
+            "epochs_skipped": self.epochs_skipped,
+            "ops_skipped": self.ops_skipped,
+            "aborted": self.aborted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WarpReport":
+        return cls(
+            spec=WarpSpec.from_dict(data.get("spec", {})),
+            events=[WarpEvent.from_dict(e) for e in data.get("events", [])],
+        )
+
+
+class WarpController:
+    """Drives the detect / skip / verify protocol for one session.
+
+    Owned by :class:`~repro.core.profiler.PathFinder` when the run's
+    ``fidelity`` is adaptive; the profiler feeds it every exact epoch via
+    :meth:`observe` and offers it the chance to skip via :meth:`attempt`.
+    """
+
+    def __init__(self, machine: Any, spec: WarpSpec,
+                 epoch_cycles: float) -> None:
+        self.machine = machine
+        self.spec = spec
+        self.epoch_cycles = epoch_cycles
+        self.detector = SteadyStateDetector(spec)
+        self.report = WarpReport(spec=spec)
+        self._pending_verify: Optional[WarpEvent] = None
+        #: The extrapolation basis: the latest exact epoch that did NOT
+        #: immediately follow a warp.  Post-warp verification epochs are
+        #: microarchitecturally cold (the jump drains prefetch and cache
+        #: pipelines), so using them as the basis would systematically
+        #: under-extrapolate hit-path counters warp after warp.
+        self._basis: Optional[Dict[CounterKey, float]] = None
+
+    @property
+    def armed(self) -> bool:
+        return self.detector.armed
+
+    def observe(self, delta: Mapping[CounterKey, float]) -> None:
+        """Feed one exact epoch's delta (also verifies a pending warp)."""
+        pending = self._pending_verify
+        if pending is not None:
+            self._pending_verify = None
+            reference = self.detector.steady_delta
+            agreed = reference is not None and self.detector.matches(
+                delta, reference
+            )
+            pending.verified = bool(agreed)
+            if not agreed:
+                # Diverged: abort the warp and re-earn steadiness from
+                # scratch at full fidelity.
+                self.detector.reset()
+                self._basis = None
+        else:
+            # Only epochs that are not post-warp verification epochs may
+            # become the extrapolation basis (see ``_basis`` above).
+            self._basis = dict(delta)
+        self.detector.observe(delta)
+
+    def attempt(self) -> Optional[Tuple[Dict[CounterKey, float], float,
+                                        WarpEvent]]:
+        """Skip ahead if armed; returns (steady_delta, scale, event).
+
+        The caller (PathFinder) turns the result into a synthetic epoch
+        snapshot via ``SnapshotTaker.take_extrapolated(steady, scale)``.
+        Returns ``None`` when not armed or when no core has measurable
+        steady throughput to skip.
+        """
+        steady = self.detector.steady_delta
+        if steady is None or self._pending_verify is not None:
+            return None
+        if self._basis is not None:
+            steady = self._basis
+        machine = self.machine
+        skip = self.spec.skip_epochs
+        # Per-core op budget from the steady profile; a core with no
+        # throughput in the window contributes nothing (it may be parked
+        # on a full queue - its pending events shift with the jump).
+        targets: List[Tuple[Any, int]] = []
+        for core in machine.cores:
+            rate = steady.get((core.scope, "app.ops_completed"), 0.0)
+            target = int(round(rate * skip))
+            if target > 0 and core.running:
+                targets.append((core, target))
+        if not targets:
+            return None
+        # Consume the skipped operations from the workload iterators; a
+        # shortfall (workload nearly exhausted) scales the whole warp
+        # down so counters stay proportional to the ops actually skipped.
+        fraction = 1.0
+        ops_skipped = 0
+        for core, target in targets:
+            actual = core.skip_ops(target)
+            ops_skipped += actual
+            if actual < target:
+                fraction = min(fraction, actual / target)
+        if ops_skipped == 0:
+            return None
+        scale = skip * fraction
+        span = self.epoch_cycles * scale
+        t_start = machine.now
+        machine.engine.fast_forward(span)
+        event = WarpEvent(
+            epoch=0,  # the caller stamps the epoch index
+            t_start=t_start,
+            t_end=machine.now,
+            epochs_skipped=scale,
+            ops_skipped=ops_skipped,
+        )
+        self.report.events.append(event)
+        self._pending_verify = event
+        return steady, scale, event

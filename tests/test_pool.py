@@ -1,0 +1,186 @@
+"""Warm worker pool: framing, leasing, recycling, kill-respawn, degrade.
+
+The pool must preserve every robustness property of the old
+process-per-job path - timeouts kill the worker, crashes are typed
+outcomes, spawn failure degrades instead of losing jobs - while
+actually reusing workers across jobs (the whole point).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.spec import AppSpec, ProfileSpec
+from repro.exec.pool import (
+    PoolProtocolError,
+    PoolSpawnError,
+    WorkerPool,
+    _recv_frame,
+    _send_frame,
+)
+from repro.exec.runner import CampaignJob, run_campaign
+from repro.sim.machine import Machine
+from repro.sim.topology import spr_config
+from repro.workloads import SequentialStream
+
+CONFIG = spr_config(num_cores=2)
+
+
+def tiny_spec(seed=1, num_ops=200, max_epochs=50):
+    workload = SequentialStream(num_ops=num_ops, working_set_bytes=1 << 20,
+                                gap=2.0, seed=seed)
+    machine = Machine(CONFIG)
+    return ProfileSpec(
+        apps=[AppSpec(workload=workload, core=0,
+                      membind=machine.cxl_node.node_id)],
+        epoch_cycles=20_000.0, max_epochs=max_epochs,
+    )
+
+
+def endless_spec():
+    return tiny_spec(seed=7, num_ops=2_000_000, max_epochs=1_000_000)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class _LoopbackConn:
+    def __init__(self):
+        self.sent = []
+
+    def send_bytes(self, blob):
+        self.sent.append(blob)
+
+    def recv_bytes(self):
+        return self.sent.pop(0)
+
+
+def test_frame_round_trip():
+    conn = _LoopbackConn()
+    message = {"op": "job", "payload": list(range(100))}
+    _send_frame(conn, message)
+    assert _recv_frame(conn) == message
+
+
+def test_truncated_frame_is_a_protocol_error():
+    conn = _LoopbackConn()
+    _send_frame(conn, {"op": "job", "data": "x" * 1000})
+    conn.sent[0] = conn.sent[0][:-17]  # worker killed mid-write
+    with pytest.raises(PoolProtocolError):
+        _recv_frame(conn)
+
+
+def test_short_frame_is_a_protocol_error():
+    conn = _LoopbackConn()
+    conn.sent.append(b"\x01\x02")
+    with pytest.raises(PoolProtocolError):
+        _recv_frame(conn)
+
+
+# -- blocking lease API ------------------------------------------------------
+
+
+def test_run_job_reuses_one_worker():
+    with WorkerPool(workers=1) as pool:
+        for seed in range(3):
+            outcome = pool.run_job(tiny_spec(seed), CONFIG, timeout=120)
+            assert outcome["ok"], outcome
+            assert outcome["document"]["epochs"]
+        assert pool.spawned == 1  # all three jobs rode the same process
+
+
+def test_recycling_after_job_quota():
+    with WorkerPool(workers=1, max_jobs_per_worker=2) as pool:
+        for seed in range(4):
+            outcome = pool.run_job(tiny_spec(seed), CONFIG, timeout=120)
+            assert outcome["ok"], outcome
+        assert pool.recycled == 2
+        assert pool.spawned >= 2
+
+
+def test_timeout_kills_and_pool_respawns():
+    with WorkerPool(workers=1) as pool:
+        outcome = pool.run_job(endless_spec(), CONFIG, timeout=0.5)
+        assert not outcome["ok"]
+        assert outcome["kind"] == "timeout"
+        # The stuck worker was killed; the pool must still serve jobs.
+        outcome = pool.run_job(tiny_spec(9), CONFIG, timeout=120)
+        assert outcome["ok"], outcome
+        assert pool.spawned == 2
+
+
+def test_budget_exceeded_is_a_typed_failure():
+    with WorkerPool(workers=1) as pool:
+        outcome = pool.run_job(endless_spec(), CONFIG, max_events=5_000,
+                               timeout=120)
+        assert not outcome["ok"]
+        assert outcome["kind"] == "budget_exceeded"
+        assert outcome["events_executed"] >= 5_000
+        # A budget blow-up is the job's fault, not the worker's: the
+        # worker survives and serves the next job.
+        assert pool.run_job(tiny_spec(3), CONFIG, timeout=120)["ok"]
+        assert pool.spawned == 1
+
+
+def test_spawn_failure_counts_and_raises():
+    pool = WorkerPool(workers=1)
+    events = []
+    pool._metrics_hook = events.append
+
+    def exploding_spawn():
+        raise PoolSpawnError("out of pids")
+
+    pool._spawn_locked = exploding_spawn
+    with pytest.raises(OSError):  # PoolSpawnError IS an OSError
+        pool.run_job(tiny_spec(1), CONFIG)
+    pool.close()
+
+
+def test_dispatch_poll_round_trip():
+    with WorkerPool(workers=2) as pool:
+        pool.dispatch("a", tiny_spec(1), CONFIG)
+        pool.dispatch("b", tiny_spec(2), CONFIG)
+        done = {}
+        while len(done) < 2:
+            for ticket, outcome in pool.poll(0.05):
+                done[ticket] = outcome
+        assert done["a"]["ok"] and done["b"]["ok"]
+        assert done["a"]["wall_time"] > 0
+
+
+def test_poll_reports_timeout_outcomes():
+    with WorkerPool(workers=1) as pool:
+        pool.dispatch("slow", endless_spec(), CONFIG, timeout=0.5)
+        completed = []
+        while not completed:
+            completed = pool.poll(0.05)
+        (ticket, outcome), = completed
+        assert ticket == "slow"
+        assert outcome["kind"] == "timeout"
+
+
+# -- campaign integration ----------------------------------------------------
+
+
+def test_campaign_runs_on_the_warm_pool():
+    jobs = [CampaignJob(spec=tiny_spec(seed), config=CONFIG, tag=f"j{seed}")
+            for seed in range(5)]
+    campaign = run_campaign(jobs, workers=2, cache=False, parallel=True)
+    assert all(job.ok for job in campaign.jobs), \
+        [j.as_dict() for j in campaign.failed]
+    summary = campaign.summary()
+    assert summary["spawn_failures"] == 0
+    assert "workers_recycled" in summary
+
+
+def test_campaign_shares_an_external_pool():
+    with WorkerPool(workers=2) as pool:
+        for round_number in range(2):
+            jobs = [CampaignJob(spec=tiny_spec(10 * round_number + s),
+                                config=CONFIG, tag=f"r{round_number}j{s}")
+                    for s in range(3)]
+            campaign = run_campaign(jobs, workers=2, cache=False,
+                                    parallel=True, pool=pool)
+            assert all(job.ok for job in campaign.jobs)
+        # Both campaigns rode the same two processes.
+        assert pool.spawned <= 2
